@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks of every from-scratch primitive on
+//! 4 KB sectors — the client-side encryption cost of §3.2's setup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vdisk_crypto::cbc::CbcEssiv;
+use vdisk_crypto::eme2::Eme2;
+use vdisk_crypto::gcm::AesGcm;
+use vdisk_crypto::hmac::hmac_sha256;
+use vdisk_crypto::sha256::sha256;
+use vdisk_crypto::xts::XtsCipher;
+
+const SECTOR: usize = 4096;
+
+fn bench_sector_ciphers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sector-ciphers");
+    group.throughput(Throughput::Bytes(SECTOR as u64));
+    group.sample_size(20);
+
+    let xts128 = XtsCipher::new(&[7u8; 32]).unwrap();
+    let xts256 = XtsCipher::new(&[7u8; 64]).unwrap();
+    let gcm = AesGcm::new(&[7u8; 32]).unwrap();
+    let eme2 = Eme2::new(&[7u8; 32]).unwrap();
+    let cbc = CbcEssiv::new(&[7u8; 32]).unwrap();
+    let tweak = XtsCipher::tweak_from_sector_number(42);
+
+    group.bench_function(BenchmarkId::new("encrypt", "aes-128-xts"), |b| {
+        let mut buf = vec![0u8; SECTOR];
+        b.iter(|| xts128.encrypt_sector(&tweak, &mut buf).unwrap());
+    });
+    group.bench_function(BenchmarkId::new("encrypt", "aes-256-xts"), |b| {
+        let mut buf = vec![0u8; SECTOR];
+        b.iter(|| xts256.encrypt_sector(&tweak, &mut buf).unwrap());
+    });
+    group.bench_function(BenchmarkId::new("decrypt", "aes-256-xts"), |b| {
+        let mut buf = vec![0u8; SECTOR];
+        b.iter(|| xts256.decrypt_sector(&tweak, &mut buf).unwrap());
+    });
+    group.bench_function(BenchmarkId::new("encrypt", "aes-256-gcm"), |b| {
+        let mut buf = vec![0u8; SECTOR];
+        b.iter(|| gcm.encrypt(&[1u8; 12], b"lba", &mut buf));
+    });
+    group.bench_function(BenchmarkId::new("encrypt", "eme2-aes-256"), |b| {
+        let mut buf = vec![0u8; SECTOR];
+        b.iter(|| eme2.encrypt_sector(&tweak, &mut buf).unwrap());
+    });
+    group.bench_function(BenchmarkId::new("encrypt", "aes-256-cbc-essiv"), |b| {
+        let mut buf = vec![0u8; SECTOR];
+        b.iter(|| cbc.encrypt_sector(42, &mut buf).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash-mac");
+    group.throughput(Throughput::Bytes(SECTOR as u64));
+    group.sample_size(20);
+    let data = vec![0xABu8; SECTOR];
+    group.bench_function("sha256-4k", |b| b.iter(|| sha256(&data)));
+    group.bench_function("hmac-sha256-4k", |b| b.iter(|| hmac_sha256(b"key", &data)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sector_ciphers, bench_hashing);
+criterion_main!(benches);

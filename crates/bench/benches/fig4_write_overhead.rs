@@ -1,0 +1,24 @@
+//! Regenerates Fig. 4: write performance overhead (percent vs the
+//! LUKS2 baseline; lower is better) — derived from the Fig. 3b sweep.
+
+use vdisk_bench::figures;
+use vdisk_bench::fio::IoPattern;
+use vdisk_bench::testbed;
+
+fn main() {
+    println!("Reproducing Fig. 4 (write overhead vs LUKS2)");
+    let points = figures::run_sweep(IoPattern::RandWrite, testbed::BENCH_IMAGE_SIZE, 0xF16_4);
+    figures::print_overhead_table(&points);
+    let checks = figures::check_write_shape(&points);
+    let ok = figures::report_checks(&checks);
+    // The abstract's headline claim: 1%-22% overhead for the best
+    // option (object end), depending on IO size.
+    let range: Vec<f64> = testbed::paper_io_sizes()
+        .iter()
+        .filter_map(|&s| figures::overhead_pct(&points, "Object end", s))
+        .collect();
+    let min = range.iter().cloned().fold(f64::MAX, f64::min);
+    let max = range.iter().cloned().fold(f64::MIN, f64::max);
+    println!("\nheadline: object-end write overhead spans {min:.1}%..{max:.1}% (paper: 1%..22%)");
+    println!("fig4 shape reproduction: {}", if ok { "OK" } else { "DEVIATION (see FAIL lines)" });
+}

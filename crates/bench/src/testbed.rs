@@ -1,0 +1,121 @@
+//! The paper's testbed (§3.2) as reusable builders: IO-size sweep,
+//! encryption variants, and cluster/disk construction.
+
+use vdisk_core::{EncryptedImage, EncryptionConfig, MetaLayout};
+use vdisk_crypto::rng::SeededIvSource;
+use vdisk_rados::{Cluster, PayloadMode};
+use vdisk_rbd::Image;
+
+/// The paper's IO-size sweep: 4 KB to 4 MB (Fig. 3/4 x-axis).
+pub const PAPER_IO_SIZES_KB: [u64; 11] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// The queue depth fio was run with ("32 maximum parallel accesses").
+pub const PAPER_QUEUE_DEPTH: usize = 32;
+
+/// Image size used by the harness. The paper uses a 64 GiB image; the
+/// simulated cost model has no cache effects that depend on image
+/// size, so a smaller footprint sweeps faster at identical shapes.
+pub const BENCH_IMAGE_SIZE: u64 = 128 << 20;
+
+/// IO sizes in bytes.
+#[must_use]
+pub fn paper_io_sizes() -> Vec<u64> {
+    PAPER_IO_SIZES_KB.iter().map(|kb| kb * 1024).collect()
+}
+
+/// One line of the paper's figure legend.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Legend label ("LUKS2", "Unaligned", "Object end", "OMAP").
+    pub label: &'static str,
+    /// The encryption configuration behind it.
+    pub config: EncryptionConfig,
+}
+
+/// The four variants of Fig. 3/4, in the paper's order.
+#[must_use]
+pub fn paper_variants() -> Vec<Variant> {
+    vec![
+        Variant {
+            label: "LUKS2",
+            config: EncryptionConfig::luks2_baseline(),
+        },
+        Variant {
+            label: "Unaligned",
+            config: EncryptionConfig::random_iv(MetaLayout::Unaligned),
+        },
+        Variant {
+            label: "Object end",
+            config: EncryptionConfig::random_iv(MetaLayout::ObjectEnd),
+        },
+        Variant {
+            label: "OMAP",
+            config: EncryptionConfig::random_iv(MetaLayout::Omap),
+        },
+    ]
+}
+
+/// A fresh paper-calibrated cluster for benchmarking (payloads
+/// discarded: identical cost plans, bounded memory).
+#[must_use]
+pub fn bench_cluster() -> Cluster {
+    Cluster::builder()
+        .payload_mode(PayloadMode::Discarded)
+        .build()
+}
+
+/// A fresh cluster that stores payloads (for integrity/GCM ablations,
+/// which must decrypt real bytes).
+#[must_use]
+pub fn functional_cluster() -> Cluster {
+    Cluster::builder().build()
+}
+
+/// Builds an encrypted disk of `size` bytes on a fresh bench cluster.
+///
+/// # Panics
+///
+/// Panics if image creation or formatting fails (benchmark setup).
+#[must_use]
+pub fn bench_disk(config: &EncryptionConfig, size: u64, seed: u64) -> EncryptedImage {
+    let cluster = bench_cluster();
+    let image = Image::create(&cluster, "bench", size).expect("create bench image");
+    EncryptedImage::format_with_iv_source(
+        image,
+        config,
+        b"bench-passphrase",
+        Box::new(SeededIvSource::new(seed)),
+    )
+    .expect("format bench image")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_ascending_and_paper_shaped() {
+        let sizes = paper_io_sizes();
+        assert_eq!(sizes.first(), Some(&4096));
+        assert_eq!(sizes.last(), Some(&(4 << 20)));
+        assert!(sizes.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn variants_match_figure_legend() {
+        let v = paper_variants();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0].label, "LUKS2");
+        assert_eq!(v[0].config.meta_entry_len(), 0);
+        for variant in &v[1..] {
+            assert_eq!(variant.config.meta_entry_len(), 16);
+            variant.config.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn bench_disk_builds() {
+        let disk = bench_disk(&EncryptionConfig::random_iv_object_end(), 8 << 20, 1);
+        assert_eq!(disk.image().size(), 8 << 20);
+    }
+}

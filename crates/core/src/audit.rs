@@ -1,0 +1,135 @@
+//! The adversary's toolkit: raw ciphertext observation and the
+//! comparisons the paper's attacks are built on (§1, §2.1).
+//!
+//! These helpers exist so tests and examples can *demonstrate* the
+//! leaks — "an adversary can detect exactly which of the sub-blocks has
+//! changed" — and verify that the random-IV design eliminates them.
+
+/// What an adversary inspecting the backing store sees for one sector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectorObservation {
+    /// The logical sector observed.
+    pub lba: u64,
+    /// Raw ciphertext bytes.
+    pub ciphertext: Vec<u8>,
+    /// Raw metadata entry, when the layout stores one.
+    pub meta: Option<Vec<u8>>,
+}
+
+impl SectorObservation {
+    /// True when two observations carry byte-identical ciphertext —
+    /// the deterministic-encryption equality leak.
+    #[must_use]
+    pub fn ciphertext_equals(&self, other: &SectorObservation) -> bool {
+        self.ciphertext == other.ciphertext
+    }
+}
+
+/// Indices of the `granularity`-byte sub-blocks that differ between
+/// two equal-length byte strings.
+///
+/// With AES-XTS (`granularity = 16`) this is exactly the §2.1 attack:
+/// an adversary comparing two ciphertexts of the same sector learns
+/// which 16-byte sub-blocks of the plaintext changed.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `granularity` is zero.
+#[must_use]
+pub fn differing_subblocks(a: &[u8], b: &[u8], granularity: usize) -> Vec<usize> {
+    assert_eq!(a.len(), b.len(), "ciphertexts must have equal length");
+    assert!(granularity > 0, "granularity must be positive");
+    a.chunks(granularity)
+        .zip(b.chunks(granularity))
+        .enumerate()
+        .filter_map(|(i, (ca, cb))| (ca != cb).then_some(i))
+        .collect()
+}
+
+/// Fraction of sub-blocks that differ (0.0 = identical, 1.0 = every
+/// sub-block changed). Wide-block and random-IV schemes push this to
+/// ~1.0 for any plaintext change; narrow-block XTS leaves it at
+/// exactly the touched sub-blocks.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `granularity` is zero.
+#[must_use]
+pub fn diff_ratio(a: &[u8], b: &[u8], granularity: usize) -> f64 {
+    let total = a.len().div_ceil(granularity);
+    if total == 0 {
+        return 0.0;
+    }
+    differing_subblocks(a, b, granularity).len() as f64 / total as f64
+}
+
+/// The §2.1 mix-and-match splice: takes the first `cut` bytes from `a`
+/// and the rest from `b` — a ciphertext an adversary can fabricate from
+/// two observed versions of the same sector.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `cut` is out of range.
+#[must_use]
+pub fn splice(a: &[u8], b: &[u8], cut: usize) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "versions must have equal length");
+    assert!(cut <= a.len(), "cut out of range");
+    let mut out = Vec::with_capacity(a.len());
+    out.extend_from_slice(&a[..cut]);
+    out.extend_from_slice(&b[cut..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subblock_diff_finds_exact_blocks() {
+        let a = vec![0u8; 64];
+        let mut b = a.clone();
+        b[17] = 1; // inside sub-block 1
+        b[48] = 1; // inside sub-block 3
+        assert_eq!(differing_subblocks(&a, &b, 16), vec![1, 3]);
+        assert_eq!(differing_subblocks(&a, &a, 16), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn diff_ratio_ranges() {
+        let a = vec![0u8; 64];
+        let mut b = a.clone();
+        assert_eq!(diff_ratio(&a, &b, 16), 0.0);
+        b[0] = 1;
+        assert_eq!(diff_ratio(&a, &b, 16), 0.25);
+        let c = vec![1u8; 64];
+        assert_eq!(diff_ratio(&a, &c, 16), 1.0);
+    }
+
+    #[test]
+    fn splice_mixes_versions() {
+        let a = vec![0xAAu8; 32];
+        let b = vec![0xBBu8; 32];
+        let s = splice(&a, &b, 16);
+        assert_eq!(&s[..16], &a[..16]);
+        assert_eq!(&s[16..], &b[16..]);
+    }
+
+    #[test]
+    fn observation_equality() {
+        let x = SectorObservation {
+            lba: 1,
+            ciphertext: vec![1, 2, 3],
+            meta: None,
+        };
+        let mut y = x.clone();
+        assert!(x.ciphertext_equals(&y));
+        y.ciphertext[0] = 9;
+        assert!(!x.ciphertext_equals(&y));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = differing_subblocks(&[0; 16], &[0; 32], 16);
+    }
+}

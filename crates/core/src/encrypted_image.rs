@@ -1,0 +1,544 @@
+//! The client-side encrypting IO path over an RBD image.
+
+use crate::audit::SectorObservation;
+use crate::config::{EncryptionConfig, MetaLayout};
+use crate::layout::Geometry;
+use crate::luks::{DerivedKeys, LuksHeader};
+use crate::sector::SectorCodec;
+use crate::{CryptError, Result};
+use vdisk_crypto::rng::{IvSource, OsIvSource};
+use vdisk_rados::{RadosError, ReadOp, ReadResult, SnapId, Transaction};
+use vdisk_rbd::{Image, RbdError};
+use vdisk_sim::Plan;
+
+/// An encrypted virtual disk: every write encrypts client-side and
+/// persists per-sector metadata (when configured) in the same atomic
+/// RADOS transaction as the data; every read fetches data + metadata
+/// and decrypts client-side.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct EncryptedImage {
+    image: Image,
+    header: LuksHeader,
+    codec: SectorCodec,
+    iv_source: Box<dyn IvSource>,
+    geometry: Geometry,
+}
+
+impl std::fmt::Debug for EncryptedImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncryptedImage")
+            .field("image", &self.image.name())
+            .field("config", self.header.config())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EncryptedImage {
+    fn crypt_header_object(image_name: &str) -> String {
+        format!("rbd_header.{image_name}.luks")
+    }
+
+    /// Formats an image for encryption: generates a master key, writes
+    /// the LUKS-style header, and returns the opened device. IVs come
+    /// from the OS CSPRNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptError::UnsupportedConfig`] for invalid configs or
+    /// [`CryptError::Rbd`] on store failures.
+    pub fn format(
+        image: Image,
+        config: &EncryptionConfig,
+        passphrase: &[u8],
+    ) -> Result<EncryptedImage> {
+        Self::format_with_iv_source(image, config, passphrase, Box::new(OsIvSource))
+    }
+
+    /// Formats with an explicit IV source (seeded for reproducible
+    /// tests and benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// As [`EncryptedImage::format`].
+    pub fn format_with_iv_source(
+        image: Image,
+        config: &EncryptionConfig,
+        passphrase: &[u8],
+        mut iv_source: Box<dyn IvSource>,
+    ) -> Result<EncryptedImage> {
+        config.validate()?;
+        if u64::from(config.sector_size) > image.object_size() {
+            return Err(CryptError::UnsupportedConfig(
+                "sector size exceeds object size".into(),
+            ));
+        }
+        let (header, master) = LuksHeader::format(config, passphrase, iv_source.as_mut())?;
+        let mut tx = Transaction::new(Self::crypt_header_object(image.name()));
+        tx.write(0, header.encode());
+        image.cluster().execute(tx)?;
+
+        let keys = DerivedKeys::derive(&master, config.cipher);
+        let codec = SectorCodec::new(config, &keys)?;
+        let geometry = Geometry::new(
+            image.object_size(),
+            u64::from(config.sector_size),
+            u64::from(config.meta_entry_len()),
+        );
+        Ok(EncryptedImage {
+            image,
+            header,
+            codec,
+            iv_source,
+            geometry,
+        })
+    }
+
+    /// Opens an encrypted image with a passphrase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptError::WrongPassphrase`] if no keyslot matches,
+    /// or [`CryptError::HeaderCorrupt`] if the header fails to parse.
+    pub fn open(image: Image, passphrase: &[u8]) -> Result<EncryptedImage> {
+        Self::open_with_iv_source(image, passphrase, Box::new(OsIvSource))
+    }
+
+    /// Opens with an explicit IV source.
+    ///
+    /// # Errors
+    ///
+    /// As [`EncryptedImage::open`].
+    pub fn open_with_iv_source(
+        image: Image,
+        passphrase: &[u8],
+        iv_source: Box<dyn IvSource>,
+    ) -> Result<EncryptedImage> {
+        let header_object = Self::crypt_header_object(image.name());
+        let cluster = image.cluster().clone();
+        let stat = cluster
+            .stat(&header_object)
+            .map_err(|_| CryptError::HeaderCorrupt("missing encryption header".into()))?;
+        let (results, _) = cluster.read(
+            &header_object,
+            None,
+            &[ReadOp::Read {
+                offset: 0,
+                len: stat.size,
+            }],
+        )?;
+        let header = LuksHeader::decode(results[0].as_data())?;
+        let master = header.unlock(passphrase)?;
+        let config = header.config().clone();
+        let keys = DerivedKeys::derive(&master, config.cipher);
+        let codec = SectorCodec::new(&config, &keys)?;
+        let geometry = Geometry::new(
+            image.object_size(),
+            u64::from(config.sector_size),
+            u64::from(config.meta_entry_len()),
+        );
+        Ok(EncryptedImage {
+            image,
+            header,
+            codec,
+            iv_source,
+            geometry,
+        })
+    }
+
+    /// Adds a new passphrase (authorized by an existing one) and
+    /// persists the updated header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptError::WrongPassphrase`] if `existing` unlocks no
+    /// keyslot, or [`CryptError::NoFreeKeyslot`] when all 8 slots are
+    /// taken.
+    pub fn add_passphrase(&mut self, existing: &[u8], new: &[u8]) -> Result<usize> {
+        let master = self.header.unlock(existing)?;
+        let idx = self
+            .header
+            .add_keyslot(new, &master, self.iv_source.as_mut())?;
+        let mut tx = Transaction::new(Self::crypt_header_object(self.image.name()));
+        tx.write(0, self.header.encode());
+        self.image.cluster().execute(tx)?;
+        Ok(idx)
+    }
+
+    /// The underlying image.
+    #[must_use]
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    /// The encryption configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &EncryptionConfig {
+        self.header.config()
+    }
+
+    /// The object geometry in force.
+    #[must_use]
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Encryption sector size in bytes.
+    #[must_use]
+    pub fn sector_size(&self) -> u64 {
+        self.geometry.sector_size
+    }
+
+    /// Takes an image snapshot (see [`Image::snap_create`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Image::snap_create`].
+    pub fn snap_create(&self, name: &str) -> Result<SnapId> {
+        Ok(self.image.snap_create(name)?)
+    }
+
+    fn check_bounds(&self, offset: u64, len: u64) -> Result<()> {
+        let end = offset
+            .checked_add(len)
+            .filter(|&end| end <= self.image.size())
+            .ok_or(CryptError::Rbd(RbdError::OutOfBounds {
+                offset: offset.saturating_add(len),
+                size: self.image.size(),
+            }))?;
+        let _ = end;
+        Ok(())
+    }
+
+    /// Encrypts and writes `data` at byte `offset`; returns the IO's
+    /// cost plan. Writes not aligned to the sector size perform
+    /// client-side read-modify-write of the touched boundary sectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptError::Rbd`] for out-of-bounds IO or store
+    /// failures, and decryption errors if an unaligned write has to
+    /// read back tampered sectors.
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<Plan> {
+        self.check_bounds(offset, data.len() as u64)?;
+        if data.is_empty() {
+            return Ok(Plan::Noop);
+        }
+        let ss = self.geometry.sector_size;
+        if offset % ss == 0 && data.len() as u64 % ss == 0 {
+            return self.write_aligned(offset, data);
+        }
+        // Client-side RMW: fetch the boundary sectors, splice, write
+        // the aligned span.
+        let first_sector = offset / ss;
+        let end_sector = (offset + data.len() as u64).div_ceil(ss);
+        let aligned_off = first_sector * ss;
+        let aligned_len = (end_sector - first_sector) * ss;
+        let mut span = vec![0u8; aligned_len as usize];
+        let read_plan = self.read_common(None, aligned_off, &mut span)?;
+        let start = (offset - aligned_off) as usize;
+        span[start..start + data.len()].copy_from_slice(data);
+        let write_plan = self.write_aligned(aligned_off, &span)?;
+        Ok(Plan::seq([read_plan, write_plan]))
+    }
+
+    fn write_aligned(&mut self, offset: u64, data: &[u8]) -> Result<Plan> {
+        let ss = self.geometry.sector_size;
+        let spo = self.geometry.sectors_per_object;
+        let layout = self.config().layout;
+        let write_seq = self.image.cluster().snap_seq().0;
+
+        let mut plans = Vec::new();
+        for extent in self.image.striper().map(offset, data.len() as u64) {
+            let first = extent.offset / ss;
+            let count = extent.len / ss;
+            let base_lba = extent.object_no * spo + first;
+
+            let mut ciphertexts: Vec<Vec<u8>> = Vec::with_capacity(count as usize);
+            let mut metas: Vec<Vec<u8>> = Vec::with_capacity(count as usize);
+            for s in 0..count {
+                let lba = base_lba + s;
+                let src = (extent.buf_offset + s * ss) as usize;
+                let mut sector = data[src..src + ss as usize].to_vec();
+                let meta =
+                    self.codec
+                        .encrypt(lba, write_seq, &mut sector, self.iv_source.as_mut())?;
+                ciphertexts.push(sector);
+                metas.push(meta);
+            }
+
+            let mut tx = Transaction::new(self.image.object_name(extent.object_no));
+            match layout {
+                None => {
+                    let (off, _) = self.geometry.data_extent(None, first, count);
+                    tx.write(off, ciphertexts.concat());
+                }
+                Some(MetaLayout::Unaligned) => {
+                    let (off, _) =
+                        self.geometry
+                            .data_extent(Some(MetaLayout::Unaligned), first, count);
+                    tx.write(off, self.geometry.interleave_unaligned(&ciphertexts, &metas));
+                }
+                Some(MetaLayout::ObjectEnd) => {
+                    let (off, _) =
+                        self.geometry
+                            .data_extent(Some(MetaLayout::ObjectEnd), first, count);
+                    tx.write(off, ciphertexts.concat());
+                    let (meta_off, _) = self
+                        .geometry
+                        .meta_extent(Some(MetaLayout::ObjectEnd), first, count)
+                        .expect("object-end has a meta extent");
+                    tx.write(meta_off, metas.concat());
+                }
+                Some(MetaLayout::Omap) => {
+                    let (off, _) = self.geometry.data_extent(Some(MetaLayout::Omap), first, count);
+                    tx.write(off, ciphertexts.concat());
+                    let entries: Vec<(Vec<u8>, Vec<u8>)> = metas
+                        .iter()
+                        .enumerate()
+                        .map(|(s, meta)| (Geometry::omap_key(first + s as u64), meta.clone()))
+                        .collect();
+                    tx.omap_set(entries);
+                }
+            }
+            plans.push(self.image.cluster().execute(tx)?);
+        }
+        // Client-side encryption cost precedes the dispatch.
+        let crypto = self.image.cluster().crypto_plan(data.len() as u64);
+        Ok(Plan::seq([crypto, Plan::par(plans)]))
+    }
+
+    /// Reads and decrypts into `buf` from the image head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptError::IntegrityViolation`] /
+    /// [`CryptError::ReplayDetected`] per the configuration, or
+    /// [`CryptError::Rbd`] for out-of-bounds IO.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<Plan> {
+        self.read_common(None, offset, buf)
+    }
+
+    /// Reads and decrypts as of a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`EncryptedImage::read`].
+    pub fn read_at_snap(&self, snap: SnapId, offset: u64, buf: &mut [u8]) -> Result<Plan> {
+        self.read_common(Some(snap), offset, buf)
+    }
+
+    fn read_common(&self, snap: Option<SnapId>, offset: u64, buf: &mut [u8]) -> Result<Plan> {
+        self.check_bounds(offset, buf.len() as u64)?;
+        if buf.is_empty() {
+            return Ok(Plan::Noop);
+        }
+        let ss = self.geometry.sector_size;
+        if offset % ss != 0 || buf.len() as u64 % ss != 0 {
+            // Unaligned read: fetch the aligned span and slice.
+            let first_sector = offset / ss;
+            let end_sector = (offset + buf.len() as u64).div_ceil(ss);
+            let aligned_off = first_sector * ss;
+            let mut span = vec![0u8; ((end_sector - first_sector) * ss) as usize];
+            let plan = self.read_common(snap, aligned_off, &mut span)?;
+            let start = (offset - aligned_off) as usize;
+            buf.copy_from_slice(&span[start..start + buf.len()]);
+            return Ok(plan);
+        }
+
+        let spo = self.geometry.sectors_per_object;
+        let layout = self.config().layout;
+        let seq_limit = snap.map(|s| s.0);
+        let me = self.geometry.meta_entry as usize;
+
+        let mut plans = Vec::new();
+        for extent in self.image.striper().map(offset, buf.len() as u64) {
+            let first = extent.offset / ss;
+            let count = extent.len / ss;
+            let base_lba = extent.object_no * spo + first;
+            let object = self.image.object_name(extent.object_no);
+            let out =
+                &mut buf[extent.buf_offset as usize..(extent.buf_offset + extent.len) as usize];
+
+            let ops: Vec<ReadOp> = match layout {
+                None => {
+                    let (off, len) = self.geometry.data_extent(None, first, count);
+                    vec![ReadOp::Read { offset: off, len }]
+                }
+                Some(MetaLayout::Unaligned) => {
+                    let (off, len) =
+                        self.geometry
+                            .data_extent(Some(MetaLayout::Unaligned), first, count);
+                    vec![ReadOp::Read { offset: off, len }]
+                }
+                Some(MetaLayout::ObjectEnd) => {
+                    let (off, len) =
+                        self.geometry
+                            .data_extent(Some(MetaLayout::ObjectEnd), first, count);
+                    let (meta_off, meta_len) = self
+                        .geometry
+                        .meta_extent(Some(MetaLayout::ObjectEnd), first, count)
+                        .expect("object-end has a meta extent");
+                    vec![
+                        ReadOp::Read { offset: off, len },
+                        ReadOp::Read {
+                            offset: meta_off,
+                            len: meta_len,
+                        },
+                    ]
+                }
+                Some(MetaLayout::Omap) => {
+                    let (off, len) = self.geometry.data_extent(Some(MetaLayout::Omap), first, count);
+                    vec![
+                        ReadOp::Read { offset: off, len },
+                        ReadOp::OmapGetRange {
+                            start: Geometry::omap_key(first),
+                            end: Geometry::omap_key(first + count),
+                        },
+                    ]
+                }
+            };
+
+            match self.image.cluster().read(&object, snap, &ops) {
+                Ok((results, plan)) => {
+                    self.decrypt_extent(
+                        layout, &results, first, count, base_lba, seq_limit, me, out,
+                    )?;
+                    plans.push(plan);
+                }
+                Err(RadosError::NoSuchObject(_)) | Err(RadosError::NoSuchSnapshot { .. }) => {
+                    out.fill(0);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let crypto = self.image.cluster().crypto_plan(buf.len() as u64);
+        Ok(Plan::seq([Plan::par(plans), crypto]))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decrypt_extent(
+        &self,
+        layout: Option<MetaLayout>,
+        results: &[ReadResult],
+        first: u64,
+        count: u64,
+        base_lba: u64,
+        seq_limit: Option<u64>,
+        me: usize,
+        out: &mut [u8],
+    ) -> Result<()> {
+        let ss = self.geometry.sector_size as usize;
+        match layout {
+            None => {
+                let data = results[0].as_data();
+                for s in 0..count as usize {
+                    let mut sector = data[s * ss..(s + 1) * ss].to_vec();
+                    self.codec
+                        .decrypt(base_lba + s as u64, seq_limit, &mut sector, &[])?;
+                    out[s * ss..(s + 1) * ss].copy_from_slice(&sector);
+                }
+            }
+            Some(MetaLayout::Unaligned) => {
+                let pairs = self.geometry.deinterleave_unaligned(results[0].as_data());
+                for (s, (mut sector, meta)) in pairs.into_iter().enumerate() {
+                    self.codec
+                        .decrypt(base_lba + s as u64, seq_limit, &mut sector, &meta)?;
+                    out[s * ss..(s + 1) * ss].copy_from_slice(&sector);
+                }
+            }
+            Some(MetaLayout::ObjectEnd) => {
+                let data = results[0].as_data();
+                let metas = results[1].as_data();
+                for s in 0..count as usize {
+                    let mut sector = data[s * ss..(s + 1) * ss].to_vec();
+                    let meta = &metas[s * me..(s + 1) * me];
+                    self.codec
+                        .decrypt(base_lba + s as u64, seq_limit, &mut sector, meta)?;
+                    out[s * ss..(s + 1) * ss].copy_from_slice(&sector);
+                }
+            }
+            Some(MetaLayout::Omap) => {
+                let data = results[0].as_data();
+                let entries = results[1].as_omap();
+                let zero_meta = vec![0u8; me];
+                for s in 0..count as usize {
+                    let key = Geometry::omap_key(first + s as u64);
+                    let meta = entries
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map_or(zero_meta.as_slice(), |(_, v)| v.as_slice());
+                    let mut sector = data[s * ss..(s + 1) * ss].to_vec();
+                    self.codec
+                        .decrypt(base_lba + s as u64, seq_limit, &mut sector, meta)?;
+                    out[s * ss..(s + 1) * ss].copy_from_slice(&sector);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The adversary's view of one sector: raw ciphertext and raw
+    /// metadata entry, **without** decryption. Used by the audit
+    /// tooling and the security examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptError::Rbd`] if the sector's object is absent.
+    pub fn observe_sector(
+        &self,
+        lba: u64,
+        snap: Option<SnapId>,
+    ) -> Result<SectorObservation> {
+        let spo = self.geometry.sectors_per_object;
+        let object_no = lba / spo;
+        let k = lba % spo;
+        let object = self.image.object_name(object_no);
+        let layout = self.config().layout;
+
+        let mut ops: Vec<ReadOp> = Vec::new();
+        match layout {
+            None | Some(MetaLayout::ObjectEnd) | Some(MetaLayout::Omap) => {
+                let (off, len) = self.geometry.data_extent(layout, k, 1);
+                ops.push(ReadOp::Read { offset: off, len });
+            }
+            Some(MetaLayout::Unaligned) => {
+                let (off, len) = self.geometry.data_extent(layout, k, 1);
+                ops.push(ReadOp::Read { offset: off, len });
+            }
+        }
+        match layout {
+            Some(MetaLayout::ObjectEnd) => {
+                let (off, len) = self
+                    .geometry
+                    .meta_extent(layout, k, 1)
+                    .expect("object-end meta extent");
+                ops.push(ReadOp::Read { offset: off, len });
+            }
+            Some(MetaLayout::Omap) => {
+                ops.push(ReadOp::OmapGetKeys(vec![Geometry::omap_key(k)]));
+            }
+            _ => {}
+        }
+
+        let (results, _) = self.image.cluster().read(&object, snap, &ops)?;
+        let ss = self.geometry.sector_size as usize;
+        let (ciphertext, meta) = match layout {
+            None => (results[0].as_data().to_vec(), None),
+            Some(MetaLayout::Unaligned) => {
+                let raw = results[0].as_data();
+                (raw[..ss].to_vec(), Some(raw[ss..].to_vec()))
+            }
+            Some(MetaLayout::ObjectEnd) => (
+                results[0].as_data().to_vec(),
+                Some(results[1].as_data().to_vec()),
+            ),
+            Some(MetaLayout::Omap) => {
+                let entries = results[1].as_omap();
+                let meta = entries.first().map(|(_, v)| v.clone());
+                (results[0].as_data().to_vec(), meta)
+            }
+        };
+        Ok(SectorObservation { lba, ciphertext, meta })
+    }
+}

@@ -1,0 +1,276 @@
+//! Byte-level placement of data and per-sector metadata inside 4 MB
+//! objects — the exact arithmetic of the paper's Fig. 2.
+//!
+//! All three layouts keep the *logical* geometry identical (an object
+//! holds `object_size / sector_size` sectors); they differ only in
+//! where the ciphertext and the metadata physically live:
+//!
+//! - **Unaligned** (Fig. 2a): sector k occupies
+//!   `[k·(ss+me), k·(ss+me)+ss)` and its metadata follows immediately.
+//!   One contiguous extent per IO, but almost every sector straddles a
+//!   physical 4 KB boundary → read-modify-write on writes.
+//! - **Object end** (Fig. 2b): sector k's data stays at `k·ss` (fully
+//!   aligned); its metadata lives at `spo·ss + k·me`, batched with its
+//!   neighbors at the object tail.
+//! - **OMAP** (Fig. 2c): data stays at `k·ss`; metadata is the value of
+//!   key `big_endian(k)` in the object's key-value database.
+
+use crate::config::MetaLayout;
+
+/// Geometry of one encrypted object: sector size, metadata entry size,
+/// sectors per object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Encryption sector size in bytes.
+    pub sector_size: u64,
+    /// Metadata entry size per sector in bytes (0 for the baseline).
+    pub meta_entry: u64,
+    /// Sectors per object.
+    pub sectors_per_object: u64,
+}
+
+impl Geometry {
+    /// Builds the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object_size` is not a multiple of `sector_size`.
+    #[must_use]
+    pub fn new(object_size: u64, sector_size: u64, meta_entry: u64) -> Self {
+        assert!(
+            object_size % sector_size == 0,
+            "object size must be a whole number of sectors"
+        );
+        Geometry {
+            sector_size,
+            meta_entry,
+            sectors_per_object: object_size / sector_size,
+        }
+    }
+
+    /// Physical extent of the *data* of sectors `[first, first+count)`
+    /// under a layout: `(offset, len)` within the object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sector range exceeds the object.
+    #[must_use]
+    pub fn data_extent(&self, layout: Option<MetaLayout>, first: u64, count: u64) -> (u64, u64) {
+        assert!(
+            first + count <= self.sectors_per_object,
+            "sector range beyond object"
+        );
+        match layout {
+            // Baseline, object-end and OMAP all keep data at k·ss.
+            None | Some(MetaLayout::ObjectEnd) | Some(MetaLayout::Omap) => {
+                (first * self.sector_size, count * self.sector_size)
+            }
+            Some(MetaLayout::Unaligned) => {
+                let stride = self.sector_size + self.meta_entry;
+                (first * stride, count * stride)
+            }
+        }
+    }
+
+    /// Physical extent of the *metadata* of sectors
+    /// `[first, first+count)`; `None` when the layout stores no
+    /// separate metadata extent (baseline, unaligned-interleaved,
+    /// OMAP).
+    #[must_use]
+    pub fn meta_extent(
+        &self,
+        layout: Option<MetaLayout>,
+        first: u64,
+        count: u64,
+    ) -> Option<(u64, u64)> {
+        match layout {
+            Some(MetaLayout::ObjectEnd) => {
+                let base = self.sectors_per_object * self.sector_size;
+                Some((base + first * self.meta_entry, count * self.meta_entry))
+            }
+            _ => None,
+        }
+    }
+
+    /// OMAP key for a sector's metadata (big-endian, so range queries
+    /// iterate sectors in order).
+    #[must_use]
+    pub fn omap_key(sector_in_object: u64) -> Vec<u8> {
+        sector_in_object.to_be_bytes().to_vec()
+    }
+
+    /// Inverse of [`Geometry::omap_key`].
+    #[must_use]
+    pub fn sector_from_omap_key(key: &[u8]) -> Option<u64> {
+        if key.len() != 8 {
+            return None;
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(key);
+        Some(u64::from_be_bytes(b))
+    }
+
+    /// Interleaves ciphertext sectors and their metadata entries into
+    /// the unaligned layout's single contiguous buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice counts or sizes disagree with the geometry.
+    #[must_use]
+    pub fn interleave_unaligned(&self, sectors: &[Vec<u8>], metas: &[Vec<u8>]) -> Vec<u8> {
+        assert_eq!(sectors.len(), metas.len(), "one meta entry per sector");
+        let stride = (self.sector_size + self.meta_entry) as usize;
+        let mut out = Vec::with_capacity(sectors.len() * stride);
+        for (sector, meta) in sectors.iter().zip(metas.iter()) {
+            assert_eq!(sector.len() as u64, self.sector_size);
+            assert_eq!(meta.len() as u64, self.meta_entry);
+            out.extend_from_slice(sector);
+            out.extend_from_slice(meta);
+        }
+        out
+    }
+
+    /// Splits an unaligned-layout buffer back into
+    /// `(ciphertext, metadata)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not a whole number of strides.
+    #[must_use]
+    pub fn deinterleave_unaligned(&self, buf: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let stride = (self.sector_size + self.meta_entry) as usize;
+        assert_eq!(buf.len() % stride, 0, "buffer must be whole strides");
+        buf.chunks(stride)
+            .map(|chunk| {
+                (
+                    chunk[..self.sector_size as usize].to_vec(),
+                    chunk[self.sector_size as usize..].to_vec(),
+                )
+            })
+            .collect()
+    }
+
+    /// Physical bytes occupied by a full object under a layout
+    /// (the paper: unaligned and object-end objects grow slightly
+    /// beyond 4 MB).
+    #[must_use]
+    pub fn object_footprint(&self, layout: Option<MetaLayout>) -> u64 {
+        let data = self.sectors_per_object * self.sector_size;
+        match layout {
+            None => data,
+            Some(MetaLayout::Unaligned) | Some(MetaLayout::ObjectEnd) => {
+                data + self.sectors_per_object * self.meta_entry
+            }
+            // OMAP metadata lives in the KV store, not the object.
+            Some(MetaLayout::Omap) => data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB4: u64 = 4 << 20;
+
+    fn geo() -> Geometry {
+        Geometry::new(MB4, 4096, 16)
+    }
+
+    #[test]
+    fn sectors_per_object_default() {
+        assert_eq!(geo().sectors_per_object, 1024);
+        assert_eq!(Geometry::new(MB4, 512, 16).sectors_per_object, 8192);
+    }
+
+    #[test]
+    fn baseline_data_extent_is_identity() {
+        let g = geo();
+        assert_eq!(g.data_extent(None, 0, 1), (0, 4096));
+        assert_eq!(g.data_extent(None, 10, 4), (40960, 16384));
+        assert_eq!(g.meta_extent(None, 0, 1), None);
+    }
+
+    #[test]
+    fn unaligned_stride_is_ss_plus_me() {
+        let g = geo();
+        // The paper's example: each IV stored at the end of its block.
+        assert_eq!(g.data_extent(Some(MetaLayout::Unaligned), 0, 1), (0, 4112));
+        assert_eq!(
+            g.data_extent(Some(MetaLayout::Unaligned), 3, 2),
+            (3 * 4112, 2 * 4112)
+        );
+        // Sector 1's start (4112) is NOT 4 KB aligned — the RMW source.
+        assert_ne!(4112 % 4096, 0);
+    }
+
+    #[test]
+    fn object_end_batches_meta_at_tail() {
+        let g = geo();
+        assert_eq!(
+            g.data_extent(Some(MetaLayout::ObjectEnd), 5, 3),
+            (5 * 4096, 3 * 4096)
+        );
+        assert_eq!(
+            g.meta_extent(Some(MetaLayout::ObjectEnd), 5, 3),
+            Some((MB4 + 5 * 16, 48))
+        );
+    }
+
+    #[test]
+    fn omap_keys_order_like_sectors() {
+        let k5 = Geometry::omap_key(5);
+        let k100 = Geometry::omap_key(100);
+        assert!(k5 < k100, "BE keys must sort numerically");
+        assert_eq!(Geometry::sector_from_omap_key(&k5), Some(5));
+        assert_eq!(Geometry::sector_from_omap_key(b"short"), None);
+    }
+
+    #[test]
+    fn interleave_round_trip() {
+        let g = geo();
+        let sectors: Vec<Vec<u8>> = (0..3).map(|i| vec![i as u8; 4096]).collect();
+        let metas: Vec<Vec<u8>> = (0..3).map(|i| vec![0xA0 + i as u8; 16]).collect();
+        let buf = g.interleave_unaligned(&sectors, &metas);
+        assert_eq!(buf.len(), 3 * 4112);
+        let parsed = g.deinterleave_unaligned(&buf);
+        assert_eq!(parsed.len(), 3);
+        for i in 0..3 {
+            assert_eq!(parsed[i].0, sectors[i]);
+            assert_eq!(parsed[i].1, metas[i]);
+        }
+    }
+
+    #[test]
+    fn footprints_match_paper_description() {
+        let g = geo();
+        assert_eq!(g.object_footprint(None), MB4);
+        assert_eq!(
+            g.object_footprint(Some(MetaLayout::ObjectEnd)),
+            MB4 + 1024 * 16
+        );
+        assert_eq!(
+            g.object_footprint(Some(MetaLayout::Unaligned)),
+            MB4 + 1024 * 16
+        );
+        assert_eq!(g.object_footprint(Some(MetaLayout::Omap)), MB4);
+    }
+
+    #[test]
+    fn whole_object_unaligned_write_is_block_aligned() {
+        // §3.3 subtlety: a full-object unaligned write starts at offset
+        // 0 and its length (1024 × 4112) is a multiple of 4096, so the
+        // *large-IO* unaligned overhead shrinks — matching the paper's
+        // converging curves.
+        let g = geo();
+        let (off, len) = g.data_extent(Some(MetaLayout::Unaligned), 0, 1024);
+        assert_eq!(off, 0);
+        assert_eq!(len % 4096, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond object")]
+    fn data_extent_bounds_checked() {
+        let _ = geo().data_extent(None, 1020, 10);
+    }
+}

@@ -1,0 +1,503 @@
+//! The per-sector codec: tweak construction, encryption, metadata
+//! entry packing, and verified decryption.
+
+use crate::config::{Cipher, EncryptionConfig};
+use crate::luks::DerivedKeys;
+use crate::{CryptError, Result};
+use vdisk_crypto::cbc::CbcEssiv;
+use vdisk_crypto::eme2::Eme2;
+use vdisk_crypto::gcm::AesGcm;
+use vdisk_crypto::hmac::HmacSha256;
+use vdisk_crypto::mem::ct_eq;
+use vdisk_crypto::rng::IvSource;
+use vdisk_crypto::xts::XtsCipher;
+
+/// Whether a sector had ever been written (decided from its metadata;
+/// only meaningful for layouts that store metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectorState {
+    /// The sector carries real data.
+    Written,
+    /// Never written: the buffer has been zero-filled.
+    Unwritten,
+}
+
+#[derive(Debug)]
+enum CipherInstance {
+    Xts(XtsCipher),
+    Gcm(AesGcm),
+    Eme2(Eme2),
+    Cbc(CbcEssiv),
+}
+
+/// Encrypts/decrypts one sector and packs/unpacks its metadata entry.
+#[derive(Debug)]
+pub(crate) struct SectorCodec {
+    config: EncryptionConfig,
+    instance: CipherInstance,
+    mac_key: Vec<u8>,
+}
+
+impl SectorCodec {
+    pub(crate) fn new(config: &EncryptionConfig, keys: &DerivedKeys) -> Result<Self> {
+        config.validate()?;
+        let instance = match config.cipher {
+            Cipher::Aes128Xts | Cipher::Aes256Xts => {
+                CipherInstance::Xts(XtsCipher::new(keys.xts.expose())?)
+            }
+            Cipher::Aes256Gcm => CipherInstance::Gcm(AesGcm::new(keys.gcm.expose())?),
+            Cipher::Eme2Aes256 => CipherInstance::Eme2(Eme2::new(keys.eme2.expose())?),
+            Cipher::CbcEssiv256 => CipherInstance::Cbc(CbcEssiv::new(keys.cbc.expose())?),
+        };
+        Ok(SectorCodec {
+            config: config.clone(),
+            instance,
+            mac_key: keys.mac.expose().to_vec(),
+        })
+    }
+
+    pub(crate) fn meta_entry_len(&self) -> usize {
+        self.config.meta_entry_len() as usize
+    }
+
+    /// Builds the XTS/EME2 tweak: random IV (if any) XOR LBA binding
+    /// XOR snapshot binding. The LBA lives in bytes 0..8, the write
+    /// sequence in bytes 8..16, so a (ciphertext, IV) pair replayed at
+    /// another LBA or claimed for another epoch decrypts to noise.
+    fn tweak(&self, lba: u64, iv: Option<&[u8; 16]>, seq: u64) -> [u8; 16] {
+        let mut tweak = match iv {
+            Some(iv) => *iv,
+            None => [0u8; 16],
+        };
+        for (t, b) in tweak.iter_mut().zip(lba.to_le_bytes()) {
+            *t ^= b;
+        }
+        if self.config.snapshot_binding {
+            for (t, b) in tweak[8..].iter_mut().zip(seq.to_le_bytes()) {
+                *t ^= b;
+            }
+        }
+        tweak
+    }
+
+    /// Encrypts `data` (one full sector) in place; returns the
+    /// metadata entry to persist (empty for the baseline).
+    ///
+    /// `write_seq` is the cluster snapshot sequence at write time.
+    pub(crate) fn encrypt(
+        &self,
+        lba: u64,
+        write_seq: u64,
+        data: &mut [u8],
+        iv_source: &mut dyn IvSource,
+    ) -> Result<Vec<u8>> {
+        debug_assert_eq!(data.len() as u32, self.config.sector_size);
+        let mut entry = Vec::with_capacity(self.meta_entry_len());
+        match &self.instance {
+            CipherInstance::Xts(xts) => {
+                let iv = self.random_iv(iv_source);
+                let tweak = self.tweak(lba, iv.as_ref(), write_seq);
+                xts.encrypt_sector(&tweak, data)?;
+                if let Some(iv) = iv {
+                    entry.extend_from_slice(&iv);
+                }
+                if self.config.mac {
+                    entry.extend_from_slice(&self.mac(lba, write_seq, iv.as_ref(), data));
+                }
+            }
+            CipherInstance::Eme2(eme) => {
+                let iv = self.random_iv(iv_source);
+                let tweak = self.tweak(lba, iv.as_ref(), write_seq);
+                eme.encrypt_sector(&tweak, data)?;
+                if let Some(iv) = iv {
+                    entry.extend_from_slice(&iv);
+                }
+                if self.config.mac {
+                    entry.extend_from_slice(&self.mac(lba, write_seq, iv.as_ref(), data));
+                }
+            }
+            CipherInstance::Cbc(cbc) => {
+                cbc.encrypt_sector(lba, data)?;
+                if self.config.mac {
+                    entry.extend_from_slice(&self.mac(lba, write_seq, None, data));
+                }
+            }
+            CipherInstance::Gcm(gcm) => {
+                let mut nonce = [0u8; 12];
+                iv_source.fill(&mut nonce);
+                let aad = self.gcm_aad(lba, write_seq);
+                let tag = gcm.encrypt(&nonce, &aad, data);
+                entry.extend_from_slice(&nonce);
+                entry.extend_from_slice(&[0u8; 4]); // pad nonce to 16
+                entry.extend_from_slice(&tag);
+            }
+        }
+        if self.config.snapshot_binding {
+            entry.extend_from_slice(&write_seq.to_le_bytes());
+        }
+        debug_assert_eq!(entry.len(), self.meta_entry_len());
+        Ok(entry)
+    }
+
+    /// Decrypts `data` in place using the persisted metadata entry.
+    ///
+    /// `read_seq_limit` is `Some(snap)` when reading from a snapshot:
+    /// with snapshot binding enabled, entries claiming a later write
+    /// sequence are replays.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptError::IntegrityViolation`] on MAC/tag mismatch,
+    /// [`CryptError::ReplayDetected`] on snapshot-binding violations,
+    /// [`CryptError::HeaderCorrupt`] on malformed entries.
+    pub(crate) fn decrypt(
+        &self,
+        lba: u64,
+        read_seq_limit: Option<u64>,
+        data: &mut [u8],
+        meta: &[u8],
+    ) -> Result<SectorState> {
+        debug_assert_eq!(data.len() as u32, self.config.sector_size);
+        let expected = self.meta_entry_len();
+        if expected == 0 {
+            // Baseline: nothing stored; decrypt deterministically.
+            return self.decrypt_baseline(lba, data).map(|()| SectorState::Written);
+        }
+        if meta.len() != expected {
+            return Err(CryptError::HeaderCorrupt(format!(
+                "metadata entry is {} bytes, expected {expected}",
+                meta.len()
+            )));
+        }
+        // All-zero entry ⇔ never written (a real random IV is zero
+        // with probability 2^-128).
+        if meta.iter().all(|&b| b == 0) {
+            data.fill(0);
+            return Ok(SectorState::Unwritten);
+        }
+
+        let (entry, seq) = if self.config.snapshot_binding {
+            let (body, seq_bytes) = meta.split_at(meta.len() - 8);
+            let mut b = [0u8; 8];
+            b.copy_from_slice(seq_bytes);
+            (body, u64::from_le_bytes(b))
+        } else {
+            (meta, 0u64)
+        };
+        if self.config.snapshot_binding {
+            if let Some(limit) = read_seq_limit {
+                if seq > limit {
+                    return Err(CryptError::ReplayDetected { lba });
+                }
+            }
+        }
+
+        match &self.instance {
+            CipherInstance::Xts(xts) => {
+                let (iv, rest) = self.split_iv(entry);
+                if self.config.mac {
+                    self.verify_mac(lba, seq, iv.as_ref(), data, rest)?;
+                }
+                let tweak = self.tweak(lba, iv.as_ref(), seq);
+                xts.decrypt_sector(&tweak, data)?;
+            }
+            CipherInstance::Eme2(eme) => {
+                let (iv, rest) = self.split_iv(entry);
+                if self.config.mac {
+                    self.verify_mac(lba, seq, iv.as_ref(), data, rest)?;
+                }
+                let tweak = self.tweak(lba, iv.as_ref(), seq);
+                eme.decrypt_sector(&tweak, data)?;
+            }
+            CipherInstance::Cbc(cbc) => {
+                if self.config.mac {
+                    self.verify_mac(lba, seq, None, data, entry)?;
+                }
+                cbc.decrypt_sector(lba, data)?;
+            }
+            CipherInstance::Gcm(gcm) => {
+                let nonce = &entry[..12];
+                let tag = &entry[16..32];
+                let aad = self.gcm_aad(lba, seq);
+                gcm.decrypt(nonce, &aad, data, tag)
+                    .map_err(|_| CryptError::IntegrityViolation { lba })?;
+            }
+        }
+        Ok(SectorState::Written)
+    }
+
+    fn decrypt_baseline(&self, lba: u64, data: &mut [u8]) -> Result<()> {
+        match &self.instance {
+            CipherInstance::Xts(xts) => {
+                let tweak = self.tweak(lba, None, 0);
+                xts.decrypt_sector(&tweak, data)?;
+            }
+            CipherInstance::Eme2(eme) => {
+                let tweak = self.tweak(lba, None, 0);
+                eme.decrypt_sector(&tweak, data)?;
+            }
+            CipherInstance::Cbc(cbc) => {
+                cbc.decrypt_sector(lba, data)?;
+            }
+            CipherInstance::Gcm(_) => {
+                unreachable!("validation forbids GCM without metadata")
+            }
+        }
+        Ok(())
+    }
+
+    fn random_iv(&self, iv_source: &mut dyn IvSource) -> Option<[u8; 16]> {
+        if self.config.random_iv {
+            Some(iv_source.next_iv16())
+        } else {
+            None
+        }
+    }
+
+    fn split_iv<'a>(&self, entry: &'a [u8]) -> (Option<[u8; 16]>, &'a [u8]) {
+        if self.config.random_iv {
+            let mut iv = [0u8; 16];
+            iv.copy_from_slice(&entry[..16]);
+            (Some(iv), &entry[16..])
+        } else {
+            (None, entry)
+        }
+    }
+
+    fn mac(&self, lba: u64, seq: u64, iv: Option<&[u8; 16]>, ciphertext: &[u8]) -> [u8; 16] {
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(ciphertext);
+        mac.update(&lba.to_le_bytes());
+        if self.config.snapshot_binding {
+            mac.update(&seq.to_le_bytes());
+        }
+        if let Some(iv) = iv {
+            mac.update(iv);
+        }
+        let full = mac.finalize();
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&full[..16]);
+        out
+    }
+
+    fn verify_mac(
+        &self,
+        lba: u64,
+        seq: u64,
+        iv: Option<&[u8; 16]>,
+        ciphertext: &[u8],
+        stored: &[u8],
+    ) -> Result<()> {
+        let expected = self.mac(lba, seq, iv, ciphertext);
+        if !ct_eq(&expected, stored) {
+            return Err(CryptError::IntegrityViolation { lba });
+        }
+        Ok(())
+    }
+
+    fn gcm_aad(&self, lba: u64, seq: u64) -> Vec<u8> {
+        let mut aad = lba.to_le_bytes().to_vec();
+        if self.config.snapshot_binding {
+            aad.extend_from_slice(&seq.to_le_bytes());
+        }
+        aad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MetaLayout;
+    use vdisk_crypto::mem::SecretBytes;
+    use vdisk_crypto::rng::SeededIvSource;
+
+    fn codec(config: EncryptionConfig) -> SectorCodec {
+        let master = SecretBytes::from(vec![0x5A; 64]);
+        let keys = DerivedKeys::derive(&master, config.cipher);
+        SectorCodec::new(&config, &keys).unwrap()
+    }
+
+    fn sector(fill: u8) -> Vec<u8> {
+        vec![fill; 4096]
+    }
+
+    #[test]
+    fn baseline_round_trip_no_meta() {
+        let c = codec(EncryptionConfig::luks2_baseline());
+        let mut rng = SeededIvSource::new(1);
+        let mut data = sector(7);
+        let entry = c.encrypt(42, 0, &mut data, &mut rng).unwrap();
+        assert!(entry.is_empty());
+        assert_ne!(data, sector(7));
+        assert_eq!(c.decrypt(42, None, &mut data, &[]).unwrap(), SectorState::Written);
+        assert_eq!(data, sector(7));
+    }
+
+    #[test]
+    fn baseline_is_deterministic_random_iv_is_not() {
+        let base = codec(EncryptionConfig::luks2_baseline());
+        let mut rng = SeededIvSource::new(2);
+        let mut a = sector(9);
+        let mut b = sector(9);
+        base.encrypt(5, 0, &mut a, &mut rng).unwrap();
+        base.encrypt(5, 0, &mut b, &mut rng).unwrap();
+        assert_eq!(a, b, "LUKS2 baseline: same LBA+data ⇒ same ciphertext");
+
+        let rand = codec(EncryptionConfig::random_iv(MetaLayout::ObjectEnd));
+        let mut a = sector(9);
+        let mut b = sector(9);
+        rand.encrypt(5, 0, &mut a, &mut rng).unwrap();
+        rand.encrypt(5, 0, &mut b, &mut rng).unwrap();
+        assert_ne!(a, b, "random IV: overwrite leak is gone");
+    }
+
+    #[test]
+    fn random_iv_round_trip() {
+        let c = codec(EncryptionConfig::random_iv(MetaLayout::Omap));
+        let mut rng = SeededIvSource::new(3);
+        let mut data = sector(0xAB);
+        let entry = c.encrypt(100, 0, &mut data, &mut rng).unwrap();
+        assert_eq!(entry.len(), 16);
+        assert_eq!(
+            c.decrypt(100, None, &mut data, &entry).unwrap(),
+            SectorState::Written
+        );
+        assert_eq!(data, sector(0xAB));
+    }
+
+    #[test]
+    fn lba_binding_blocks_cross_lba_replay() {
+        let c = codec(EncryptionConfig::random_iv(MetaLayout::ObjectEnd));
+        let mut rng = SeededIvSource::new(4);
+        let mut data = sector(0x11);
+        let entry = c.encrypt(7, 0, &mut data, &mut rng).unwrap();
+        // Replay ciphertext+IV at another LBA: decrypts to garbage,
+        // not the original plaintext.
+        let mut replayed = data.clone();
+        c.decrypt(8, None, &mut replayed, &entry).unwrap();
+        assert_ne!(replayed, sector(0x11));
+        // Honest read still works.
+        c.decrypt(7, None, &mut data, &entry).unwrap();
+        assert_eq!(data, sector(0x11));
+    }
+
+    #[test]
+    fn all_zero_meta_means_unwritten() {
+        let c = codec(EncryptionConfig::random_iv(MetaLayout::ObjectEnd));
+        let mut data = sector(0xFF); // garbage from disk
+        let state = c.decrypt(0, None, &mut data, &[0u8; 16]).unwrap();
+        assert_eq!(state, SectorState::Unwritten);
+        assert_eq!(data, sector(0), "buffer zeroed for unwritten sector");
+    }
+
+    #[test]
+    fn mac_detects_tampering() {
+        let c = codec(EncryptionConfig::random_iv(MetaLayout::ObjectEnd).with_mac());
+        let mut rng = SeededIvSource::new(5);
+        let mut data = sector(0x22);
+        let entry = c.encrypt(3, 0, &mut data, &mut rng).unwrap();
+        assert_eq!(entry.len(), 32);
+        data[100] ^= 1;
+        assert!(matches!(
+            c.decrypt(3, None, &mut data, &entry),
+            Err(CryptError::IntegrityViolation { lba: 3 })
+        ));
+    }
+
+    #[test]
+    fn mac_detects_meta_tampering() {
+        let c = codec(EncryptionConfig::random_iv(MetaLayout::Omap).with_mac());
+        let mut rng = SeededIvSource::new(6);
+        let mut data = sector(0x33);
+        let mut entry = c.encrypt(3, 0, &mut data, &mut rng).unwrap();
+        entry[0] ^= 0x80; // corrupt the IV
+        assert!(c.decrypt(3, None, &mut data, &entry).is_err());
+    }
+
+    #[test]
+    fn gcm_round_trip_and_tamper() {
+        let cfg = EncryptionConfig::random_iv(MetaLayout::ObjectEnd).with_cipher(Cipher::Aes256Gcm);
+        let c = codec(cfg);
+        let mut rng = SeededIvSource::new(7);
+        let mut data = sector(0x44);
+        let entry = c.encrypt(9, 0, &mut data, &mut rng).unwrap();
+        assert_eq!(entry.len(), 32);
+        let mut ok = data.clone();
+        assert_eq!(
+            c.decrypt(9, None, &mut ok, &entry).unwrap(),
+            SectorState::Written
+        );
+        assert_eq!(ok, sector(0x44));
+        // Tamper: tag failure.
+        data[0] ^= 1;
+        assert!(matches!(
+            c.decrypt(9, None, &mut data, &entry),
+            Err(CryptError::IntegrityViolation { lba: 9 })
+        ));
+    }
+
+    #[test]
+    fn gcm_lba_binding_via_aad() {
+        let cfg = EncryptionConfig::random_iv(MetaLayout::Omap).with_cipher(Cipher::Aes256Gcm);
+        let c = codec(cfg);
+        let mut rng = SeededIvSource::new(8);
+        let mut data = sector(0x55);
+        let entry = c.encrypt(1, 0, &mut data, &mut rng).unwrap();
+        assert!(c.decrypt(2, None, &mut data, &entry).is_err(), "wrong LBA");
+    }
+
+    #[test]
+    fn snapshot_binding_rejects_future_writes() {
+        let cfg = EncryptionConfig::random_iv(MetaLayout::ObjectEnd).with_snapshot_binding();
+        let c = codec(cfg);
+        let mut rng = SeededIvSource::new(9);
+        let mut data = sector(0x66);
+        // Written at snapshot epoch 5.
+        let entry = c.encrypt(4, 5, &mut data, &mut rng).unwrap();
+        assert_eq!(entry.len(), 24);
+        // Reading snapshot 3 must reject data written at epoch 5.
+        assert!(matches!(
+            c.decrypt(4, Some(3), &mut data.clone(), &entry),
+            Err(CryptError::ReplayDetected { lba: 4 })
+        ));
+        // Reading snapshot 5 or the head accepts it.
+        let mut ok = data.clone();
+        c.decrypt(4, Some(5), &mut ok, &entry).unwrap();
+        assert_eq!(ok, sector(0x66));
+        let mut ok = data;
+        c.decrypt(4, None, &mut ok, &entry).unwrap();
+        assert_eq!(ok, sector(0x66));
+    }
+
+    #[test]
+    fn eme2_wide_block_round_trip() {
+        let cfg = EncryptionConfig::random_iv(MetaLayout::ObjectEnd).with_cipher(Cipher::Eme2Aes256);
+        let c = codec(cfg);
+        let mut rng = SeededIvSource::new(10);
+        let mut data = sector(0x77);
+        let entry = c.encrypt(11, 0, &mut data, &mut rng).unwrap();
+        c.decrypt(11, None, &mut data, &entry).unwrap();
+        assert_eq!(data, sector(0x77));
+    }
+
+    #[test]
+    fn cbc_legacy_round_trip() {
+        let cfg = EncryptionConfig::luks2_baseline().with_cipher(Cipher::CbcEssiv256);
+        let c = codec(cfg);
+        let mut rng = SeededIvSource::new(11);
+        let mut data = sector(0x88);
+        c.encrypt(2, 0, &mut data, &mut rng).unwrap();
+        c.decrypt(2, None, &mut data, &[]).unwrap();
+        assert_eq!(data, sector(0x88));
+    }
+
+    #[test]
+    fn wrong_meta_length_rejected() {
+        let c = codec(EncryptionConfig::random_iv(MetaLayout::ObjectEnd));
+        let mut data = sector(1);
+        assert!(matches!(
+            c.decrypt(0, None, &mut data, &[0u8; 15]),
+            Err(CryptError::HeaderCorrupt(_))
+        ));
+    }
+}

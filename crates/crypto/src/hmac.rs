@@ -1,0 +1,181 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used by the integrity extension of the encryption layer (per-sector
+//! MAC trailers, §2.2 of the paper) and by the key-derivation functions
+//! in [`crate::kdf`].
+
+use crate::mem::ct_eq;
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Incremental HMAC-SHA256.
+///
+/// # Example
+///
+/// ```
+/// use vdisk_crypto::hmac::HmacSha256;
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"message");
+/// let tag = mac.finalize();
+/// assert!(vdisk_crypto::hmac::verify(b"key", b"message", &tag));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance keyed with `key` (any length).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = crate::sha256::sha256(key);
+            key_block[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            outer_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the 32-byte tag.
+    #[must_use]
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA256.
+#[must_use]
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Verifies a full-length tag in constant time.
+#[must_use]
+pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    let expected = hmac_sha256(key, message);
+    ct_eq(&expected, tag)
+}
+
+/// Verifies a truncated tag (e.g. a 16-byte per-sector MAC) in
+/// constant time. `tag` must be between 8 and 32 bytes; shorter
+/// truncations are rejected outright as unsafe.
+#[must_use]
+pub fn verify_truncated(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    if tag.len() < 8 || tag.len() > DIGEST_LEN {
+        return false;
+    }
+    let expected = hmac_sha256(key, message);
+    ct_eq(&expected[..tag.len()], tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{from_hex, to_hex};
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            to_hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            to_hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(verify(b"k", b"m", &tag));
+        let mut bad = tag;
+        bad[31] ^= 1;
+        assert!(!verify(b"k", b"m", &bad));
+        assert!(!verify(b"k2", b"m", &tag));
+        assert!(!verify(b"k", b"m2", &tag));
+    }
+
+    #[test]
+    fn truncated_verification() {
+        let tag = hmac_sha256(b"key", b"sector-contents");
+        assert!(verify_truncated(b"key", b"sector-contents", &tag[..16]));
+        assert!(verify_truncated(b"key", b"sector-contents", &tag[..8]));
+        // Tag too short to be safe:
+        assert!(!verify_truncated(b"key", b"sector-contents", &tag[..4]));
+        // Wrong bytes:
+        let mut bad = tag;
+        bad[0] ^= 0x80;
+        assert!(!verify_truncated(b"key", b"sector-contents", &bad[..16]));
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut mac = HmacSha256::new(b"split-key");
+        mac.update(b"part one|");
+        mac.update(b"part two");
+        assert_eq!(mac.finalize(), hmac_sha256(b"split-key", b"part one|part two"));
+    }
+
+    #[test]
+    fn from_hex_helper_sanity() {
+        // Keep `from_hex` in the dev loop of this module too.
+        assert_eq!(from_hex("b034").unwrap(), vec![0xb0, 0x34]);
+    }
+}

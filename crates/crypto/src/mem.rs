@@ -1,0 +1,224 @@
+//! Memory hygiene utilities: constant-time comparison, zeroizing key
+//! containers, and hex encoding for headers and test vectors.
+
+use std::fmt;
+use std::ops::Deref;
+
+/// Compares two byte slices in constant time (with respect to content).
+///
+/// Returns `false` immediately when lengths differ — length is treated
+/// as public information (it always is for MAC tags and keys of a fixed
+/// scheme).
+///
+/// # Example
+///
+/// ```
+/// use vdisk_crypto::mem::ct_eq;
+/// assert!(ct_eq(b"tag-bytes", b"tag-bytes"));
+/// assert!(!ct_eq(b"tag-bytes", b"tag-bytez"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    // Map 0 -> true without a data-dependent branch on the bytes.
+    acc == 0
+}
+
+/// An owned byte buffer that overwrites its contents with zeros on drop.
+///
+/// Used for master keys, derived subkeys and passphrases so that freed
+/// heap memory does not retain key material. The zeroization is
+/// best-effort (no `unsafe`, so the compiler could in principle elide
+/// it; `std::hint::black_box` is used to discourage that).
+///
+/// # Example
+///
+/// ```
+/// use vdisk_crypto::mem::SecretBytes;
+/// let key = SecretBytes::from(vec![1u8, 2, 3]);
+/// assert_eq!(&*key, &[1, 2, 3]);
+/// // Debug never prints the contents:
+/// assert_eq!(format!("{:?}", key), "SecretBytes(3 bytes)");
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretBytes(Vec<u8>);
+
+impl SecretBytes {
+    /// Wraps an existing buffer.
+    #[must_use]
+    pub fn new(bytes: Vec<u8>) -> Self {
+        SecretBytes(bytes)
+    }
+
+    /// Creates a zero-filled secret of the given length.
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        SecretBytes(vec![0; len])
+    }
+
+    /// Exposes the secret bytes.
+    #[must_use]
+    pub fn expose(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Exposes the secret bytes mutably (e.g. to fill from an RNG).
+    pub fn expose_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the secret is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for SecretBytes {
+    fn from(v: Vec<u8>) -> Self {
+        SecretBytes(v)
+    }
+}
+
+impl From<&[u8]> for SecretBytes {
+    fn from(v: &[u8]) -> Self {
+        SecretBytes(v.to_vec())
+    }
+}
+
+impl Deref for SecretBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Drop for SecretBytes {
+    fn drop(&mut self) {
+        for b in self.0.iter_mut() {
+            *b = 0;
+        }
+        // Discourage the optimizer from removing the wipe above.
+        std::hint::black_box(&self.0);
+    }
+}
+
+impl fmt::Debug for SecretBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SecretBytes({} bytes)", self.0.len())
+    }
+}
+
+/// Encodes bytes as lowercase hex.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(vdisk_crypto::mem::to_hex(&[0xde, 0xad]), "dead");
+/// ```
+#[must_use]
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes a hex string (case-insensitive, no separators).
+///
+/// Returns `None` on odd length or non-hex characters.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(vdisk_crypto::mem::from_hex("DEad"), Some(vec![0xde, 0xad]));
+/// assert_eq!(vdisk_crypto::mem::from_hex("xyz"), None);
+/// ```
+#[must_use]
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    let s = s.trim();
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// XORs `src` into `dst` in place. Panics if lengths differ.
+pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_in_place length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_basics() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"\x00", b"\x01"));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        let hex = to_hex(&data);
+        assert_eq!(from_hex(&hex).unwrap(), data);
+        assert_eq!(from_hex(&hex.to_uppercase()).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert_eq!(from_hex("abc"), None);
+        assert_eq!(from_hex("zz"), None);
+    }
+
+    #[test]
+    fn secret_bytes_never_prints_contents() {
+        let s = SecretBytes::from(vec![0xff; 32]);
+        let dbg = format!("{s:?}");
+        assert!(!dbg.contains("ff"));
+        assert!(dbg.contains("32 bytes"));
+    }
+
+    #[test]
+    fn secret_bytes_accessors() {
+        let mut s = SecretBytes::zeroed(4);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        s.expose_mut()[0] = 9;
+        assert_eq!(s.expose(), &[9, 0, 0, 0]);
+    }
+
+    #[test]
+    fn xor_works() {
+        let mut a = [0b1010u8, 0xff];
+        xor_in_place(&mut a, &[0b0110, 0x0f]);
+        assert_eq!(a, [0b1100, 0xf0]);
+    }
+}

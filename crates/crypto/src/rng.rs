@@ -1,0 +1,146 @@
+//! IV sources.
+//!
+//! The core of the paper is "use a fresh **random** IV per sector
+//! write". The source of that randomness is abstracted so that
+//! production code uses the OS CSPRNG while tests and the reproducible
+//! benchmark harness use a seeded generator.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// A source of initialization vectors.
+///
+/// Implementations must produce bytes that are unpredictable (for
+/// production sources) or at minimum non-repeating with overwhelming
+/// probability across the lifetime of a disk.
+pub trait IvSource: Send {
+    /// Fills `buf` with fresh IV bytes.
+    fn fill(&mut self, buf: &mut [u8]);
+
+    /// Convenience: returns a fresh 16-byte IV.
+    fn next_iv16(&mut self) -> [u8; 16] {
+        let mut iv = [0u8; 16];
+        self.fill(&mut iv);
+        iv
+    }
+
+    /// Convenience: returns a fresh 12-byte GCM nonce.
+    fn next_nonce12(&mut self) -> [u8; 12] {
+        let mut nonce = [0u8; 12];
+        self.fill(&mut nonce);
+        nonce
+    }
+}
+
+/// IVs from the operating system CSPRNG.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OsIvSource;
+
+impl IvSource for OsIvSource {
+    fn fill(&mut self, buf: &mut [u8]) {
+        rand::rngs::OsRng.fill_bytes(buf);
+    }
+}
+
+/// Deterministic IVs from a seeded PRNG — for tests and reproducible
+/// benchmark runs only. Statistically random, never secure.
+#[derive(Debug, Clone)]
+pub struct SeededIvSource {
+    rng: StdRng,
+}
+
+impl SeededIvSource {
+    /// Creates a source from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SeededIvSource {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl IvSource for SeededIvSource {
+    fn fill(&mut self, buf: &mut [u8]) {
+        self.rng.fill_bytes(buf);
+    }
+}
+
+/// An IV source that counts how many IVs were drawn — used by tests to
+/// assert that exactly one fresh IV is consumed per sector write.
+#[derive(Debug)]
+pub struct CountingIvSource<S> {
+    inner: S,
+    count: u64,
+}
+
+impl<S: IvSource> CountingIvSource<S> {
+    /// Wraps another source.
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        CountingIvSource { inner, count: 0 }
+    }
+
+    /// Number of `fill` calls so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl<S: IvSource> IvSource for CountingIvSource<S> {
+    fn fill(&mut self, buf: &mut [u8]) {
+        self.count += 1;
+        self.inner.fill(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seeded_source_is_reproducible() {
+        let mut a = SeededIvSource::new(42);
+        let mut b = SeededIvSource::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_iv16(), b.next_iv16());
+        }
+        let mut c = SeededIvSource::new(43);
+        assert_ne!(SeededIvSource::new(42).next_iv16(), c.next_iv16());
+    }
+
+    #[test]
+    fn ivs_do_not_visibly_repeat() {
+        let mut src = SeededIvSource::new(7);
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(src.next_iv16()), "128-bit IV repeated");
+        }
+    }
+
+    #[test]
+    fn os_source_produces_nonzero_output() {
+        let mut src = OsIvSource;
+        let a = src.next_iv16();
+        let b = src.next_iv16();
+        assert_ne!(a, b);
+        assert_ne!(a, [0u8; 16]);
+    }
+
+    #[test]
+    fn counting_wrapper_counts() {
+        let mut src = CountingIvSource::new(SeededIvSource::new(1));
+        let _ = src.next_iv16();
+        let _ = src.next_nonce12();
+        assert_eq!(src.count(), 2);
+    }
+
+    #[test]
+    fn nonce12_is_12_bytes_of_entropy() {
+        let mut src = SeededIvSource::new(9);
+        let n = src.next_nonce12();
+        assert_eq!(n.len(), 12);
+        assert_ne!(n, [0u8; 12]);
+    }
+}

@@ -1,0 +1,139 @@
+//! The in-memory write buffer of the LSM: an ordered map with
+//! tombstones and byte-size accounting.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// An ordered in-memory buffer of recent writes.
+///
+/// `None` values are tombstones: they shadow older versions in the
+/// sorted runs until compaction drops them.
+#[derive(Debug, Default, Clone)]
+pub struct Memtable {
+    entries: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key/value pair; returns the bytes this insert added.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> usize {
+        let added = key.len() + value.len();
+        self.remove_accounting(&key);
+        self.approx_bytes += added;
+        self.entries.insert(key, Some(value));
+        added
+    }
+
+    /// Inserts a tombstone for `key`.
+    pub fn delete(&mut self, key: Vec<u8>) {
+        self.remove_accounting(&key);
+        self.approx_bytes += key.len();
+        self.entries.insert(key, None);
+    }
+
+    fn remove_accounting(&mut self, key: &[u8]) {
+        if let Some(old) = self.entries.get(key) {
+            let old_bytes = key.len() + old.as_ref().map_or(0, Vec::len);
+            self.approx_bytes = self.approx_bytes.saturating_sub(old_bytes);
+        }
+    }
+
+    /// Looks up a key. `Some(None)` means "deleted here" (tombstone);
+    /// outer `None` means "not present in this memtable".
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.entries.get(key).map(|v| v.as_deref())
+    }
+
+    /// Iterates entries with keys in `[start, end)`, tombstones
+    /// included.
+    pub fn range<'a>(
+        &'a self,
+        start: &[u8],
+        end: &[u8],
+    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> {
+        self.entries
+            .range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Number of entries (tombstones included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate buffered bytes (keys + values).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Drains the memtable into a sorted entry list for a flush.
+    #[must_use]
+    pub fn drain_sorted(&mut self) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        self.approx_bytes = 0;
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut m = Memtable::new();
+        m.put(b"a".to_vec(), b"1".to_vec());
+        assert_eq!(m.get(b"a"), Some(Some(&b"1"[..])));
+        m.delete(b"a".to_vec());
+        assert_eq!(m.get(b"a"), Some(None), "tombstone visible");
+        assert_eq!(m.get(b"b"), None, "absent key is None");
+    }
+
+    #[test]
+    fn byte_accounting_replaces_old_versions() {
+        let mut m = Memtable::new();
+        m.put(b"key".to_vec(), vec![0; 100]);
+        assert_eq!(m.approx_bytes(), 103);
+        m.put(b"key".to_vec(), vec![0; 10]);
+        assert_eq!(m.approx_bytes(), 13, "old version bytes released");
+        m.delete(b"key".to_vec());
+        assert_eq!(m.approx_bytes(), 3, "tombstone costs only the key");
+    }
+
+    #[test]
+    fn range_is_sorted_and_half_open() {
+        let mut m = Memtable::new();
+        for k in [b"d", b"a", b"c", b"b"] {
+            m.put(k.to_vec(), k.to_vec());
+        }
+        let keys: Vec<&[u8]> = m.range(b"a", b"c").map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![&b"a"[..], &b"b"[..]]);
+    }
+
+    #[test]
+    fn drain_sorts_and_clears() {
+        let mut m = Memtable::new();
+        m.put(b"z".to_vec(), b"9".to_vec());
+        m.put(b"a".to_vec(), b"1".to_vec());
+        m.delete(b"m".to_vec());
+        let drained = m.drain_sorted();
+        assert_eq!(drained.len(), 3);
+        assert!(drained.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Immutable sorted runs (the on-"disk" levels of the LSM) and the
+//! k-way merge used by compaction.
+
+/// An immutable, sorted list of entries produced by a memtable flush or
+/// a compaction. `None` values are tombstones.
+#[derive(Debug, Clone, Default)]
+pub struct SortedRun {
+    entries: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    bytes: usize,
+}
+
+impl SortedRun {
+    /// Builds a run from pre-sorted entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if entries are not strictly sorted.
+    #[must_use]
+    pub fn from_sorted(entries: Vec<(Vec<u8>, Option<Vec<u8>>)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "sorted run entries must be strictly increasing"
+        );
+        let bytes = entries
+            .iter()
+            .map(|(k, v)| k.len() + v.as_ref().map_or(0, Vec::len))
+            .sum();
+        SortedRun { entries, bytes }
+    }
+
+    /// Point lookup. Outer `None` = key not in this run;
+    /// `Some(None)` = tombstone.
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|idx| self.entries[idx].1.as_deref())
+    }
+
+    /// Entries with keys in `[start, end)`, tombstones included.
+    pub fn range<'a>(
+        &'a self,
+        start: &[u8],
+        end: &[u8],
+    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> {
+        let lo = self
+            .entries
+            .partition_point(|(k, _)| k.as_slice() < start);
+        let end = end.to_vec();
+        self.entries[lo..]
+            .iter()
+            .take_while(move |(k, _)| k.as_slice() < end.as_slice())
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Number of entries, tombstones included.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the run holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total key+value bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Merges runs (newest first) into a single run.
+    ///
+    /// For each key, the newest version wins. When `drop_tombstones`
+    /// is true (a full/bottom-level compaction), deleted keys vanish
+    /// entirely; otherwise tombstones are preserved so they keep
+    /// shadowing older data elsewhere.
+    #[must_use]
+    pub fn merge(runs: &[&SortedRun], drop_tombstones: bool) -> SortedRun {
+        // Simple approach: k-way by collecting cursors; runs are small
+        // in this workload (IV blobs), clarity beats heap-based merge.
+        let mut cursors: Vec<std::slice::Iter<'_, (Vec<u8>, Option<Vec<u8>>)>> =
+            runs.iter().map(|r| r.entries.iter()).collect();
+        let mut heads: Vec<Option<&(Vec<u8>, Option<Vec<u8>>)>> =
+            cursors.iter_mut().map(Iterator::next).collect();
+        let mut out: Vec<(Vec<u8>, Option<Vec<u8>>)> = Vec::new();
+
+        loop {
+            // Find the smallest key among heads; newest run (lowest
+            // index) wins ties.
+            let mut best: Option<(usize, &[u8])> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some((k, _)) = head {
+                    match best {
+                        None => best = Some((i, k)),
+                        Some((_, bk)) if k.as_slice() < bk => best = Some((i, k)),
+                        _ => {}
+                    }
+                }
+            }
+            let Some((winner, key)) = best else { break };
+            let key = key.to_vec();
+            // Take the winner's value; advance every cursor whose head
+            // has the same (older, shadowed) key.
+            let value = heads[winner].expect("winner has a head").1.clone();
+            for (i, head) in heads.iter_mut().enumerate() {
+                if let Some((k, _)) = head {
+                    if k.as_slice() == key.as_slice() {
+                        *head = cursors[i].next();
+                    }
+                }
+            }
+            if value.is_some() || !drop_tombstones {
+                out.push((key, value));
+            }
+        }
+        SortedRun::from_sorted(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(pairs: &[(&[u8], Option<&[u8]>)]) -> SortedRun {
+        SortedRun::from_sorted(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_vec(), v.map(<[u8]>::to_vec)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn point_lookup() {
+        let r = run(&[(b"a", Some(b"1")), (b"c", None), (b"e", Some(b"5"))]);
+        assert_eq!(r.get(b"a"), Some(Some(&b"1"[..])));
+        assert_eq!(r.get(b"c"), Some(None));
+        assert_eq!(r.get(b"b"), None);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn range_half_open() {
+        let r = run(&[(b"a", Some(b"1")), (b"b", Some(b"2")), (b"c", Some(b"3"))]);
+        let keys: Vec<&[u8]> = r.range(b"a", b"c").map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![&b"a"[..], &b"b"[..]]);
+        assert_eq!(r.range(b"x", b"z").count(), 0);
+    }
+
+    #[test]
+    fn merge_newest_wins() {
+        let newest = run(&[(b"a", Some(b"new")), (b"b", None)]);
+        let oldest = run(&[(b"a", Some(b"old")), (b"b", Some(b"old")), (b"c", Some(b"3"))]);
+        let merged = SortedRun::merge(&[&newest, &oldest], false);
+        assert_eq!(merged.get(b"a"), Some(Some(&b"new"[..])));
+        assert_eq!(merged.get(b"b"), Some(None), "tombstone kept");
+        assert_eq!(merged.get(b"c"), Some(Some(&b"3"[..])));
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn merge_drops_tombstones_at_bottom() {
+        let newest = run(&[(b"b", None)]);
+        let oldest = run(&[(b"a", Some(b"1")), (b"b", Some(b"2"))]);
+        let merged = SortedRun::merge(&[&newest, &oldest], true);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.get(b"a"), Some(Some(&b"1"[..])));
+        assert_eq!(merged.get(b"b"), None, "tombstone and value both gone");
+    }
+
+    #[test]
+    fn merge_of_disjoint_runs_concatenates() {
+        let a = run(&[(b"a", Some(b"1"))]);
+        let b = run(&[(b"z", Some(b"26"))]);
+        let merged = SortedRun::merge(&[&a, &b], false);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let r = run(&[(b"ab", Some(b"cde"))]);
+        assert_eq!(r.bytes(), 5);
+    }
+}

@@ -1,0 +1,398 @@
+//! The LSM store: memtable + WAL + sorted runs + compaction, with
+//! work receipts for the cost model.
+
+use crate::memtable::Memtable;
+use crate::sst::SortedRun;
+use crate::wal::{WalBatch, WriteAheadLog};
+
+/// Tuning knobs for the LSM.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Flush the memtable to a sorted run once it buffers this many
+    /// bytes. RocksDB's default write buffer is 64 MB; OMAP workloads
+    /// are small, so the default here is scaled down.
+    pub memtable_flush_bytes: usize,
+    /// Compact all runs into one once more than this many runs exist.
+    pub max_runs: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_flush_bytes: 4 << 20,
+            max_runs: 6,
+        }
+    }
+}
+
+/// Physical work caused by a write operation — the input to the
+/// cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteReceipt {
+    /// Keys inserted/deleted by this op.
+    pub keys_written: u64,
+    /// Bytes appended to the WAL (including batch framing).
+    pub wal_bytes: u64,
+    /// Bytes written out by a memtable flush this op triggered (0 if
+    /// none).
+    pub flush_bytes: u64,
+    /// Bytes rewritten by a compaction this op triggered (0 if none).
+    pub compaction_bytes: u64,
+}
+
+/// Physical work caused by a read operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadReceipt {
+    /// Keys examined across memtable and runs (incl. shadowed
+    /// versions).
+    pub keys_examined: u64,
+    /// Sorted runs probed.
+    pub runs_probed: u64,
+    /// Value bytes returned.
+    pub bytes_returned: u64,
+}
+
+/// Aggregate state statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsmStats {
+    /// Bytes buffered in the memtable.
+    pub memtable_bytes: usize,
+    /// Number of sorted runs.
+    pub runs: usize,
+    /// Entries across all runs (tombstones included).
+    pub run_entries: usize,
+    /// Current WAL size in bytes.
+    pub wal_bytes: u64,
+    /// Lifetime flush count.
+    pub flushes: u64,
+    /// Lifetime compaction count.
+    pub compactions: u64,
+}
+
+/// The LSM key-value store. See the [crate docs](crate) for the role it
+/// plays in the reproduction.
+#[derive(Debug, Default, Clone)]
+pub struct LsmStore {
+    config: LsmConfig,
+    memtable: Memtable,
+    wal: WriteAheadLog,
+    /// Newest first.
+    runs: Vec<SortedRun>,
+    flushes: u64,
+    compactions: u64,
+}
+
+impl LsmStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new(config: LsmConfig) -> Self {
+        LsmStore {
+            config,
+            memtable: Memtable::new(),
+            wal: WriteAheadLog::new(),
+            runs: Vec::new(),
+            flushes: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Rebuilds a store from durable state: the sorted runs plus a WAL
+    /// to replay (volatile memtable contents are reconstructed batch by
+    /// batch). Used by crash-recovery tests.
+    #[must_use]
+    pub fn recover(config: LsmConfig, runs: Vec<SortedRun>, wal: &WriteAheadLog) -> Self {
+        let mut store = LsmStore {
+            config,
+            memtable: Memtable::new(),
+            // The replayed batches are still volatile (only the runs
+            // are durable), so the recovered store must carry the WAL
+            // forward until the next flush truncates it — otherwise a
+            // second crash would lose them.
+            wal: wal.clone(),
+            runs,
+            flushes: 0,
+            compactions: 0,
+        };
+        for batch in wal.replay() {
+            store.apply_batch_internal(batch.clone());
+        }
+        store
+    }
+
+    /// Inserts one key/value pair.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> WriteReceipt {
+        self.write_batch(vec![(key, Some(value))])
+    }
+
+    /// Deletes one key (writes a tombstone).
+    pub fn delete(&mut self, key: Vec<u8>) -> WriteReceipt {
+        self.write_batch(vec![(key, None)])
+    }
+
+    /// Applies a batch of writes atomically (RocksDB `WriteBatch`
+    /// semantics): the batch hits the WAL as one record and is applied
+    /// to the memtable as a unit.
+    pub fn write_batch(&mut self, entries: Vec<(Vec<u8>, Option<Vec<u8>>)>) -> WriteReceipt {
+        let batch = WalBatch { entries };
+        let keys = batch.entries.len() as u64;
+        let wal_bytes = self.wal.append(batch.clone());
+        self.apply_batch_internal(batch);
+
+        let mut receipt = WriteReceipt {
+            keys_written: keys,
+            wal_bytes,
+            ..WriteReceipt::default()
+        };
+        if self.memtable.approx_bytes() >= self.config.memtable_flush_bytes {
+            receipt.flush_bytes = self.flush();
+            if self.runs.len() > self.config.max_runs {
+                receipt.compaction_bytes = self.compact();
+            }
+        }
+        receipt
+    }
+
+    fn apply_batch_internal(&mut self, batch: WalBatch) {
+        for (key, value) in batch.entries {
+            match value {
+                Some(v) => {
+                    self.memtable.put(key, v);
+                }
+                None => self.memtable.delete(key),
+            }
+        }
+    }
+
+    /// Forces a memtable flush; returns the bytes written to the new
+    /// run.
+    pub fn flush(&mut self) -> u64 {
+        if self.memtable.is_empty() {
+            return 0;
+        }
+        let run = SortedRun::from_sorted(self.memtable.drain_sorted());
+        let bytes = run.bytes() as u64;
+        self.runs.insert(0, run);
+        self.wal.truncate();
+        self.flushes += 1;
+        bytes
+    }
+
+    /// Forces a full compaction; returns the bytes rewritten.
+    pub fn compact(&mut self) -> u64 {
+        if self.runs.len() <= 1 {
+            return 0;
+        }
+        let refs: Vec<&SortedRun> = self.runs.iter().collect();
+        let read_bytes: u64 = refs.iter().map(|r| r.bytes() as u64).sum();
+        let merged = SortedRun::merge(&refs, true);
+        let written = merged.bytes() as u64;
+        self.runs = if merged.is_empty() { Vec::new() } else { vec![merged] };
+        self.compactions += 1;
+        read_bytes + written
+    }
+
+    /// Point lookup.
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> (Option<Vec<u8>>, ReadReceipt) {
+        let mut receipt = ReadReceipt::default();
+        receipt.keys_examined += 1;
+        if let Some(hit) = self.memtable.get(key) {
+            let value = hit.map(<[u8]>::to_vec);
+            receipt.bytes_returned = value.as_ref().map_or(0, Vec::len) as u64;
+            return (value, receipt);
+        }
+        for run in &self.runs {
+            receipt.runs_probed += 1;
+            receipt.keys_examined += 1;
+            if let Some(hit) = run.get(key) {
+                let value = hit.map(<[u8]>::to_vec);
+                receipt.bytes_returned = value.as_ref().map_or(0, Vec::len) as u64;
+                return (value, receipt);
+            }
+        }
+        (None, receipt)
+    }
+
+    /// Returns all live entries with keys in `[start, end)`, newest
+    /// version winning, tombstones suppressed.
+    #[must_use]
+    pub fn range(&self, start: &[u8], end: &[u8]) -> (Vec<(Vec<u8>, Vec<u8>)>, ReadReceipt) {
+        use std::collections::BTreeMap;
+        let mut receipt = ReadReceipt::default();
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        // Oldest runs first, memtable last, so newer versions overwrite.
+        for run in self.runs.iter().rev() {
+            receipt.runs_probed += 1;
+            for (k, v) in run.range(start, end) {
+                receipt.keys_examined += 1;
+                merged.insert(k.to_vec(), v.map(<[u8]>::to_vec));
+            }
+        }
+        for (k, v) in self.memtable.range(start, end) {
+            receipt.keys_examined += 1;
+            merged.insert(k.to_vec(), v.map(<[u8]>::to_vec));
+        }
+        let out: Vec<(Vec<u8>, Vec<u8>)> = merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect();
+        receipt.bytes_returned = out.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+        (out, receipt)
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> LsmStats {
+        LsmStats {
+            memtable_bytes: self.memtable.approx_bytes(),
+            runs: self.runs.len(),
+            run_entries: self.runs.iter().map(SortedRun::len).sum(),
+            wal_bytes: self.wal.bytes(),
+            flushes: self.flushes,
+            compactions: self.compactions,
+        }
+    }
+
+    /// Clones the durable state (runs + WAL) — what would survive a
+    /// crash. Used by fault-injection tests.
+    #[must_use]
+    pub fn durable_snapshot(&self) -> (Vec<SortedRun>, WriteAheadLog) {
+        (self.runs.clone(), self.wal.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> LsmConfig {
+        LsmConfig {
+            memtable_flush_bytes: 256,
+            max_runs: 2,
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = LsmStore::new(LsmConfig::default());
+        s.put(b"k".to_vec(), b"v".to_vec());
+        assert_eq!(s.get(b"k").0.as_deref(), Some(&b"v"[..]));
+        assert_eq!(s.get(b"missing").0, None);
+    }
+
+    #[test]
+    fn delete_shadows_older_runs() {
+        let mut s = LsmStore::new(small_config());
+        s.put(b"k".to_vec(), b"v".to_vec());
+        s.flush();
+        s.delete(b"k".to_vec());
+        assert_eq!(s.get(b"k").0, None);
+        s.flush();
+        assert_eq!(s.get(b"k").0, None, "tombstone in run still shadows");
+    }
+
+    #[test]
+    fn flush_triggered_by_size() {
+        let mut s = LsmStore::new(small_config());
+        let mut flushed = false;
+        for i in 0..100u32 {
+            let r = s.put(i.to_be_bytes().to_vec(), vec![0xAA; 32]);
+            if r.flush_bytes > 0 {
+                flushed = true;
+            }
+        }
+        assert!(flushed, "writes beyond the buffer size must flush");
+        assert!(s.stats().flushes > 0);
+        // All keys still readable after flushes.
+        for i in 0..100u32 {
+            assert!(s.get(&i.to_be_bytes()).0.is_some(), "key {i} lost");
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_run_count() {
+        let mut s = LsmStore::new(small_config());
+        for i in 0..2000u32 {
+            s.put(i.to_be_bytes().to_vec(), vec![1; 16]);
+        }
+        assert!(
+            s.stats().runs <= small_config().max_runs + 1,
+            "runs = {}",
+            s.stats().runs
+        );
+        assert!(s.stats().compactions > 0);
+        for i in (0..2000u32).step_by(97) {
+            assert!(s.get(&i.to_be_bytes()).0.is_some(), "key {i} lost");
+        }
+    }
+
+    #[test]
+    fn range_merges_all_layers_newest_wins() {
+        let mut s = LsmStore::new(small_config());
+        s.put(b"a".to_vec(), b"old".to_vec());
+        s.put(b"b".to_vec(), b"1".to_vec());
+        s.flush();
+        s.put(b"a".to_vec(), b"new".to_vec());
+        s.put(b"c".to_vec(), b"2".to_vec());
+        s.delete(b"b".to_vec());
+        let (entries, receipt) = s.range(b"a", b"z");
+        assert_eq!(
+            entries,
+            vec![
+                (b"a".to_vec(), b"new".to_vec()),
+                (b"c".to_vec(), b"2".to_vec()),
+            ]
+        );
+        assert!(receipt.keys_examined >= 4);
+        assert!(receipt.bytes_returned > 0);
+    }
+
+    #[test]
+    fn write_batch_is_atomic_in_wal() {
+        let mut s = LsmStore::new(LsmConfig::default());
+        let receipt = s.write_batch(vec![
+            (b"x".to_vec(), Some(b"1".to_vec())),
+            (b"y".to_vec(), Some(b"2".to_vec())),
+        ]);
+        assert_eq!(receipt.keys_written, 2);
+        assert!(receipt.wal_bytes > 0);
+        let (_, wal) = s.durable_snapshot();
+        assert_eq!(wal.len(), 1, "one batch, one WAL record");
+    }
+
+    #[test]
+    fn recovery_replays_wal_over_runs() {
+        let mut s = LsmStore::new(small_config());
+        for i in 0..50u32 {
+            s.put(i.to_be_bytes().to_vec(), i.to_le_bytes().to_vec());
+        }
+        s.put(b"volatile".to_vec(), b"yes".to_vec());
+        s.delete(49u32.to_be_bytes().to_vec());
+
+        let (runs, wal) = s.durable_snapshot();
+        let recovered = LsmStore::recover(small_config(), runs, &wal);
+
+        for i in 0..49u32 {
+            assert_eq!(
+                recovered.get(&i.to_be_bytes()).0,
+                s.get(&i.to_be_bytes()).0,
+                "key {i} diverged after recovery"
+            );
+        }
+        assert_eq!(recovered.get(b"volatile").0.as_deref(), Some(&b"yes"[..]));
+        assert_eq!(recovered.get(&49u32.to_be_bytes()).0, None);
+    }
+
+    #[test]
+    fn receipts_count_work() {
+        let mut s = LsmStore::new(LsmConfig::default());
+        let w = s.put(b"key1".to_vec(), vec![0; 16]);
+        assert_eq!(w.keys_written, 1);
+        assert_eq!(w.wal_bytes, 16 + 8 + 4 + 16);
+        s.flush();
+        let (_, r) = s.get(b"key1");
+        assert_eq!(r.runs_probed, 1);
+        let (_, r) = s.get(b"absent");
+        assert_eq!(r.runs_probed, 1, "miss probes every run");
+    }
+}

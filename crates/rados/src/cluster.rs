@@ -1,0 +1,789 @@
+//! The cluster: OSD maps, replicated transaction execution, reads,
+//! snapshots, scrub/repair, and the closed-loop benchmark entry point.
+
+use crate::cost::{self, OsdWork, ResourceHandles, TestbedProfile};
+use crate::object::{Object, ObjectStat, PHYS_BLOCK};
+use crate::placement::PlacementMap;
+use crate::transaction::{ReadOp, ReadResult, SnapContext, Transaction, TxOp};
+use crate::{RadosError, Result, SnapId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vdisk_kv::CostProfile;
+use vdisk_sim::{ClosedLoopStats, Plan, SimDuration, Simulator};
+
+/// Whether object payload bytes are materialized in memory.
+///
+/// `Discarded` keeps only sizes and OMAP content — identical cost
+/// plans at a fraction of the memory — and exists for the benchmark
+/// harness, which sweeps up to 4 MB IOs and never re-reads plaintext.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PayloadMode {
+    /// Store every byte (functional tests, examples).
+    #[default]
+    Stored,
+    /// Track sizes only; reads return zeros.
+    Discarded,
+}
+
+/// Scrub outcome: objects whose replicas disagree.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Objects checked.
+    pub objects_checked: usize,
+    /// Names of divergent objects.
+    pub divergent: Vec<String>,
+}
+
+impl ScrubReport {
+    /// True when every replica of every object agrees.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.divergent.is_empty()
+    }
+}
+
+struct State {
+    osds: Vec<HashMap<String, Object>>,
+    placement: PlacementMap,
+    sim: Simulator,
+    handles: ResourceHandles,
+    testbed: TestbedProfile,
+    kv_cost: CostProfile,
+    payload: PayloadMode,
+    snap_seq: u64,
+}
+
+/// Configures and builds a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    osd_count: usize,
+    replicas: usize,
+    pg_count: u64,
+    payload: PayloadMode,
+    testbed: TestbedProfile,
+    kv_cost: CostProfile,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            osd_count: 3,
+            replicas: 3,
+            pg_count: 128,
+            payload: PayloadMode::Stored,
+            testbed: TestbedProfile::default(),
+            kv_cost: CostProfile::default(),
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Number of OSD nodes (default 3, as in the paper).
+    #[must_use]
+    pub fn osd_count(mut self, n: usize) -> Self {
+        self.osd_count = n;
+        self
+    }
+
+    /// Replication factor (default 3, Ceph's default, as in the paper).
+    #[must_use]
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Placement-group count (default 128).
+    #[must_use]
+    pub fn pg_count(mut self, n: u64) -> Self {
+        self.pg_count = n;
+        self
+    }
+
+    /// Payload retention mode.
+    #[must_use]
+    pub fn payload_mode(mut self, mode: PayloadMode) -> Self {
+        self.payload = mode;
+        self
+    }
+
+    /// Overrides the hardware cost profile.
+    #[must_use]
+    pub fn testbed(mut self, testbed: TestbedProfile) -> Self {
+        self.testbed = testbed;
+        self
+    }
+
+    /// Overrides the OMAP KV cost profile.
+    #[must_use]
+    pub fn kv_cost(mut self, kv_cost: CostProfile) -> Self {
+        self.kv_cost = kv_cost;
+        self
+    }
+
+    /// Builds the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica count exceeds the OSD count.
+    #[must_use]
+    pub fn build(self) -> Cluster {
+        let mut sim = Simulator::new();
+        let handles = self.testbed.install(&mut sim, self.osd_count);
+        let placement = PlacementMap::new(self.osd_count, self.replicas, self.pg_count);
+        Cluster {
+            state: Arc::new(Mutex::new(State {
+                osds: (0..self.osd_count).map(|_| HashMap::new()).collect(),
+                placement,
+                sim,
+                handles,
+                testbed: self.testbed,
+                kv_cost: self.kv_cost,
+                payload: self.payload,
+                snap_seq: 0,
+            })),
+        }
+    }
+}
+
+/// A handle to the simulated Ceph-like cluster. Cheap to clone; all
+/// clones share the same state.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone)]
+pub struct Cluster {
+    state: Arc<Mutex<State>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        write!(
+            f,
+            "Cluster({} osds, {} replicas)",
+            state.osds.len(),
+            state.placement.replicas()
+        )
+    }
+}
+
+impl Cluster {
+    /// Starts building a cluster.
+    #[must_use]
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Applies a transaction atomically on every replica and returns
+    /// its cost plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadosError::InvalidArgument`] if any op is malformed;
+    /// in that case **no** op has been applied (all-or-nothing).
+    pub fn execute(&self, tx: Transaction) -> Result<Plan> {
+        let mut state = self.state.lock();
+        if tx.object.is_empty() {
+            return Err(RadosError::InvalidArgument("empty object name".into()));
+        }
+        // Validation phase: reject the whole transaction before any
+        // replica sees any mutation.
+        for op in &tx.ops {
+            match op {
+                TxOp::OmapSet(entries) => {
+                    if entries.iter().any(|(k, _)| k.is_empty()) {
+                        return Err(RadosError::InvalidArgument("empty omap key".into()));
+                    }
+                }
+                TxOp::OmapRemove(keys) => {
+                    if keys.iter().any(Vec::is_empty) {
+                        return Err(RadosError::InvalidArgument("empty omap key".into()));
+                    }
+                }
+                TxOp::Write { data, .. } => {
+                    if data.is_empty() {
+                        return Err(RadosError::InvalidArgument("empty write".into()));
+                    }
+                }
+                TxOp::Truncate(_) | TxOp::SetXattr(..) | TxOp::Delete => {}
+            }
+        }
+
+        let snapc = tx.snapc.unwrap_or(SnapContext {
+            seq: SnapId(state.snap_seq),
+        });
+        let payload_mode = state.payload;
+        let acting = state.placement.acting_set(&tx.object);
+        let payload = tx.payload_bytes();
+
+        let deferred_threshold = state.testbed.deferred_write_threshold;
+        let mut work: Vec<OsdWork> = Vec::with_capacity(acting.len());
+        for osd in &acting {
+            let store_payload = payload_mode == PayloadMode::Stored;
+            let kv_cost = state.kv_cost.clone();
+            let objects = &mut state.osds[osd.0];
+            let object = objects
+                .entry(tx.object.clone())
+                .or_insert_with(|| Object::new(store_payload, snapc));
+            object.prepare_write(snapc);
+
+            let mut osd_work = OsdWork::default();
+            let mut kv_time = SimDuration::ZERO;
+            let mut deleted = false;
+            for op in &tx.ops {
+                match op {
+                    TxOp::Write { offset, data } => {
+                        let profile = object.head.write(*offset, data);
+                        if data.len() as u64 <= deferred_threshold
+                            && profile.rmw_read_ops > 0
+                        {
+                            // Small overwrite: the deferred/journal path
+                            // absorbs it without a foreground RMW.
+                            osd_work.deferred_writes.push(profile.write_bytes);
+                        } else if data.len() as u64 <= deferred_threshold {
+                            osd_work.deferred_writes.push(profile.write_bytes);
+                        } else {
+                            osd_work.rmw_reads.0 += profile.rmw_read_ops;
+                            osd_work.rmw_reads.1 += profile.rmw_read_bytes;
+                            osd_work.disk_writes.push(profile.write_bytes);
+                        }
+                    }
+                    TxOp::Truncate(size) => {
+                        object.head.truncate(*size);
+                    }
+                    TxOp::OmapSet(entries) => {
+                        let batch: Vec<(Vec<u8>, Option<Vec<u8>>)> = entries
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Some(v.clone())))
+                            .collect();
+                        let receipt = object.head.omap.write_batch(batch);
+                        kv_time += kv_cost.write_time(&receipt);
+                        osd_work.kv_wal_bytes += receipt.wal_bytes;
+                    }
+                    TxOp::OmapRemove(keys) => {
+                        let batch: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+                            keys.iter().map(|k| (k.clone(), None)).collect();
+                        let receipt = object.head.omap.write_batch(batch);
+                        kv_time += kv_cost.write_time(&receipt);
+                        osd_work.kv_wal_bytes += receipt.wal_bytes;
+                    }
+                    TxOp::SetXattr(name, value) => {
+                        object.head.xattrs.insert(name.clone(), value.clone());
+                    }
+                    TxOp::Delete => {
+                        deleted = true;
+                    }
+                }
+            }
+            osd_work.kv_time = kv_time;
+            if deleted {
+                objects.remove(&tx.object);
+            }
+            work.push(osd_work);
+        }
+
+        Ok(cost::write_plan(
+            &state.handles,
+            &state.testbed,
+            payload,
+            &acting,
+            &work,
+        ))
+    }
+
+    /// Executes read operations against the primary replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadosError::NoSuchObject`] if the object does not
+    /// exist, or [`RadosError::NoSuchSnapshot`] if it did not exist yet
+    /// at the requested snapshot.
+    pub fn read(
+        &self,
+        object: &str,
+        snap: Option<SnapId>,
+        ops: &[ReadOp],
+    ) -> Result<(Vec<ReadResult>, Plan)> {
+        let state = self.state.lock();
+        let primary = state.placement.primary(object);
+        let obj = state.osds[primary.0]
+            .get(object)
+            .ok_or_else(|| RadosError::NoSuchObject(object.to_string()))?;
+        let content = obj
+            .content_at(snap)
+            .ok_or_else(|| RadosError::NoSuchSnapshot {
+                object: object.to_string(),
+                snap: snap.unwrap_or_default(),
+            })?;
+
+        let mut results = Vec::with_capacity(ops.len());
+        let mut work = OsdWork::default();
+        let mut response_bytes = 0u64;
+        for op in ops {
+            match op {
+                ReadOp::Read { offset, len } => {
+                    let data = content.read(*offset, *len);
+                    // Physical read: whole blocks covering the extent.
+                    let start_block = offset / PHYS_BLOCK;
+                    let end_block = (offset + len).div_ceil(PHYS_BLOCK).max(start_block + 1);
+                    work.disk_reads.push((end_block - start_block) * PHYS_BLOCK);
+                    response_bytes += *len;
+                    results.push(ReadResult::Data(data));
+                }
+                ReadOp::OmapGetRange { start, end } => {
+                    let (entries, receipt) = content.omap.range(start, end);
+                    work.kv_time += state.kv_cost.read_time(&receipt);
+                    response_bytes += receipt.bytes_returned;
+                    results.push(ReadResult::OmapEntries(entries));
+                }
+                ReadOp::OmapGetKeys(keys) => {
+                    let mut entries = Vec::new();
+                    for key in keys {
+                        let (value, receipt) = content.omap.get(key);
+                        work.kv_time += state.kv_cost.read_time(&receipt);
+                        if let Some(value) = value {
+                            response_bytes += (key.len() + value.len()) as u64;
+                            entries.push((key.clone(), value));
+                        }
+                    }
+                    results.push(ReadResult::OmapEntries(entries));
+                }
+                ReadOp::GetXattr(name) => {
+                    let value = content.xattrs.get(name).cloned();
+                    response_bytes += value.as_ref().map_or(0, Vec::len) as u64;
+                    results.push(ReadResult::Xattr(value));
+                }
+                ReadOp::Stat => {
+                    results.push(ReadResult::Stat {
+                        size: content.size(),
+                    });
+                }
+            }
+        }
+        let plan = cost::read_plan(
+            &state.handles,
+            &state.testbed,
+            primary,
+            response_bytes,
+            &work,
+        );
+        Ok((results, plan))
+    }
+
+    /// Takes a cluster-wide self-managed snapshot; subsequent writes
+    /// copy-on-write any object they touch.
+    pub fn create_snap(&self) -> SnapId {
+        let mut state = self.state.lock();
+        state.snap_seq += 1;
+        SnapId(state.snap_seq)
+    }
+
+    /// The current snapshot sequence.
+    #[must_use]
+    pub fn snap_seq(&self) -> SnapId {
+        SnapId(self.state.lock().snap_seq)
+    }
+
+    /// Whether an object exists (on its primary).
+    #[must_use]
+    pub fn object_exists(&self, object: &str) -> bool {
+        let state = self.state.lock();
+        let primary = state.placement.primary(object);
+        state.osds[primary.0].contains_key(object)
+    }
+
+    /// Object metadata from the primary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadosError::NoSuchObject`] if the object is absent.
+    pub fn stat(&self, object: &str) -> Result<ObjectStat> {
+        let state = self.state.lock();
+        let primary = state.placement.primary(object);
+        state.osds[primary.0]
+            .get(object)
+            .map(Object::stat)
+            .ok_or_else(|| RadosError::NoSuchObject(object.to_string()))
+    }
+
+    /// All object names (sorted), from every OSD's primary view.
+    #[must_use]
+    pub fn list_objects(&self) -> Vec<String> {
+        let state = self.state.lock();
+        let mut names: Vec<String> = state
+            .osds
+            .iter()
+            .flat_map(|m| m.keys().cloned())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// The installed resource handles (for plan construction by upper
+    /// layers, e.g. client-side crypto cost).
+    #[must_use]
+    pub fn resources(&self) -> ResourceHandles {
+        self.state.lock().handles.clone()
+    }
+
+    /// The testbed profile in effect.
+    #[must_use]
+    pub fn testbed_profile(&self) -> TestbedProfile {
+        self.state.lock().testbed.clone()
+    }
+
+    /// Convenience: a plan occupying the client crypto workers for
+    /// `bytes` of encryption/decryption work.
+    #[must_use]
+    pub fn crypto_plan(&self, bytes: u64) -> Plan {
+        let state = self.state.lock();
+        Plan::op(state.handles.client_crypto, bytes)
+    }
+
+    /// Runs pre-built plans in a closed loop (fio-style, fixed queue
+    /// depth) against this cluster's simulated hardware.
+    #[must_use]
+    pub fn run_closed_loop(&self, queue_depth: usize, plans: Vec<(Plan, u64)>) -> ClosedLoopStats {
+        let mut state = self.state.lock();
+        let total = plans.len() as u64;
+        let mut plans = plans.into_iter();
+        state.sim.run_closed_loop(queue_depth, total, move |_| {
+            plans.next().expect("plan count matches total_ops")
+        })
+    }
+
+    /// Per-resource utilization of the last closed-loop run.
+    #[must_use]
+    pub fn utilization_report(&self) -> Vec<vdisk_sim::ResourceUsage> {
+        self.state.lock().sim.utilization_report()
+    }
+
+    /// Verifies that all replicas of all objects agree (like Ceph's
+    /// deep scrub).
+    #[must_use]
+    pub fn scrub(&self) -> ScrubReport {
+        let state = self.state.lock();
+        let mut report = ScrubReport::default();
+        let mut names: Vec<String> = state
+            .osds
+            .iter()
+            .flat_map(|m| m.keys().cloned())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        for name in names {
+            report.objects_checked += 1;
+            let acting = state.placement.acting_set(&name);
+            let prints: Vec<Option<u64>> = acting
+                .iter()
+                .map(|osd| {
+                    state.osds[osd.0]
+                        .get(&name)
+                        .map(|o| o.head.fingerprint())
+                })
+                .collect();
+            let first = &prints[0];
+            if prints.iter().any(|p| p != first) {
+                report.divergent.push(name);
+            }
+        }
+        report
+    }
+
+    /// Fault injection: silently corrupts one byte on a **non-primary**
+    /// replica (as a failing disk or torn replication would). Scrub
+    /// must detect it; [`Cluster::repair`] must fix it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadosError::InvalidArgument`] if `replica_index` is 0
+    /// (the primary) or out of range, or [`RadosError::NoSuchObject`]
+    /// if that replica holds no such object.
+    pub fn damage_replica(
+        &self,
+        object: &str,
+        replica_index: usize,
+        offset: usize,
+    ) -> Result<()> {
+        let mut state = self.state.lock();
+        let acting = state.placement.acting_set(object);
+        if replica_index == 0 || replica_index >= acting.len() {
+            return Err(RadosError::InvalidArgument(format!(
+                "replica_index {replica_index} out of range (1..{})",
+                acting.len()
+            )));
+        }
+        let osd = acting[replica_index];
+        let obj = state.osds[osd.0]
+            .get_mut(object)
+            .ok_or_else(|| RadosError::NoSuchObject(object.to_string()))?;
+        obj.head.poke(offset, 0xFF);
+        Ok(())
+    }
+
+    /// Repairs an object by re-replicating the primary's copy (Ceph's
+    /// `pg repair` policy: the primary is authoritative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadosError::NoSuchObject`] if the primary holds no
+    /// such object.
+    pub fn repair(&self, object: &str) -> Result<()> {
+        let mut state = self.state.lock();
+        let acting = state.placement.acting_set(object);
+        let primary_copy = state.osds[acting[0].0]
+            .get(object)
+            .cloned()
+            .ok_or_else(|| RadosError::NoSuchObject(object.to_string()))?;
+        for osd in &acting[1..] {
+            state.osds[osd.0].insert(object.to_string(), primary_copy.clone());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::builder().build()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let c = cluster();
+        let mut tx = Transaction::new("obj");
+        tx.write(100, b"hello world".to_vec());
+        c.execute(tx).unwrap();
+        let (results, plan) = c
+            .read("obj", None, &[ReadOp::Read { offset: 100, len: 11 }])
+            .unwrap();
+        assert_eq!(results[0].as_data(), b"hello world");
+        assert!(plan.op_count() > 0);
+    }
+
+    #[test]
+    fn reads_of_missing_objects_fail() {
+        let c = cluster();
+        assert_eq!(
+            c.read("ghost", None, &[ReadOp::Stat]).unwrap_err(),
+            RadosError::NoSuchObject("ghost".into())
+        );
+    }
+
+    #[test]
+    fn transaction_is_atomic_on_validation_failure() {
+        let c = cluster();
+        let mut tx = Transaction::new("obj");
+        tx.write(0, b"data".to_vec());
+        tx.omap_set(vec![(Vec::new(), b"bad-key".to_vec())]); // invalid
+        assert!(matches!(
+            c.execute(tx),
+            Err(RadosError::InvalidArgument(_))
+        ));
+        assert!(
+            !c.object_exists("obj"),
+            "no partial state may survive a rejected transaction"
+        );
+    }
+
+    #[test]
+    fn omap_set_and_range() {
+        let c = cluster();
+        let mut tx = Transaction::new("obj");
+        tx.write(0, vec![1]);
+        tx.omap_set(vec![
+            (b"iv.0001".to_vec(), vec![0x11; 16]),
+            (b"iv.0000".to_vec(), vec![0x22; 16]),
+        ]);
+        c.execute(tx).unwrap();
+        let (results, _) = c
+            .read(
+                "obj",
+                None,
+                &[ReadOp::OmapGetRange {
+                    start: b"iv.".to_vec(),
+                    end: b"iv.\xff".to_vec(),
+                }],
+            )
+            .unwrap();
+        let entries = results[0].as_omap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, b"iv.0000");
+    }
+
+    #[test]
+    fn snapshots_preserve_history() {
+        let c = cluster();
+        let mut tx = Transaction::new("obj");
+        tx.write(0, b"v1".to_vec());
+        c.execute(tx).unwrap();
+        let snap1 = c.create_snap();
+        let mut tx = Transaction::new("obj");
+        tx.write(0, b"v2".to_vec());
+        c.execute(tx).unwrap();
+
+        let (head, _) = c
+            .read("obj", None, &[ReadOp::Read { offset: 0, len: 2 }])
+            .unwrap();
+        let (old, _) = c
+            .read("obj", Some(snap1), &[ReadOp::Read { offset: 0, len: 2 }])
+            .unwrap();
+        assert_eq!(head[0].as_data(), b"v2");
+        assert_eq!(old[0].as_data(), b"v1");
+    }
+
+    #[test]
+    fn snapshot_before_birth_is_absent() {
+        let c = cluster();
+        let snap = c.create_snap();
+        let mut tx = Transaction::new("newborn");
+        tx.write(0, b"x".to_vec());
+        c.execute(tx).unwrap();
+        assert!(matches!(
+            c.read("newborn", Some(snap), &[ReadOp::Stat]),
+            Err(RadosError::NoSuchSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn omap_survives_snapshots_with_cow() {
+        let c = cluster();
+        let mut tx = Transaction::new("obj");
+        tx.write(0, vec![1]);
+        tx.omap_set(vec![(b"k".to_vec(), b"old".to_vec())]);
+        c.execute(tx).unwrap();
+        let snap = c.create_snap();
+        let mut tx = Transaction::new("obj");
+        tx.omap_set(vec![(b"k".to_vec(), b"new".to_vec())]);
+        c.execute(tx).unwrap();
+
+        let (head, _) = c
+            .read("obj", None, &[ReadOp::OmapGetKeys(vec![b"k".to_vec()])])
+            .unwrap();
+        let (old, _) = c
+            .read(
+                "obj",
+                Some(snap),
+                &[ReadOp::OmapGetKeys(vec![b"k".to_vec()])],
+            )
+            .unwrap();
+        assert_eq!(head[0].as_omap()[0].1, b"new");
+        assert_eq!(old[0].as_omap()[0].1, b"old", "OMAP must be COW'd too");
+    }
+
+    #[test]
+    fn scrub_detects_and_repair_fixes_divergence() {
+        let c = cluster();
+        let mut tx = Transaction::new("obj");
+        tx.write(0, vec![0xAB; 1024]);
+        c.execute(tx).unwrap();
+        assert!(c.scrub().is_clean());
+
+        c.damage_replica("obj", 1, 10).unwrap();
+        let report = c.scrub();
+        assert_eq!(report.divergent, vec!["obj".to_string()]);
+
+        c.repair("obj").unwrap();
+        assert!(c.scrub().is_clean());
+    }
+
+    #[test]
+    fn damage_primary_is_rejected() {
+        let c = cluster();
+        let mut tx = Transaction::new("obj");
+        tx.write(0, vec![1]);
+        c.execute(tx).unwrap();
+        assert!(c.damage_replica("obj", 0, 0).is_err());
+        assert!(c.damage_replica("obj", 9, 0).is_err());
+    }
+
+    #[test]
+    fn delete_removes_everywhere() {
+        let c = cluster();
+        let mut tx = Transaction::new("obj");
+        tx.write(0, vec![1]);
+        c.execute(tx).unwrap();
+        assert!(c.object_exists("obj"));
+        let mut tx = Transaction::new("obj");
+        tx.delete();
+        c.execute(tx).unwrap();
+        assert!(!c.object_exists("obj"));
+        assert_eq!(c.list_objects().len(), 0);
+    }
+
+    #[test]
+    fn xattrs_round_trip() {
+        let c = cluster();
+        let mut tx = Transaction::new("obj");
+        tx.write(0, vec![0]);
+        tx.set_xattr("rbd.size", 4096u64.to_le_bytes().to_vec());
+        c.execute(tx).unwrap();
+        let (results, _) = c
+            .read("obj", None, &[ReadOp::GetXattr("rbd.size".into())])
+            .unwrap();
+        assert_eq!(
+            results[0],
+            ReadResult::Xattr(Some(4096u64.to_le_bytes().to_vec()))
+        );
+        let (results, _) = c
+            .read("obj", None, &[ReadOp::GetXattr("missing".into())])
+            .unwrap();
+        assert_eq!(results[0], ReadResult::Xattr(None));
+    }
+
+    #[test]
+    fn discarded_payload_mode_keeps_sizes() {
+        let c = Cluster::builder()
+            .payload_mode(PayloadMode::Discarded)
+            .build();
+        let mut tx = Transaction::new("obj");
+        tx.write(4096, vec![7; 4096]);
+        c.execute(tx).unwrap();
+        assert_eq!(c.stat("obj").unwrap().size, 8192);
+        let (results, _) = c
+            .read("obj", None, &[ReadOp::Read { offset: 4096, len: 4096 }])
+            .unwrap();
+        assert_eq!(results[0].as_data(), &vec![0u8; 4096][..], "payload gone");
+    }
+
+    #[test]
+    fn closed_loop_runs_plans() {
+        let c = cluster();
+        let mut plans = Vec::new();
+        for i in 0..64 {
+            let mut tx = Transaction::new(format!("obj{i}"));
+            tx.write(0, vec![0u8; 4096]);
+            plans.push((c.execute(tx).unwrap(), 4096));
+        }
+        let stats = c.run_closed_loop(8, plans);
+        assert_eq!(stats.ops, 64);
+        assert!(stats.bandwidth_mb_s() > 0.0);
+        let report = c.utilization_report();
+        assert!(report.iter().any(|r| r.ops > 0));
+    }
+
+    #[test]
+    fn replicas_actually_hold_copies() {
+        let c = cluster();
+        let mut tx = Transaction::new("obj");
+        tx.write(0, b"replicated".to_vec());
+        c.execute(tx).unwrap();
+        // All three OSDs hold the object (3-way replication on 3 OSDs).
+        let state = c.state.lock();
+        for (i, osd) in state.osds.iter().enumerate() {
+            assert!(osd.contains_key("obj"), "osd {i} missing the object");
+        }
+    }
+
+    #[test]
+    fn snap_ids_are_monotonic() {
+        let c = cluster();
+        let a = c.create_snap();
+        let b = c.create_snap();
+        assert!(b > a);
+        assert_eq!(c.snap_seq(), b);
+    }
+}

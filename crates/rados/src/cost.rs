@@ -1,0 +1,468 @@
+//! The testbed cost model: resources calibrated to the paper's cluster
+//! (§3.2) and the plan builders that compile RADOS operations into
+//! [`vdisk_sim::Plan`]s.
+//!
+//! Calibration sources, from the paper:
+//! - 3 OSD nodes, Xeon E5-2650 v4, 9 × 1.8 TB NVMe each;
+//! - 100 Gb/s links but ~13 Gb/s measured per iperf stream (§3.2), so a
+//!   per-OSD stream moves ≈ 1.6 GB/s and a multi-stream client NIC
+//!   sustains ≈ 2.8 GB/s;
+//! - 3-way replication (client → primary → 2 replicas);
+//! - fio QD 32, one client.
+//!
+//! Absolute bandwidths need only land in the right regime; the
+//! *relative* overheads of the IV layouts — the paper's actual result —
+//! emerge from sector counts, read-modify-writes and KV work, not from
+//! these constants.
+
+use crate::placement::OsdId;
+use vdisk_sim::{Plan, ResourceId, ResourceSpec, SimDuration, Simulator};
+
+/// Hardware constants of the simulated testbed.
+#[derive(Debug, Clone)]
+pub struct TestbedProfile {
+    /// Client NIC transmit rate (bytes/s), aggregate over streams.
+    pub client_nic_tx: f64,
+    /// Client NIC receive rate (bytes/s).
+    pub client_nic_rx: f64,
+    /// Per-message NIC cost.
+    pub nic_per_op: SimDuration,
+    /// One network stream to/from an OSD (bytes/s) — the ~13 Gb/s
+    /// iperf figure.
+    pub link_rate: f64,
+    /// Per-message link cost (propagation + framing).
+    pub link_per_op: SimDuration,
+    /// OSD request-processing cost per op.
+    pub osd_cpu_per_op: SimDuration,
+    /// OSD worker threads.
+    pub osd_cpu_servers: usize,
+    /// Per-NVMe-channel read throughput (bytes/s).
+    pub disk_read_rate: f64,
+    /// Per-NVMe-channel write throughput (bytes/s).
+    pub disk_write_rate: f64,
+    /// Per-read-op disk latency.
+    pub disk_read_per_op: SimDuration,
+    /// Per-write-op disk latency (includes transaction commit).
+    pub disk_write_per_op: SimDuration,
+    /// Per-op latency of the deferred (WAL-backed) small-write path
+    /// BlueStore uses for sub-block writes.
+    pub disk_deferred_per_op: SimDuration,
+    /// Writes at or below this size take the deferred path and skip
+    /// read-modify-write (the journal absorbs them).
+    pub deferred_write_threshold: u64,
+    /// Per-batch latency of an OMAP WAL commit (RocksDB group commit).
+    pub kv_wal_per_op: SimDuration,
+    /// OMAP WAL append bandwidth (bytes/s).
+    pub kv_wal_rate: f64,
+    /// NVMe channels per OSD (the paper's nodes have 9 disks).
+    pub disk_servers: usize,
+    /// Concurrent OMAP (RocksDB) engine threads per OSD.
+    pub kv_servers: usize,
+    /// Client-side encryption throughput (bytes/s per thread).
+    pub crypto_rate: f64,
+    /// Client crypto worker threads.
+    pub crypto_servers: usize,
+    /// Per-IO crypto setup cost.
+    pub crypto_per_op: SimDuration,
+    /// Acknowledgement round-trip tail.
+    pub ack_delay: SimDuration,
+    /// Fixed protocol header bytes added to each message.
+    pub msg_header_bytes: u64,
+}
+
+impl Default for TestbedProfile {
+    fn default() -> Self {
+        TestbedProfile {
+            client_nic_tx: 2.70e9,
+            client_nic_rx: 2.85e9,
+            nic_per_op: SimDuration::from_micros(6),
+            link_rate: 1.55e9,
+            link_per_op: SimDuration::from_micros(12),
+            osd_cpu_per_op: SimDuration::from_micros(130),
+            osd_cpu_servers: 8,
+            disk_read_rate: 1.10e9,
+            disk_write_rate: 0.30e9,
+            disk_read_per_op: SimDuration::from_micros(50),
+            disk_write_per_op: SimDuration::from_micros(270),
+            disk_deferred_per_op: SimDuration::from_micros(60),
+            deferred_write_threshold: 2048,
+            kv_wal_per_op: SimDuration::from_micros(20),
+            kv_wal_rate: 0.40e9,
+            disk_servers: 9,
+            kv_servers: 1,
+            crypto_rate: 1.70e9,
+            crypto_servers: 4,
+            crypto_per_op: SimDuration::from_micros(5),
+            ack_delay: SimDuration::from_micros(25),
+            msg_header_bytes: 512,
+        }
+    }
+}
+
+/// Resource ids of an installed testbed.
+#[derive(Debug, Clone)]
+pub struct ResourceHandles {
+    /// Client NIC, transmit direction.
+    pub client_nic_tx: ResourceId,
+    /// Client NIC, receive direction.
+    pub client_nic_rx: ResourceId,
+    /// Client-side encryption workers.
+    pub client_crypto: ResourceId,
+    /// Per-OSD network stream.
+    pub osd_link: Vec<ResourceId>,
+    /// Per-OSD request CPUs.
+    pub osd_cpu: Vec<ResourceId>,
+    /// Per-OSD NVMe array (reads and writes contend on the same
+    /// device channels).
+    pub osd_disk: Vec<ResourceId>,
+    /// Per-OSD OMAP (KV) engine.
+    pub osd_kv: Vec<ResourceId>,
+}
+
+impl TestbedProfile {
+    /// Registers the testbed's resources with a simulator.
+    #[must_use]
+    pub fn install(&self, sim: &mut Simulator, osd_count: usize) -> ResourceHandles {
+        let client_nic_tx = sim.add_resource(ResourceSpec::pipe(
+            "client-nic-tx",
+            self.client_nic_tx,
+            self.nic_per_op,
+        ));
+        let client_nic_rx = sim.add_resource(ResourceSpec::pipe(
+            "client-nic-rx",
+            self.client_nic_rx,
+            self.nic_per_op,
+        ));
+        let client_crypto = sim.add_resource(ResourceSpec::servers(
+            "client-crypto",
+            self.crypto_servers,
+            self.crypto_rate,
+            self.crypto_per_op,
+        ));
+        let mut osd_link = Vec::new();
+        let mut osd_cpu = Vec::new();
+        let mut osd_disk = Vec::new();
+        let mut osd_kv = Vec::new();
+        for i in 0..osd_count {
+            osd_link.push(sim.add_resource(ResourceSpec::pipe(
+                &format!("osd{i}-link"),
+                self.link_rate,
+                self.link_per_op,
+            )));
+            osd_cpu.push(sim.add_resource(ResourceSpec::latency_only(
+                &format!("osd{i}-cpu"),
+                self.osd_cpu_servers,
+                self.osd_cpu_per_op,
+            )));
+            // A single per-OSD NVMe array; service times are computed
+            // per op type (read/write/deferred) and charged as `Busy`.
+            osd_disk.push(sim.add_resource(ResourceSpec::latency_only(
+                &format!("osd{i}-disk"),
+                self.disk_servers,
+                SimDuration::ZERO,
+            )));
+            osd_kv.push(sim.add_resource(ResourceSpec::latency_only(
+                &format!("osd{i}-kv"),
+                self.kv_servers,
+                SimDuration::ZERO,
+            )));
+        }
+        ResourceHandles {
+            client_nic_tx,
+            client_nic_rx,
+            client_crypto,
+            osd_link,
+            osd_cpu,
+            osd_disk,
+            osd_kv,
+        }
+    }
+
+    /// Disk service time of a full-path read of `bytes`.
+    #[must_use]
+    pub fn disk_read_time(&self, bytes: u64) -> SimDuration {
+        self.disk_read_per_op + SimDuration::from_secs_f64(bytes as f64 / self.disk_read_rate)
+    }
+
+    /// Disk service time of a full-path write of `bytes`.
+    #[must_use]
+    pub fn disk_write_time(&self, bytes: u64) -> SimDuration {
+        self.disk_write_per_op + SimDuration::from_secs_f64(bytes as f64 / self.disk_write_rate)
+    }
+
+    /// Disk service time of a deferred (journaled) small write.
+    #[must_use]
+    pub fn disk_deferred_time(&self, bytes: u64) -> SimDuration {
+        self.disk_deferred_per_op + SimDuration::from_secs_f64(bytes as f64 / self.disk_write_rate)
+    }
+
+    /// Disk service time of an OMAP WAL commit of `bytes`.
+    #[must_use]
+    pub fn kv_wal_time(&self, bytes: u64) -> SimDuration {
+        self.kv_wal_per_op + SimDuration::from_secs_f64(bytes as f64 / self.kv_wal_rate)
+    }
+}
+
+/// Physical work one OSD performs for a transaction or read.
+#[derive(Debug, Clone, Default)]
+pub struct OsdWork {
+    /// Read ops forced by read-modify-write, as (ops, total bytes).
+    pub rmw_reads: (u64, u64),
+    /// Bytes of each full-path disk write op.
+    pub disk_writes: Vec<u64>,
+    /// Bytes of each deferred (journaled) small write op.
+    pub deferred_writes: Vec<u64>,
+    /// Bytes of each disk read op (read path).
+    pub disk_reads: Vec<u64>,
+    /// Time the OMAP engine is busy for this op.
+    pub kv_time: SimDuration,
+    /// OMAP WAL bytes committed (charged to the disk).
+    pub kv_wal_bytes: u64,
+}
+
+impl OsdWork {
+    fn disk_plan(&self, handles: &ResourceHandles, profile: &TestbedProfile, osd: OsdId) -> Plan {
+        let disk = handles.osd_disk[osd.0];
+        let kv_res = handles.osd_kv[osd.0];
+
+        let mut rmw = Vec::new();
+        let (rmw_ops, rmw_bytes) = self.rmw_reads;
+        if rmw_ops > 0 {
+            let per = rmw_bytes / rmw_ops;
+            for _ in 0..rmw_ops {
+                rmw.push(Plan::busy(disk, profile.disk_read_time(per)));
+            }
+        }
+        let reads = Plan::par(
+            self.disk_reads
+                .iter()
+                .map(|&bytes| Plan::busy(disk, profile.disk_read_time(bytes))),
+        );
+        let writes = Plan::seq(
+            self.disk_writes
+                .iter()
+                .map(|&bytes| Plan::busy(disk, profile.disk_write_time(bytes)))
+                .chain(
+                    self.deferred_writes
+                        .iter()
+                        .map(|&bytes| Plan::busy(disk, profile.disk_deferred_time(bytes))),
+                ),
+        );
+        let kv = if self.kv_time == SimDuration::ZERO && self.kv_wal_bytes == 0 {
+            Plan::Noop
+        } else {
+            // The KV engine works while its WAL commit rides the disk.
+            Plan::par([
+                Plan::busy(kv_res, self.kv_time),
+                Plan::busy(disk, profile.kv_wal_time(self.kv_wal_bytes)),
+            ])
+        };
+        // RMW reads gate the writes; the KV engine and plain reads run
+        // beside the data path.
+        Plan::par([Plan::seq([Plan::par(rmw), writes]), reads, kv])
+    }
+}
+
+/// Builds the cost plan of a replicated write.
+///
+/// Shape: client NIC → primary link → primary CPU → in parallel
+/// {primary disk work; for each replica: link → CPU → disk work} →
+/// ack.
+#[must_use]
+pub fn write_plan(
+    handles: &ResourceHandles,
+    profile: &TestbedProfile,
+    payload_bytes: u64,
+    acting: &[OsdId],
+    work: &[OsdWork],
+) -> Plan {
+    assert_eq!(acting.len(), work.len(), "one work item per acting OSD");
+    let msg = payload_bytes + profile.msg_header_bytes;
+    let primary = acting[0];
+
+    let mut fanout: Vec<Plan> = Vec::with_capacity(acting.len());
+    fanout.push(work[0].disk_plan(handles, profile, primary));
+    for (osd, w) in acting.iter().zip(work.iter()).skip(1) {
+        fanout.push(Plan::seq([
+            Plan::op(handles.osd_link[osd.0], msg),
+            Plan::op(handles.osd_cpu[osd.0], 0),
+            w.disk_plan(handles, profile, *osd),
+        ]));
+    }
+
+    Plan::seq([
+        Plan::op(handles.client_nic_tx, msg),
+        Plan::op(handles.osd_link[primary.0], msg),
+        Plan::op(handles.osd_cpu[primary.0], 0),
+        Plan::par(fanout),
+        Plan::delay(profile.ack_delay),
+    ])
+}
+
+/// Builds the cost plan of a read served by the primary.
+#[must_use]
+pub fn read_plan(
+    handles: &ResourceHandles,
+    profile: &TestbedProfile,
+    primary: OsdId,
+    response_bytes: u64,
+    work: &OsdWork,
+) -> Plan {
+    let req = profile.msg_header_bytes;
+    let resp = response_bytes + profile.msg_header_bytes;
+    Plan::seq([
+        Plan::op(handles.client_nic_tx, req),
+        Plan::op(handles.osd_link[primary.0], req),
+        Plan::op(handles.osd_cpu[primary.0], 0),
+        work.disk_plan(handles, profile, primary),
+        Plan::op(handles.osd_link[primary.0], resp),
+        Plan::op(handles.client_nic_rx, resp),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Simulator, ResourceHandles, TestbedProfile) {
+        let profile = TestbedProfile::default();
+        let mut sim = Simulator::new();
+        let handles = profile.install(&mut sim, 3);
+        (sim, handles, profile)
+    }
+
+    #[test]
+    fn install_registers_all_resources() {
+        let (sim, handles, _) = setup();
+        assert_eq!(handles.osd_link.len(), 3);
+        assert_eq!(handles.osd_kv.len(), 3);
+        assert_eq!(sim.spec(handles.client_crypto).servers, 4);
+        assert_eq!(sim.spec(handles.osd_disk[0]).servers, 9);
+    }
+
+    #[test]
+    fn write_plan_touches_every_replica() {
+        let (mut sim, handles, profile) = setup();
+        let acting = vec![OsdId(0), OsdId(1), OsdId(2)];
+        let work: Vec<OsdWork> = (0..3)
+            .map(|_| OsdWork {
+                disk_writes: vec![4096],
+                ..OsdWork::default()
+            })
+            .collect();
+        let plan = write_plan(&handles, &profile, 4096, &acting, &work);
+        for osd in 0..3 {
+            assert_eq!(
+                plan.op_count_on(handles.osd_disk[osd]),
+                1,
+                "osd {osd} must take one disk write"
+            );
+        }
+        // Replicas get the payload over their links; the primary's link
+        // carries it once from the client.
+        assert!(plan.bytes_on(handles.osd_link[1]) >= 4096);
+        let done = sim.execute(&plan, vdisk_sim::SimTime::ZERO);
+        assert!(done.as_nanos() > 0);
+    }
+
+    #[test]
+    fn replication_makes_writes_slower_than_single_copy() {
+        let (mut sim, handles, profile) = setup();
+        let single = write_plan(
+            &handles,
+            &profile,
+            1 << 20,
+            &[OsdId(0)],
+            &[OsdWork {
+                disk_writes: vec![1 << 20],
+                ..OsdWork::default()
+            }],
+        );
+        let t1 = sim.execute(&single, vdisk_sim::SimTime::ZERO);
+        sim.reset();
+        let triple_work: Vec<OsdWork> = (0..3)
+            .map(|_| OsdWork {
+                disk_writes: vec![1 << 20],
+                ..OsdWork::default()
+            })
+            .collect();
+        let triple = write_plan(
+            &handles,
+            &profile,
+            1 << 20,
+            &[OsdId(0), OsdId(1), OsdId(2)],
+            &triple_work,
+        );
+        let t3 = sim.execute(&triple, vdisk_sim::SimTime::ZERO);
+        assert!(t3 > t1, "replication must add latency: {t1:?} vs {t3:?}");
+    }
+
+    #[test]
+    fn rmw_reads_gate_disk_writes() {
+        let (mut sim, handles, profile) = setup();
+        let no_rmw = write_plan(
+            &handles,
+            &profile,
+            4096,
+            &[OsdId(0)],
+            &[OsdWork {
+                disk_writes: vec![4096],
+                ..OsdWork::default()
+            }],
+        );
+        let t_plain = sim.execute(&no_rmw, vdisk_sim::SimTime::ZERO);
+        sim.reset();
+        let with_rmw = write_plan(
+            &handles,
+            &profile,
+            4096,
+            &[OsdId(0)],
+            &[OsdWork {
+                rmw_reads: (2, 8192),
+                disk_writes: vec![12288],
+                ..OsdWork::default()
+            }],
+        );
+        let t_rmw = sim.execute(&with_rmw, vdisk_sim::SimTime::ZERO);
+        assert!(
+            t_rmw.as_nanos() > t_plain.as_nanos() + 50_000,
+            "RMW must add at least a disk read: {t_plain:?} vs {t_rmw:?}"
+        );
+    }
+
+    #[test]
+    fn read_plan_returns_payload_over_rx_nic() {
+        let (mut sim, handles, profile) = setup();
+        let plan = read_plan(
+            &handles,
+            &profile,
+            OsdId(1),
+            65536,
+            &OsdWork {
+                disk_reads: vec![65536],
+                ..OsdWork::default()
+            },
+        );
+        assert!(plan.bytes_on(handles.client_nic_rx) >= 65536);
+        assert_eq!(plan.op_count_on(handles.osd_disk[1]), 1);
+        assert_eq!(plan.op_count_on(handles.osd_disk[0]), 0);
+        let done = sim.execute(&plan, vdisk_sim::SimTime::ZERO);
+        assert!(done.as_nanos() > 0);
+    }
+
+    #[test]
+    fn kv_busy_time_charged_on_kv_resource() {
+        let (_, handles, profile) = setup();
+        let plan = write_plan(
+            &handles,
+            &profile,
+            64,
+            &[OsdId(2)],
+            &[OsdWork {
+                kv_time: SimDuration::from_micros(100),
+                ..OsdWork::default()
+            }],
+        );
+        assert_eq!(plan.op_count_on(handles.osd_kv[2]), 1);
+    }
+}

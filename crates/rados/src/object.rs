@@ -1,0 +1,389 @@
+//! Objects: sparse byte data over 4 KB physical blocks, OMAP metadata,
+//! xattrs, and snapshot clones.
+
+use crate::transaction::SnapContext;
+use crate::SnapId;
+use std::collections::BTreeMap;
+use vdisk_kv::{LsmConfig, LsmStore};
+
+/// The physical block size of the simulated NVMe backend. Writes that
+/// are not aligned to this granularity trigger read-modify-write, the
+/// effect that penalizes the paper's *unaligned* IV layout (§3.3).
+pub const PHYS_BLOCK: u64 = 4096;
+
+/// `stat()` output for an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectStat {
+    /// Logical size in bytes (highest written offset + 1).
+    pub size: u64,
+    /// Number of snapshot clones held.
+    pub clones: usize,
+}
+
+/// Disk work implied by one extent access, in physical terms: which
+/// blocks must be read first (RMW) and which are written.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtentProfile {
+    /// Bytes that must be read before the write can be applied
+    /// (partial first/last blocks of an overwrite).
+    pub rmw_read_bytes: u64,
+    /// Read ops issued for the RMW portion (0, 1 or 2).
+    pub rmw_read_ops: u64,
+    /// Bytes physically written (extent rounded out to block bounds).
+    pub write_bytes: u64,
+}
+
+/// One version of an object's content: data, OMAP and xattrs.
+#[derive(Debug, Clone)]
+pub(crate) struct ObjectContent {
+    /// Payload bytes; empty and ignored when `store_payload` is false.
+    data: Vec<u8>,
+    /// Logical size (tracked even when the payload is discarded).
+    size: u64,
+    /// Per-object key-value metadata (Ceph's OMAP, RocksDB-backed).
+    pub(crate) omap: LsmStore,
+    /// Extended attributes.
+    pub(crate) xattrs: BTreeMap<String, Vec<u8>>,
+    store_payload: bool,
+}
+
+impl ObjectContent {
+    pub(crate) fn new(store_payload: bool) -> Self {
+        ObjectContent {
+            data: Vec::new(),
+            size: 0,
+            omap: LsmStore::new(LsmConfig::default()),
+            xattrs: BTreeMap::new(),
+            store_payload,
+        }
+    }
+
+    pub(crate) fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Applies a write and returns the physical-disk profile it incurs.
+    pub(crate) fn write(&mut self, offset: u64, data: &[u8]) -> ExtentProfile {
+        let profile = self.write_profile(offset, data.len() as u64);
+        let end = offset + data.len() as u64;
+        if self.store_payload {
+            if self.data.len() < end as usize {
+                self.data.resize(end as usize, 0);
+            }
+            self.data[offset as usize..end as usize].copy_from_slice(data);
+        }
+        self.size = self.size.max(end);
+        profile
+    }
+
+    /// The disk work a write of `len` bytes at `offset` would cause,
+    /// given the object's current size (partial blocks past EOF need no
+    /// read).
+    pub(crate) fn write_profile(&self, offset: u64, len: u64) -> ExtentProfile {
+        if len == 0 {
+            return ExtentProfile::default();
+        }
+        let start_block = offset / PHYS_BLOCK;
+        let end_block = (offset + len).div_ceil(PHYS_BLOCK);
+        let write_bytes = (end_block - start_block) * PHYS_BLOCK;
+
+        let mut rmw_read_ops = 0u64;
+        let mut rmw_read_bytes = 0u64;
+        let head_partial = offset % PHYS_BLOCK != 0;
+        let tail_partial = (offset + len) % PHYS_BLOCK != 0;
+        let head_exists = head_partial && start_block * PHYS_BLOCK < self.size;
+        // The tail block only needs a read if it exists and is not the
+        // same block as an already-read head.
+        let tail_exists = tail_partial
+            && (end_block - 1) * PHYS_BLOCK < self.size
+            && (end_block - 1) != start_block;
+        if head_exists {
+            rmw_read_ops += 1;
+            rmw_read_bytes += PHYS_BLOCK;
+        }
+        if tail_exists {
+            rmw_read_ops += 1;
+            rmw_read_bytes += PHYS_BLOCK;
+        } else if tail_partial && !head_exists && (end_block - 1) == start_block {
+            // Single partial block that already exists.
+            if start_block * PHYS_BLOCK < self.size && !head_partial {
+                rmw_read_ops += 1;
+                rmw_read_bytes += PHYS_BLOCK;
+            }
+        }
+        ExtentProfile {
+            rmw_read_bytes,
+            rmw_read_ops,
+            write_bytes,
+        }
+    }
+
+    /// Reads `len` bytes at `offset`, zero-filling unwritten space.
+    pub(crate) fn read(&self, offset: u64, len: u64) -> Vec<u8> {
+        let mut out = vec![0u8; len as usize];
+        if self.store_payload && offset < self.data.len() as u64 {
+            let available = (self.data.len() as u64 - offset).min(len) as usize;
+            out[..available]
+                .copy_from_slice(&self.data[offset as usize..offset as usize + available]);
+        }
+        out
+    }
+
+    pub(crate) fn truncate(&mut self, size: u64) {
+        if self.store_payload {
+            self.data.resize(size as usize, 0);
+        }
+        self.size = size;
+    }
+
+    /// Fingerprint for scrubbing (replicas must agree).
+    pub(crate) fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.size.hash(&mut h);
+        self.data.hash(&mut h);
+        for (k, v) in &self.xattrs {
+            k.hash(&mut h);
+            v.hash(&mut h);
+        }
+        let (entries, _) = self.omap.range(&[], &[0xFF; 16]);
+        entries.hash(&mut h);
+        h.finish()
+    }
+
+    /// Fault-injection hook: silently corrupts one byte (no-op when
+    /// the payload is discarded or out of range).
+    pub(crate) fn poke(&mut self, offset: usize, byte: u8) {
+        if self.store_payload && offset < self.data.len() {
+            self.data[offset] = byte;
+        }
+    }
+}
+
+/// An object with its head version and snapshot clones.
+#[derive(Debug, Clone)]
+pub(crate) struct Object {
+    pub(crate) head: ObjectContent,
+    /// The snapshot seq this object has last been cloned for.
+    snap_seq: u64,
+    /// `(upper_snap_seq, content)` pairs, ascending by seq. A clone
+    /// serves reads for any snapshot id in
+    /// `(previous_upper, upper_snap_seq]`.
+    clones: Vec<(u64, ObjectContent)>,
+    /// Snapshot seq at creation: reads at snaps older than this see
+    /// "no object".
+    born_at: u64,
+}
+
+impl Object {
+    pub(crate) fn new(store_payload: bool, snapc: SnapContext) -> Self {
+        Object {
+            head: ObjectContent::new(store_payload),
+            snap_seq: snapc.seq.0,
+            clones: Vec::new(),
+            born_at: snapc.seq.0,
+        }
+    }
+
+    /// Copy-on-write: called before any mutation. If snapshots were
+    /// taken since the last clone, preserve the current head.
+    /// Returns the bytes cloned (0 if no clone was needed).
+    pub(crate) fn prepare_write(&mut self, snapc: SnapContext) -> u64 {
+        if snapc.seq.0 > self.snap_seq {
+            let cloned_bytes = self.head.size();
+            self.clones.push((snapc.seq.0, self.head.clone()));
+            self.snap_seq = snapc.seq.0;
+            cloned_bytes
+        } else {
+            0
+        }
+    }
+
+    /// Resolves the content visible at a snapshot (or the head).
+    ///
+    /// Returns `None` when the object did not exist at that snapshot.
+    pub(crate) fn content_at(&self, snap: Option<SnapId>) -> Option<&ObjectContent> {
+        match snap {
+            None => Some(&self.head),
+            Some(snap) => {
+                // Snapshots taken at or before creation time predate
+                // this object.
+                if snap.0 <= self.born_at {
+                    return None;
+                }
+                // First clone whose upper bound covers this snap.
+                for (upper, content) in &self.clones {
+                    if *upper >= snap.0 {
+                        return Some(content);
+                    }
+                }
+                // No clone: head has not been written since the snap.
+                Some(&self.head)
+            }
+        }
+    }
+
+    pub(crate) fn stat(&self) -> ObjectStat {
+        ObjectStat {
+            size: self.head.size(),
+            clones: self.clones.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapc(seq: u64) -> SnapContext {
+        SnapContext { seq: SnapId(seq) }
+    }
+
+    #[test]
+    fn read_zero_fills_sparse_objects() {
+        let mut c = ObjectContent::new(true);
+        c.write(10, b"abc");
+        assert_eq!(c.read(0, 14), b"\0\0\0\0\0\0\0\0\0\0abc\0");
+        assert_eq!(c.size(), 13);
+    }
+
+    #[test]
+    fn discarded_payload_tracks_size_only() {
+        let mut c = ObjectContent::new(false);
+        c.write(0, b"hello");
+        assert_eq!(c.size(), 5);
+        assert_eq!(c.read(0, 5), vec![0; 5], "payload discarded");
+    }
+
+    #[test]
+    fn aligned_write_needs_no_rmw() {
+        let mut c = ObjectContent::new(true);
+        let p = c.write(0, &[7u8; 8192]);
+        assert_eq!(p.rmw_read_ops, 0);
+        assert_eq!(p.write_bytes, 8192);
+    }
+
+    #[test]
+    fn unaligned_overwrite_needs_rmw() {
+        let mut c = ObjectContent::new(true);
+        c.write(0, &vec![1u8; 16384]); // pre-existing data
+        // Overwrite 4112 bytes at offset 4112: partial head and tail.
+        // [4112, 8224) spans physical blocks 1 and 2, both partially.
+        let p = c.write_profile(4112, 4112);
+        assert_eq!(p.rmw_read_ops, 2, "head and tail blocks both partial");
+        assert_eq!(p.rmw_read_bytes, 2 * PHYS_BLOCK);
+        assert_eq!(p.write_bytes, 2 * PHYS_BLOCK);
+    }
+
+    #[test]
+    fn unaligned_append_past_eof_needs_no_read() {
+        let c = ObjectContent::new(true);
+        let p = c.write_profile(100, 50);
+        assert_eq!(p.rmw_read_ops, 0, "nothing on disk to preserve");
+        assert_eq!(p.write_bytes, PHYS_BLOCK);
+    }
+
+    #[test]
+    fn small_overwrite_inside_existing_block() {
+        let mut c = ObjectContent::new(true);
+        c.write(0, &[9u8; 4096]);
+        let p = c.write_profile(128, 16);
+        assert_eq!(p.rmw_read_ops, 1, "one partial block to read back");
+        assert_eq!(p.write_bytes, PHYS_BLOCK);
+    }
+
+    #[test]
+    fn snapshots_cow_and_resolve() {
+        let mut obj = Object::new(true, snapc(0));
+        obj.head.write(0, b"version-1");
+        // Snapshot 1 taken; next write must clone.
+        let cloned = obj.prepare_write(snapc(1));
+        assert_eq!(cloned, 9);
+        obj.head.write(0, b"version-2");
+        // Snapshot 2; another write clones again.
+        obj.prepare_write(snapc(2));
+        obj.head.write(0, b"version-3");
+
+        assert_eq!(obj.content_at(None).unwrap().read(0, 9), b"version-3");
+        assert_eq!(
+            obj.content_at(Some(SnapId(1))).unwrap().read(0, 9),
+            b"version-1"
+        );
+        assert_eq!(
+            obj.content_at(Some(SnapId(2))).unwrap().read(0, 9),
+            b"version-2"
+        );
+    }
+
+    #[test]
+    fn multiple_snaps_between_writes_share_one_clone() {
+        let mut obj = Object::new(true, snapc(0));
+        obj.head.write(0, b"v1");
+        // Snaps 1, 2, 3 all taken before the next write.
+        obj.prepare_write(snapc(3));
+        obj.head.write(0, b"v2");
+        for s in 1..=3 {
+            assert_eq!(
+                obj.content_at(Some(SnapId(s))).unwrap().read(0, 2),
+                b"v1",
+                "snap {s}"
+            );
+        }
+        assert_eq!(obj.stat().clones, 1);
+    }
+
+    #[test]
+    fn snapshot_after_last_write_reads_head() {
+        let mut obj = Object::new(true, snapc(0));
+        obj.head.write(0, b"data");
+        // Snap 5 taken, but no write after it: head is the snapshot.
+        assert_eq!(obj.content_at(Some(SnapId(5))).unwrap().read(0, 4), b"data");
+    }
+
+    #[test]
+    fn object_born_after_snapshot_is_absent_there() {
+        let obj = Object::new(true, snapc(3));
+        assert!(obj.content_at(Some(SnapId(2))).is_none());
+        assert!(obj.content_at(Some(SnapId(3))).is_none(), "snap 3 predates creation");
+        assert!(obj.content_at(Some(SnapId(4))).is_some());
+    }
+
+    #[test]
+    fn no_cow_without_new_snapshot() {
+        let mut obj = Object::new(true, snapc(0));
+        obj.head.write(0, b"a");
+        assert_eq!(obj.prepare_write(snapc(0)), 0);
+        obj.head.write(0, b"b");
+        assert_eq!(obj.stat().clones, 0);
+    }
+
+    #[test]
+    fn fingerprint_reflects_every_facet() {
+        let mut a = ObjectContent::new(true);
+        let mut b = ObjectContent::new(true);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.write(0, b"x");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.write(0, b"x");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.omap.put(b"k".to_vec(), b"v".to_vec());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.omap.put(b"k".to_vec(), b"v".to_vec());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.xattrs.insert("attr".into(), vec![1]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn truncate_shrinks() {
+        let mut c = ObjectContent::new(true);
+        c.write(0, &[1u8; 100]);
+        c.truncate(10);
+        assert_eq!(c.size(), 10);
+        assert_eq!(c.read(0, 20), {
+            let mut v = vec![1u8; 10];
+            v.extend_from_slice(&[0u8; 10]);
+            v
+        });
+    }
+}

@@ -1,0 +1,241 @@
+//! Write transactions and read operations.
+//!
+//! A [`Transaction`] bundles mutations to **one object** and is applied
+//! atomically on every replica — the RADOS property the paper relies on
+//! to keep a sector and its IV consistent ("the Ceph RADOS protocol
+//! \[supports\] atomically writing multiple IOs", §3.1).
+
+use crate::SnapId;
+
+/// The snapshot context sent with every write: the most recent
+/// snapshot id the client knows about. An object whose last
+/// copy-on-write is older than `seq` clones itself before mutating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapContext {
+    /// Highest snapshot id visible to the writer.
+    pub seq: SnapId,
+}
+
+/// One mutation within a transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxOp {
+    /// Write `data` at byte `offset` of the object.
+    Write {
+        /// Byte offset within the object.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Truncate the object to `size` bytes.
+    Truncate(u64),
+    /// Insert/overwrite OMAP entries.
+    OmapSet(Vec<(Vec<u8>, Vec<u8>)>),
+    /// Remove OMAP keys.
+    OmapRemove(Vec<Vec<u8>>),
+    /// Set an xattr.
+    SetXattr(String, Vec<u8>),
+    /// Remove the whole object.
+    Delete,
+}
+
+/// An atomic multi-op write to a single object.
+///
+/// # Example
+///
+/// ```
+/// use vdisk_rados::Transaction;
+/// let mut tx = Transaction::new("rbd_data.disk0.000000000000002a");
+/// tx.write(0, vec![0xAB; 4096]);            // the encrypted sector
+/// tx.omap_set(vec![(b"iv.0".to_vec(), vec![0x11; 16])]); // its IV
+/// assert_eq!(tx.ops.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transaction {
+    /// Target object name.
+    pub object: String,
+    /// Snapshot context (filled in by the cluster when left default).
+    pub snapc: Option<SnapContext>,
+    /// Mutations, applied in order, atomically.
+    pub ops: Vec<TxOp>,
+}
+
+impl Transaction {
+    /// Starts an empty transaction against `object`.
+    #[must_use]
+    pub fn new(object: impl Into<String>) -> Self {
+        Transaction {
+            object: object.into(),
+            snapc: None,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Adds a data write.
+    pub fn write(&mut self, offset: u64, data: Vec<u8>) -> &mut Self {
+        self.ops.push(TxOp::Write { offset, data });
+        self
+    }
+
+    /// Adds a truncate.
+    pub fn truncate(&mut self, size: u64) -> &mut Self {
+        self.ops.push(TxOp::Truncate(size));
+        self
+    }
+
+    /// Adds OMAP insertions.
+    pub fn omap_set(&mut self, entries: Vec<(Vec<u8>, Vec<u8>)>) -> &mut Self {
+        self.ops.push(TxOp::OmapSet(entries));
+        self
+    }
+
+    /// Adds OMAP removals.
+    pub fn omap_remove(&mut self, keys: Vec<Vec<u8>>) -> &mut Self {
+        self.ops.push(TxOp::OmapRemove(keys));
+        self
+    }
+
+    /// Adds an xattr write.
+    pub fn set_xattr(&mut self, name: impl Into<String>, value: Vec<u8>) -> &mut Self {
+        self.ops.push(TxOp::SetXattr(name.into(), value));
+        self
+    }
+
+    /// Adds object deletion.
+    pub fn delete(&mut self) -> &mut Self {
+        self.ops.push(TxOp::Delete);
+        self
+    }
+
+    /// Overrides the snapshot context (the cluster fills in its
+    /// current sequence when this is `None`).
+    pub fn with_snapc(&mut self, snapc: SnapContext) -> &mut Self {
+        self.snapc = Some(snapc);
+        self
+    }
+
+    /// Total payload bytes carried by this transaction (data + omap),
+    /// used for network cost accounting.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TxOp::Write { data, .. } => data.len() as u64,
+                TxOp::OmapSet(entries) => entries
+                    .iter()
+                    .map(|(k, v)| (k.len() + v.len()) as u64)
+                    .sum(),
+                TxOp::OmapRemove(keys) => keys.iter().map(|k| k.len() as u64).sum(),
+                TxOp::SetXattr(name, value) => (name.len() + value.len()) as u64,
+                TxOp::Truncate(_) | TxOp::Delete => 0,
+            })
+            .sum()
+    }
+}
+
+/// One read operation against an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOp {
+    /// Read `len` bytes at `offset` (zero-filled past EOF).
+    Read {
+        /// Byte offset within the object.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// Fetch OMAP entries with keys in `[start, end)`.
+    OmapGetRange {
+        /// Inclusive lower key bound.
+        start: Vec<u8>,
+        /// Exclusive upper key bound.
+        end: Vec<u8>,
+    },
+    /// Fetch specific OMAP keys (absent keys are omitted).
+    OmapGetKeys(Vec<Vec<u8>>),
+    /// Fetch one xattr.
+    GetXattr(String),
+    /// Object metadata.
+    Stat,
+}
+
+/// The result of one [`ReadOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadResult {
+    /// Data bytes from a [`ReadOp::Read`].
+    Data(Vec<u8>),
+    /// OMAP entries, sorted by key.
+    OmapEntries(Vec<(Vec<u8>, Vec<u8>)>),
+    /// Xattr value, if present.
+    Xattr(Option<Vec<u8>>),
+    /// Stat result.
+    Stat {
+        /// Logical object size.
+        size: u64,
+    },
+}
+
+impl ReadResult {
+    /// Unwraps a data result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not `Data`.
+    #[must_use]
+    pub fn as_data(&self) -> &[u8] {
+        match self {
+            ReadResult::Data(d) => d,
+            other => panic!("expected Data result, got {other:?}"),
+        }
+    }
+
+    /// Unwraps an OMAP result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not `OmapEntries`.
+    #[must_use]
+    pub fn as_omap(&self) -> &[(Vec<u8>, Vec<u8>)] {
+        match self {
+            ReadResult::OmapEntries(e) => e,
+            other => panic!("expected OmapEntries result, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut tx = Transaction::new("obj");
+        tx.write(0, vec![1, 2, 3])
+            .omap_set(vec![(b"k".to_vec(), b"v".to_vec())])
+            .set_xattr("a", vec![9])
+            .truncate(100);
+        assert_eq!(tx.ops.len(), 4);
+        assert_eq!(tx.object, "obj");
+    }
+
+    #[test]
+    fn payload_bytes_counts_data_and_metadata() {
+        let mut tx = Transaction::new("obj");
+        tx.write(0, vec![0; 100]);
+        tx.omap_set(vec![(vec![0; 8], vec![0; 16])]);
+        tx.set_xattr("ab", vec![0; 10]);
+        assert_eq!(tx.payload_bytes(), 100 + 24 + 12);
+    }
+
+    #[test]
+    fn read_result_accessors() {
+        assert_eq!(ReadResult::Data(vec![1]).as_data(), &[1]);
+        let omap = ReadResult::OmapEntries(vec![(vec![1], vec![2])]);
+        assert_eq!(omap.as_omap(), &[(vec![1], vec![2])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Data")]
+    fn wrong_accessor_panics() {
+        let _ = ReadResult::Stat { size: 0 }.as_data();
+    }
+}

@@ -1,0 +1,140 @@
+//! LBA→object striping arithmetic.
+
+/// One object-local piece of a logical IO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectExtent {
+    /// Object index within the image.
+    pub object_no: u64,
+    /// Byte offset within the object.
+    pub offset: u64,
+    /// Length of this piece in bytes.
+    pub len: u64,
+    /// Offset of this piece within the logical IO's buffer.
+    pub buf_offset: u64,
+}
+
+/// Splits logical extents into object extents (stripe unit = object
+/// size, as in default RBD striping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Striper {
+    object_size: u64,
+}
+
+impl Striper {
+    /// Creates a striper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object_size` is zero.
+    #[must_use]
+    pub fn new(object_size: u64) -> Self {
+        assert!(object_size > 0, "object size must be positive");
+        Striper { object_size }
+    }
+
+    /// The object size.
+    #[must_use]
+    pub fn object_size(&self) -> u64 {
+        self.object_size
+    }
+
+    /// Maps `[offset, offset + len)` to object extents, in ascending
+    /// object order.
+    #[must_use]
+    pub fn map(&self, offset: u64, len: u64) -> Vec<ObjectExtent> {
+        let mut extents = Vec::new();
+        let mut remaining = len;
+        let mut cursor = offset;
+        let mut buf_offset = 0u64;
+        while remaining > 0 {
+            let object_no = cursor / self.object_size;
+            let in_object = cursor % self.object_size;
+            let take = remaining.min(self.object_size - in_object);
+            extents.push(ObjectExtent {
+                object_no,
+                offset: in_object,
+                len: take,
+                buf_offset,
+            });
+            cursor += take;
+            buf_offset += take;
+            remaining -= take;
+        }
+        extents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB4: u64 = 4 << 20;
+
+    #[test]
+    fn io_inside_one_object() {
+        let s = Striper::new(MB4);
+        let extents = s.map(4096, 8192);
+        assert_eq!(
+            extents,
+            vec![ObjectExtent {
+                object_no: 0,
+                offset: 4096,
+                len: 8192,
+                buf_offset: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn io_spanning_two_objects() {
+        let s = Striper::new(MB4);
+        let extents = s.map(MB4 - 4096, 12288);
+        assert_eq!(extents.len(), 2);
+        assert_eq!(extents[0].object_no, 0);
+        assert_eq!(extents[0].offset, MB4 - 4096);
+        assert_eq!(extents[0].len, 4096);
+        assert_eq!(extents[0].buf_offset, 0);
+        assert_eq!(extents[1].object_no, 1);
+        assert_eq!(extents[1].offset, 0);
+        assert_eq!(extents[1].len, 8192);
+        assert_eq!(extents[1].buf_offset, 4096);
+    }
+
+    #[test]
+    fn whole_object_io() {
+        let s = Striper::new(MB4);
+        let extents = s.map(3 * MB4, MB4);
+        assert_eq!(extents.len(), 1);
+        assert_eq!(extents[0].object_no, 3);
+        assert_eq!(extents[0].offset, 0);
+        assert_eq!(extents[0].len, MB4);
+    }
+
+    #[test]
+    fn multi_object_lengths_sum() {
+        let s = Striper::new(MB4);
+        let extents = s.map(1_000_000, 10_000_000);
+        let total: u64 = extents.iter().map(|e| e.len).sum();
+        assert_eq!(total, 10_000_000);
+        // buf offsets are contiguous.
+        let mut expected = 0;
+        for e in &extents {
+            assert_eq!(e.buf_offset, expected);
+            expected += e.len;
+        }
+        // object numbers ascend.
+        assert!(extents.windows(2).all(|w| w[0].object_no < w[1].object_no));
+    }
+
+    #[test]
+    fn zero_length_maps_to_nothing() {
+        let s = Striper::new(MB4);
+        assert!(s.map(123, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "object size must be positive")]
+    fn zero_object_size_rejected() {
+        let _ = Striper::new(0);
+    }
+}

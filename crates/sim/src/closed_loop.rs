@@ -1,0 +1,280 @@
+//! Closed-loop workload runner: keeps a fixed number of IOs in flight,
+//! exactly like `fio` with `iodepth=N` (the paper uses 32).
+
+use crate::engine::{Engine, Simulator};
+use crate::plan::Plan;
+use crate::time::{SimDuration, SimTime};
+
+/// Latency distribution summary over completed IOs.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    /// Mean completion latency.
+    pub mean: SimDuration,
+    /// Median (p50).
+    pub p50: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// Maximum observed.
+    pub max: SimDuration,
+}
+
+/// Results of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopStats {
+    /// IOs completed.
+    pub ops: u64,
+    /// Payload bytes moved (as reported by the plan generator).
+    pub bytes: u64,
+    /// Total simulated wall time (first issue to last completion).
+    pub makespan: SimDuration,
+    /// Latency summary.
+    pub latency: LatencyStats,
+}
+
+impl ClosedLoopStats {
+    /// Throughput in MB/s (decimal MB, as the paper's figures use).
+    #[must_use]
+    pub fn bandwidth_mb_s(&self) -> f64 {
+        if self.makespan == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.bytes as f64 / 1e6 / self.makespan.as_secs_f64()
+    }
+
+    /// Throughput in IOs per second.
+    #[must_use]
+    pub fn iops(&self) -> f64 {
+        if self.makespan == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.ops as f64 / self.makespan.as_secs_f64()
+    }
+}
+
+impl Simulator {
+    /// Runs `total_ops` plans with `queue_depth` in flight at all
+    /// times: the next IO is issued the moment one completes, as fio
+    /// does with `iodepth=N`. `make_plan(i)` returns the plan for the
+    /// i-th IO and the payload bytes it should be credited with.
+    ///
+    /// The simulator is reset before the run, so each call measures an
+    /// independent workload on idle hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth == 0` or `total_ops == 0`.
+    pub fn run_closed_loop(
+        &mut self,
+        queue_depth: usize,
+        total_ops: u64,
+        mut make_plan: impl FnMut(u64) -> (Plan, u64),
+    ) -> ClosedLoopStats {
+        assert!(queue_depth > 0, "queue depth must be positive");
+        assert!(total_ops > 0, "must run at least one op");
+        self.reset();
+
+        let mut engine = Engine::new(&mut self.resources);
+        let mut total_bytes = 0u64;
+        let mut issued = 0u64;
+        let mut completed = 0u64;
+        let mut latencies: Vec<SimDuration> = Vec::with_capacity(total_ops as usize);
+        let mut last_completion = SimTime::ZERO;
+
+        while issued < total_ops.min(queue_depth as u64) {
+            let (plan, bytes) = make_plan(issued);
+            total_bytes += bytes;
+            engine.issue(&plan, SimTime::ZERO);
+            issued += 1;
+        }
+        while completed < total_ops {
+            let (inst, t) = engine
+                .run_until_completion()
+                .expect("outstanding IOs must complete");
+            completed += 1;
+            last_completion = last_completion.max(t);
+            let issued_at = engine.instances[inst].issued_at;
+            latencies.push(t - issued_at);
+            if issued < total_ops {
+                let (plan, bytes) = make_plan(issued);
+                total_bytes += bytes;
+                engine.issue(&plan, t);
+                issued += 1;
+            }
+        }
+
+        latencies.sort_unstable();
+        let sum_ns: u64 = latencies.iter().map(|d| d.as_nanos()).sum();
+        let pct = |p: f64| -> SimDuration {
+            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            latencies[idx]
+        };
+        ClosedLoopStats {
+            ops: total_ops,
+            bytes: total_bytes,
+            makespan: last_completion - SimTime::ZERO,
+            latency: LatencyStats {
+                mean: SimDuration::from_nanos(sum_ns / total_ops),
+                p50: pct(0.50),
+                p99: pct(0.99),
+                max: *latencies.last().expect("at least one op"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceSpec;
+
+    #[test]
+    fn throughput_matches_single_pipe_rate() {
+        // A single 1 GB/s pipe with negligible per-op cost: large-IO
+        // closed-loop throughput must approach 1000 MB/s.
+        let mut sim = Simulator::new();
+        let pipe = sim.add_resource(ResourceSpec::pipe(
+            "pipe",
+            1e9,
+            SimDuration::from_nanos(1),
+        ));
+        let io = 1 << 20; // 1 MiB
+        let stats = sim.run_closed_loop(8, 200, |_| (Plan::op(pipe, io), io));
+        let bw = stats.bandwidth_mb_s();
+        assert!((bw - 1000.0).abs() < 20.0, "bw = {bw} MB/s");
+    }
+
+    #[test]
+    fn iops_bound_by_per_op_latency() {
+        // One server, 10µs per op, zero bytes: 100K IOPS regardless of
+        // queue depth.
+        let mut sim = Simulator::new();
+        let r = sim.add_resource(ResourceSpec::latency_only(
+            "svc",
+            1,
+            SimDuration::from_micros(10),
+        ));
+        let stats = sim.run_closed_loop(32, 1000, |_| (Plan::op(r, 0), 0));
+        let iops = stats.iops();
+        assert!((iops - 100_000.0).abs() < 1_000.0, "iops = {iops}");
+    }
+
+    #[test]
+    fn queue_depth_scales_k_server_throughput() {
+        // 8 servers, 100µs per op: QD1 -> 10K IOPS, QD8 -> 80K IOPS.
+        let make = || {
+            let mut sim = Simulator::new();
+            let r = sim.add_resource(ResourceSpec::latency_only(
+                "svc",
+                8,
+                SimDuration::from_micros(100),
+            ));
+            (sim, r)
+        };
+        let (mut sim, r) = make();
+        let qd1 = sim.run_closed_loop(1, 500, |_| (Plan::op(r, 0), 0)).iops();
+        let (mut sim, r) = make();
+        let qd8 = sim.run_closed_loop(8, 500, |_| (Plan::op(r, 0), 0)).iops();
+        assert!((qd1 - 10_000.0).abs() < 200.0, "qd1 = {qd1}");
+        assert!((qd8 - 80_000.0).abs() < 2_000.0, "qd8 = {qd8}");
+    }
+
+    #[test]
+    fn two_stage_pipeline_overlaps() {
+        // Stage A (10µs) then stage B (10µs), both 1-server: a closed
+        // loop at QD2 should pipeline to ~100K IOPS (stage-limited),
+        // not 50K (latency-limited).
+        let mut sim = Simulator::new();
+        let a = sim.add_resource(ResourceSpec::latency_only("a", 1, SimDuration::from_micros(10)));
+        let b = sim.add_resource(ResourceSpec::latency_only("b", 1, SimDuration::from_micros(10)));
+        let stats = sim.run_closed_loop(2, 2000, |_| {
+            (Plan::seq([Plan::op(a, 0), Plan::op(b, 0)]), 0)
+        });
+        let iops = stats.iops();
+        assert!(
+            (iops - 100_000.0).abs() < 3_000.0,
+            "pipeline must overlap stages: {iops}"
+        );
+    }
+
+    #[test]
+    fn latency_stats_ordered() {
+        let mut sim = Simulator::new();
+        let r = sim.add_resource(ResourceSpec::pipe(
+            "p",
+            1e9,
+            SimDuration::from_micros(10),
+        ));
+        let stats = sim.run_closed_loop(4, 100, |i| {
+            let bytes = (i % 7) * 10_000;
+            (Plan::op(r, bytes), bytes)
+        });
+        assert!(stats.latency.p50 <= stats.latency.p99);
+        assert!(stats.latency.p99 <= stats.latency.max);
+        assert!(stats.latency.mean <= stats.latency.max);
+        assert_eq!(stats.ops, 100);
+    }
+
+    #[test]
+    fn deeper_queue_never_reduces_bandwidth() {
+        let build = || {
+            let mut sim = Simulator::new();
+            let disk = sim.add_resource(ResourceSpec::servers(
+                "disk",
+                4,
+                2e9,
+                SimDuration::from_micros(80),
+            ));
+            (sim, disk)
+        };
+        let (mut sim, disk) = build();
+        let bw1 = sim
+            .run_closed_loop(1, 300, |_| (Plan::op(disk, 4096), 4096))
+            .bandwidth_mb_s();
+        let (mut sim, disk) = build();
+        let bw32 = sim
+            .run_closed_loop(32, 300, |_| (Plan::op(disk, 4096), 4096))
+            .bandwidth_mb_s();
+        assert!(bw32 > bw1, "qd32 ({bw32}) must beat qd1 ({bw1})");
+    }
+
+    #[test]
+    fn extra_stage_work_shows_up_under_load() {
+        // Two workloads differing by one extra disk op per IO: the
+        // closed-loop bandwidths must differ measurably (this is the
+        // regression test for the reserve-at-issue flattening bug).
+        let build = || {
+            let mut sim = Simulator::new();
+            let disk = sim.add_resource(ResourceSpec::servers(
+                "disk",
+                2,
+                1e9,
+                SimDuration::from_micros(100),
+            ));
+            (sim, disk)
+        };
+        let (mut sim, disk) = build();
+        let light = sim
+            .run_closed_loop(16, 400, |_| (Plan::op(disk, 4096), 4096))
+            .bandwidth_mb_s();
+        let (mut sim, disk) = build();
+        let heavy = sim
+            .run_closed_loop(16, 400, |_| {
+                (
+                    Plan::seq([Plan::op(disk, 4096), Plan::op(disk, 4096)]),
+                    4096,
+                )
+            })
+            .bandwidth_mb_s();
+        assert!(
+            light > heavy * 1.6,
+            "double disk work must cost ~2x under saturation: {light} vs {heavy}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth must be positive")]
+    fn zero_queue_depth_panics() {
+        let mut sim = Simulator::new();
+        sim.run_closed_loop(0, 1, |_| (Plan::Noop, 0));
+    }
+}

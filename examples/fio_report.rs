@@ -1,0 +1,51 @@
+//! A miniature fio session against the simulated testbed: runs the
+//! paper's four variants at a few IO sizes and prints a bandwidth /
+//! latency report — the quickest way to see the Fig. 3/4 trade-offs
+//! without running the full benchmark sweep.
+//!
+//! Run with: `cargo run --release --example fio_report`
+
+use vdisk::bench::fio::{self, IoPattern, JobSpec};
+use vdisk::bench::testbed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let io_sizes = [4 << 10, 64 << 10, 1 << 20];
+    println!(
+        "randwrite, QD {}, {} MiB image (simulated 3-node NVMe cluster)\n",
+        testbed::PAPER_QUEUE_DEPTH,
+        32
+    );
+    println!(
+        "{:>12} {:>8} {:>12} {:>12} {:>12}",
+        "variant", "IO", "MB/s", "mean lat", "p99 lat"
+    );
+    for variant in testbed::paper_variants() {
+        let mut disk = testbed::bench_disk(&variant.config, 32 << 20, 7);
+        fio::precondition(&mut disk)?;
+        for io_size in io_sizes {
+            let stats = fio::run_job(
+                &mut disk,
+                &JobSpec {
+                    pattern: IoPattern::RandWrite,
+                    io_size,
+                    queue_depth: testbed::PAPER_QUEUE_DEPTH,
+                    ops: 128.min(fio::default_ops_for(io_size)),
+                    seed: 1,
+                },
+            )?;
+            println!(
+                "{:>12} {:>6}KB {:>12.0} {:>12} {:>12}",
+                variant.label,
+                io_size / 1024,
+                stats.bandwidth_mb_s(),
+                format!("{}", stats.latency.mean),
+                format!("{}", stats.latency.p99),
+            );
+        }
+    }
+    println!(
+        "\nNote: bandwidths are simulated time from the calibrated cost model; \
+         encryption, layouts and the object store do their real work."
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: create an encrypted virtual disk with random persisted
+//! IVs (the paper's object-end layout), write, read back, snapshot,
+//! and inspect what actually hit the object store.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vdisk::core::{EncryptedImage, EncryptionConfig};
+use vdisk::rados::Cluster;
+use vdisk::rbd::Image;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A simulated 3-node Ceph-like cluster, 3-way replication.
+    let cluster = Cluster::builder().build();
+
+    // A 64 MiB virtual disk striped over 4 MB objects.
+    let image = Image::create(&cluster, "vm-disk", 64 << 20)?;
+
+    // The paper's proposal: AES-256-XTS with a fresh random IV per
+    // sector write, IVs batched at the object end (Fig. 2b).
+    let config = EncryptionConfig::random_iv_object_end();
+    let mut disk = EncryptedImage::format(image, &config, b"correct horse battery staple")?;
+
+    // Ordinary block IO. Writes encrypt client-side; the data and its
+    // IVs ride one atomic RADOS transaction.
+    disk.write(0, b"MBR: definitely not secret")?;
+    disk.write(8 << 20, &vec![0xDB; 16384])?; // a database extent
+
+    let mut boot = vec![0u8; 26];
+    disk.read(0, &mut boot)?;
+    assert_eq!(&boot, b"MBR: definitely not secret");
+    println!("read-back OK: {:?}", String::from_utf8_lossy(&boot));
+
+    // Snapshots: the object store keeps COW clones; old data stays
+    // readable at its snapshot.
+    let snap = disk.snap_create("before-upgrade")?;
+    disk.write(0, b"MBR: overwritten by upgrade!")?;
+
+    let mut old = vec![0u8; 26];
+    disk.read_at_snap(snap, 0, &mut old)?;
+    assert_eq!(&old, b"MBR: definitely not secret");
+    println!("snapshot read OK: {:?}", String::from_utf8_lossy(&old));
+
+    // What does the store actually hold? Ciphertext + a 16-byte IV per
+    // sector. Nothing readable.
+    let observed = disk.observe_sector(0, None)?;
+    println!(
+        "sector 0 on disk: {} ciphertext bytes, IV = {}",
+        observed.ciphertext.len(),
+        vdisk::crypto::mem::to_hex(observed.meta.as_deref().unwrap_or(&[]))
+    );
+    assert!(!observed
+        .ciphertext
+        .windows(3)
+        .any(|w| w == b"MBR"), "plaintext must never reach the store");
+
+    // Reopen with the passphrase (header + keyslot machinery).
+    let image = Image::open(&cluster, "vm-disk")?;
+    let reopened = EncryptedImage::open(image, b"correct horse battery staple")?;
+    let mut check = vec![0u8; 28];
+    reopened.read(0, &mut check)?;
+    assert_eq!(&check, b"MBR: overwritten by upgrade!");
+    println!("reopen with passphrase OK");
+
+    // Wrong passphrase fails closed.
+    let image = Image::open(&cluster, "vm-disk")?;
+    assert!(EncryptedImage::open(image, b"wrong").is_err());
+    println!("wrong passphrase rejected");
+
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! The paper's core security argument, §1–§2, demonstrated end-to-end.
+//!
+//! With deterministic LBA-derived IVs (LUKS2 baseline), snapshots keep
+//! multiple versions of a sector encrypted **under the same IV**, so an
+//! adversary inspecting the backing store can:
+//!
+//! 1. detect whether a sector changed between snapshots (equality leak),
+//! 2. locate the change at 16-byte sub-block granularity (XTS is
+//!    narrow-block),
+//! 3. splice sub-blocks of two versions into a ciphertext that decrypts
+//!    cleanly to data that was *never written* (mix-and-match).
+//!
+//! With the paper's random persisted IVs, all three vanish.
+//!
+//! Run with: `cargo run --release --example snapshot_security`
+
+use vdisk::core::audit::{differing_subblocks, diff_ratio};
+use vdisk::core::{EncryptedImage, EncryptionConfig, MetaLayout};
+use vdisk::rados::Cluster;
+use vdisk::rbd::Image;
+
+fn observe_two_versions(
+    config: &EncryptionConfig,
+    name: &str,
+) -> Result<(Vec<u8>, Vec<u8>), Box<dyn std::error::Error>> {
+    let cluster = Cluster::builder().build();
+    let image = Image::create(&cluster, name, 16 << 20)?;
+    let mut disk = EncryptedImage::format(image, config, b"pw")?;
+
+    // Version 1: a sector of records; snapshot it.
+    let mut v1 = vec![0x41u8; 4096];
+    v1[1024..1040].copy_from_slice(b"balance: $100.00");
+    disk.write(0, &v1)?;
+    let snap = disk.snap_create("audit-point")?;
+
+    // Version 2: one record changes (16 bytes at offset 1024).
+    let mut v2 = v1.clone();
+    v2[1024..1040].copy_from_slice(b"balance: $999.99");
+    disk.write(0, &v2)?;
+
+    // The adversary reads raw ciphertext of BOTH versions — the whole
+    // point of snapshots is that the old version is still there.
+    let old = disk.observe_sector(0, Some(snap))?;
+    let new = disk.observe_sector(0, None)?;
+    Ok((old.ciphertext, new.ciphertext))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Baseline: LUKS2, deterministic LBA IV ===");
+    let (old, new) = observe_two_versions(&EncryptionConfig::luks2_baseline(), "luks2")?;
+    let diff = differing_subblocks(&old, &new, 16);
+    println!(
+        "adversary sees {} of 256 sub-blocks changed: {:?}",
+        diff.len(),
+        diff
+    );
+    assert_eq!(
+        diff,
+        vec![64],
+        "exactly the changed 16-byte record leaks its position"
+    );
+    println!(
+        "-> the adversary knows WHERE the change is (sub-block 64 = byte offset {}), \
+         and that nothing else changed",
+        64 * 16
+    );
+
+    println!("\n=== Paper's design: random persisted IV (object end) ===");
+    let (old, new) = observe_two_versions(
+        &EncryptionConfig::random_iv(MetaLayout::ObjectEnd),
+        "random-iv",
+    )?;
+    let ratio = diff_ratio(&old, &new, 16);
+    println!(
+        "adversary sees {:.1}% of sub-blocks changed — indistinguishable from a full rewrite",
+        ratio * 100.0
+    );
+    assert!(
+        ratio > 0.99,
+        "with fresh IVs, every sub-block differs between versions"
+    );
+
+    // Also true for an overwrite with IDENTICAL data: the baseline
+    // leaks "nothing changed"; random IVs do not.
+    println!("\n=== Overwrite with identical plaintext ===");
+    for (label, config) in [
+        ("LUKS2", EncryptionConfig::luks2_baseline()),
+        ("random IV", EncryptionConfig::random_iv(MetaLayout::ObjectEnd)),
+    ] {
+        let cluster = Cluster::builder().build();
+        let image = Image::create(&cluster, "ow", 16 << 20)?;
+        let mut disk = EncryptedImage::format(image, &config, b"pw")?;
+        disk.write(0, &vec![7u8; 4096])?;
+        let snap = disk.snap_create("s")?;
+        disk.write(0, &vec![7u8; 4096])?; // same bytes again
+        let a = disk.observe_sector(0, Some(snap))?;
+        let b = disk.observe_sector(0, None)?;
+        println!(
+            "{label:>10}: ciphertexts equal across overwrite? {}",
+            a.ciphertext_equals(&b)
+        );
+        if label == "LUKS2" {
+            assert!(a.ciphertext_equals(&b), "the determinism leak");
+        } else {
+            assert!(!a.ciphertext_equals(&b), "hidden by the random IV");
+        }
+    }
+
+    println!("\nAll security properties demonstrated.");
+    Ok(())
+}
