@@ -17,13 +17,8 @@ fn disk_for(config: &EncryptionConfig) -> EncryptedImage {
         .payload_mode(PayloadMode::Discarded)
         .build();
     let image = Image::create(&cluster, "ablate", IMAGE).expect("image");
-    EncryptedImage::format_with_iv_source(
-        image,
-        config,
-        b"pass",
-        Box::new(SeededIvSource::new(11)),
-    )
-    .expect("format")
+    EncryptedImage::format_with_iv_source(image, config, b"pass", Box::new(SeededIvSource::new(11)))
+        .expect("format")
 }
 
 fn write_bw(config: &EncryptionConfig, io_size: u64, qd: usize) -> f64 {
@@ -50,7 +45,10 @@ fn main() {
     let variants: Vec<(&str, EncryptionConfig)> = vec![
         ("LUKS2 baseline", EncryptionConfig::luks2_baseline()),
         ("random IV", EncryptionConfig::random_iv_object_end()),
-        ("random IV + MAC", EncryptionConfig::random_iv_object_end().with_mac()),
+        (
+            "random IV + MAC",
+            EncryptionConfig::random_iv_object_end().with_mac(),
+        ),
         (
             "random IV + MAC + snap-bind",
             EncryptionConfig::random_iv_object_end()

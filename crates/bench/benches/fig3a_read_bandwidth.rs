@@ -6,11 +6,21 @@ use vdisk_bench::fio::IoPattern;
 use vdisk_bench::testbed;
 
 fn main() {
-    println!("Reproducing Fig. 3a (randread, QD {}, {} MiB image)",
-             testbed::PAPER_QUEUE_DEPTH, testbed::BENCH_IMAGE_SIZE >> 20);
+    println!(
+        "Reproducing Fig. 3a (randread, QD {}, {} MiB image)",
+        testbed::PAPER_QUEUE_DEPTH,
+        testbed::BENCH_IMAGE_SIZE >> 20
+    );
     let points = figures::run_sweep(IoPattern::RandRead, testbed::BENCH_IMAGE_SIZE, 0xA11CE);
     figures::print_bandwidth_table("Fig. 3a: read bandwidth [MB/s]", &points);
     let checks = figures::check_read_shape(&points);
     let ok = figures::report_checks(&checks);
-    println!("\nfig3a shape reproduction: {}", if ok { "OK" } else { "DEVIATION (see FAIL lines)" });
+    println!(
+        "\nfig3a shape reproduction: {}",
+        if ok {
+            "OK"
+        } else {
+            "DEVIATION (see FAIL lines)"
+        }
+    );
 }

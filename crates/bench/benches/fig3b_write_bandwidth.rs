@@ -6,11 +6,21 @@ use vdisk_bench::fio::IoPattern;
 use vdisk_bench::testbed;
 
 fn main() {
-    println!("Reproducing Fig. 3b (randwrite, QD {}, {} MiB image)",
-             testbed::PAPER_QUEUE_DEPTH, testbed::BENCH_IMAGE_SIZE >> 20);
+    println!(
+        "Reproducing Fig. 3b (randwrite, QD {}, {} MiB image)",
+        testbed::PAPER_QUEUE_DEPTH,
+        testbed::BENCH_IMAGE_SIZE >> 20
+    );
     let points = figures::run_sweep(IoPattern::RandWrite, testbed::BENCH_IMAGE_SIZE, 0xB0B);
     figures::print_bandwidth_table("Fig. 3b: write bandwidth [MB/s]", &points);
     let checks = figures::check_write_shape(&points);
     let ok = figures::report_checks(&checks);
-    println!("\nfig3b shape reproduction: {}", if ok { "OK" } else { "DEVIATION (see FAIL lines)" });
+    println!(
+        "\nfig3b shape reproduction: {}",
+        if ok {
+            "OK"
+        } else {
+            "DEVIATION (see FAIL lines)"
+        }
+    );
 }

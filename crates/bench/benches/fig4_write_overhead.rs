@@ -7,7 +7,7 @@ use vdisk_bench::testbed;
 
 fn main() {
     println!("Reproducing Fig. 4 (write overhead vs LUKS2)");
-    let points = figures::run_sweep(IoPattern::RandWrite, testbed::BENCH_IMAGE_SIZE, 0xF16_4);
+    let points = figures::run_sweep(IoPattern::RandWrite, testbed::BENCH_IMAGE_SIZE, 0xF164);
     figures::print_overhead_table(&points);
     let checks = figures::check_write_shape(&points);
     let ok = figures::report_checks(&checks);
@@ -20,5 +20,12 @@ fn main() {
     let min = range.iter().cloned().fold(f64::MAX, f64::min);
     let max = range.iter().cloned().fold(f64::MIN, f64::max);
     println!("\nheadline: object-end write overhead spans {min:.1}%..{max:.1}% (paper: 1%..22%)");
-    println!("fig4 shape reproduction: {}", if ok { "OK" } else { "DEVIATION (see FAIL lines)" });
+    println!(
+        "fig4 shape reproduction: {}",
+        if ok {
+            "OK"
+        } else {
+            "DEVIATION (see FAIL lines)"
+        }
+    );
 }

@@ -7,11 +7,17 @@ use vdisk_bench::fio::{self, IoPattern, JobSpec};
 use vdisk_bench::testbed;
 
 fn main() {
-    let pattern = if std::env::args().any(|a| a == "read") { IoPattern::RandRead } else { IoPattern::RandWrite };
+    let pattern = if std::env::args().any(|a| a == "read") {
+        IoPattern::RandRead
+    } else {
+        IoPattern::RandWrite
+    };
     println!("pattern: {pattern:?}");
     let sizes: Vec<u64> = testbed::paper_io_sizes();
     print!("{:>10}", "IO[KB]");
-    for v in testbed::paper_variants() { print!("{:>12}", v.label); }
+    for v in testbed::paper_variants() {
+        print!("{:>12}", v.label);
+    }
     println!("{:>12}{:>12}{:>12}", "ua%", "oe%", "omap%");
     let mut results: Vec<Vec<f64>> = Vec::new();
     for variant in testbed::paper_variants() {
@@ -19,17 +25,26 @@ fn main() {
         fio::precondition(&mut disk).unwrap();
         let mut row = Vec::new();
         for &s in &sizes {
-            let stats = fio::run_job(&mut disk, &JobSpec {
-                pattern, io_size: s, queue_depth: 32,
-                ops: fio::default_ops_for(s).min(256), seed: 3 ^ s,
-            }).unwrap();
+            let stats = fio::run_job(
+                &mut disk,
+                &JobSpec {
+                    pattern,
+                    io_size: s,
+                    queue_depth: 32,
+                    ops: fio::default_ops_for(s).min(256),
+                    seed: 3 ^ s,
+                },
+            )
+            .unwrap();
             row.push(stats.bandwidth_mb_s());
         }
         results.push(row);
     }
     for (i, &s) in sizes.iter().enumerate() {
         print!("{:>10}", s / 1024);
-        for row in &results { print!("{:>12.0}", row[i]); }
+        for row in &results {
+            print!("{:>12.0}", row[i]);
+        }
         for v in 1..4 {
             print!("{:>11.1}%", (1.0 - results[v][i] / results[0][i]) * 100.0);
         }

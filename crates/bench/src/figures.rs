@@ -319,17 +319,11 @@ mod tests {
         // need to be accessed (one for the data and one for the IV)
         // versus one in the baseline"
         assert_eq!(theoretical_sectors(4096, None), 1);
-        assert_eq!(
-            theoretical_sectors(4096, Some(MetaLayout::ObjectEnd)),
-            2
-        );
+        assert_eq!(theoretical_sectors(4096, Some(MetaLayout::ObjectEnd)), 2);
         // "a 32KB IO typically requires 9 sectors to be accessed
         // versus 8 in the baseline"
         assert_eq!(theoretical_sectors(32768, None), 8);
-        assert_eq!(
-            theoretical_sectors(32768, Some(MetaLayout::ObjectEnd)),
-            9
-        );
+        assert_eq!(theoretical_sectors(32768, Some(MetaLayout::ObjectEnd)), 9);
     }
 
     #[test]

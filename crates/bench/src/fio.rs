@@ -1,9 +1,8 @@
 //! A fio-like closed-loop workload generator (the paper drives its
 //! evaluation with fio randread/randwrite at QD 32, §3.3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
 use vdisk_core::{EncryptedImage, Result};
+use vdisk_crypto::rng::SeededRng;
 use vdisk_sim::ClosedLoopStats;
 
 /// Access pattern.
@@ -60,7 +59,7 @@ pub fn default_ops_for(io_size: u64) -> u64 {
 pub fn precondition(disk: &mut EncryptedImage) -> Result<()> {
     let chunk = disk.image().object_size();
     let size = disk.image().size();
-    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let mut rng = SeededRng::new(0xFEED);
     let mut buf = vec![0u8; chunk as usize];
     rng.fill_bytes(&mut buf[..4096]);
     let mut offset = 0;
@@ -89,7 +88,7 @@ pub fn run_job(disk: &mut EncryptedImage, spec: &JobSpec) -> Result<ClosedLoopSt
     let image_size = disk.image().size();
     assert!(spec.io_size <= image_size, "io_size exceeds image");
     let slots = image_size / spec.io_size;
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SeededRng::new(spec.seed);
 
     // fio-style payload: one random buffer reused across IOs (the
     // cost model is content-independent; encryption still runs on it).
@@ -101,7 +100,7 @@ pub fn run_job(disk: &mut EncryptedImage, spec: &JobSpec) -> Result<ClosedLoopSt
     let mut read_buf = vec![0u8; spec.io_size as usize];
     for i in 0..spec.ops {
         let offset = match spec.pattern {
-            IoPattern::RandRead | IoPattern::RandWrite => rng.gen_range(0..slots) * spec.io_size,
+            IoPattern::RandRead | IoPattern::RandWrite => rng.gen_below(slots) * spec.io_size,
             IoPattern::SeqRead | IoPattern::SeqWrite => (i % slots) * spec.io_size,
         };
         let plan = if spec.pattern.is_write() {

@@ -267,12 +267,10 @@ impl EncryptionConfig {
                     ));
                 }
             }
-            Cipher::CbcEssiv256 => {
-                if self.random_iv {
-                    return Err(CryptError::UnsupportedConfig(
-                        "CBC-ESSIV derives its IV from the sector number".into(),
-                    ));
-                }
+            Cipher::CbcEssiv256 if self.random_iv => {
+                return Err(CryptError::UnsupportedConfig(
+                    "CBC-ESSIV derives its IV from the sector number".into(),
+                ));
             }
             _ => {}
         }
@@ -368,8 +366,7 @@ mod tests {
 
     #[test]
     fn cbc_with_random_iv_rejected() {
-        let c = EncryptionConfig::random_iv(MetaLayout::ObjectEnd)
-            .with_cipher(Cipher::CbcEssiv256);
+        let c = EncryptionConfig::random_iv(MetaLayout::ObjectEnd).with_cipher(Cipher::CbcEssiv256);
         assert!(c.validate().is_err());
     }
 
@@ -414,10 +411,7 @@ mod tests {
         }
         assert_eq!(Cipher::from_wire(0), None);
         for layout in MetaLayout::ALL {
-            assert_eq!(
-                MetaLayout::from_wire(layout.to_wire()),
-                Some(Some(layout))
-            );
+            assert_eq!(MetaLayout::from_wire(layout.to_wire()), Some(Some(layout)));
         }
         assert_eq!(MetaLayout::from_wire(0), Some(None));
         assert_eq!(MetaLayout::from_wire(9), None);

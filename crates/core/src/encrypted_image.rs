@@ -1,13 +1,14 @@
 //! The client-side encrypting IO path over an RBD image.
 
 use crate::audit::SectorObservation;
+use crate::batch::{IoBatch, SectorExtent};
 use crate::config::{EncryptionConfig, MetaLayout};
 use crate::layout::Geometry;
 use crate::luks::{DerivedKeys, LuksHeader};
 use crate::sector::SectorCodec;
 use crate::{CryptError, Result};
 use vdisk_crypto::rng::{IvSource, OsIvSource};
-use vdisk_rados::{RadosError, ReadOp, ReadResult, SnapId, Transaction};
+use vdisk_rados::{ObjectReads, ReadOp, ReadResult, SnapId, Transaction};
 use vdisk_rbd::{Image, RbdError};
 use vdisk_sim::Plan;
 
@@ -52,7 +53,7 @@ impl EncryptedImage {
         config: &EncryptionConfig,
         passphrase: &[u8],
     ) -> Result<EncryptedImage> {
-        Self::format_with_iv_source(image, config, passphrase, Box::new(OsIvSource))
+        Self::format_with_iv_source(image, config, passphrase, Box::new(OsIvSource::new()))
     }
 
     /// Formats with an explicit IV source (seeded for reproducible
@@ -101,7 +102,7 @@ impl EncryptedImage {
     /// Returns [`CryptError::WrongPassphrase`] if no keyslot matches,
     /// or [`CryptError::HeaderCorrupt`] if the header fails to parse.
     pub fn open(image: Image, passphrase: &[u8]) -> Result<EncryptedImage> {
-        Self::open_with_iv_source(image, passphrase, Box::new(OsIvSource))
+        Self::open_with_iv_source(image, passphrase, Box::new(OsIvSource::new()))
     }
 
     /// Opens with an explicit IV source.
@@ -225,7 +226,7 @@ impl EncryptedImage {
             return Ok(Plan::Noop);
         }
         let ss = self.geometry.sector_size;
-        if offset % ss == 0 && data.len() as u64 % ss == 0 {
+        if offset.is_multiple_of(ss) && (data.len() as u64).is_multiple_of(ss) {
             return self.write_aligned(offset, data);
         }
         // Client-side RMW: fetch the boundary sectors, splice, write
@@ -242,70 +243,84 @@ impl EncryptedImage {
         Ok(Plan::seq([read_plan, write_plan]))
     }
 
+    /// The batched write pipeline. The striper maps the whole request
+    /// up front ([`IoBatch`]), the codec encrypts it **in place over
+    /// one contiguous buffer** (plus one packed metadata run — no
+    /// per-sector allocations), and the cluster dispatches one
+    /// transaction per touched object as a single parallel batch.
     fn write_aligned(&mut self, offset: u64, data: &[u8]) -> Result<Plan> {
-        let ss = self.geometry.sector_size;
-        let spo = self.geometry.sectors_per_object;
+        let ss = self.geometry.sector_size as usize;
+        let me = self.geometry.meta_entry as usize;
         let layout = self.config().layout;
         let write_seq = self.image.cluster().snap_seq().0;
+        let batch = IoBatch::plan(
+            self.image.striper(),
+            &self.geometry,
+            offset,
+            data.len() as u64,
+        );
 
-        let mut plans = Vec::new();
-        for extent in self.image.striper().map(offset, data.len() as u64) {
-            let first = extent.offset / ss;
-            let count = extent.len / ss;
-            let base_lba = extent.object_no * spo + first;
+        // Encrypt the whole request: one ciphertext buffer mirroring
+        // the request, one metadata run packed in sector order.
+        let mut cipher = data.to_vec();
+        let mut metas = Vec::with_capacity(batch.sector_count() as usize * me);
+        for extent in &batch.extents {
+            self.codec.encrypt_sectors(
+                extent.base_lba,
+                write_seq,
+                &mut cipher[extent.buf_start..extent.buf_end],
+                &mut metas,
+                self.iv_source.as_mut(),
+            )?;
+        }
 
-            let mut ciphertexts: Vec<Vec<u8>> = Vec::with_capacity(count as usize);
-            let mut metas: Vec<Vec<u8>> = Vec::with_capacity(count as usize);
-            for s in 0..count {
-                let lba = base_lba + s;
-                let src = (extent.buf_offset + s * ss) as usize;
-                let mut sector = data[src..src + ss as usize].to_vec();
-                let meta =
-                    self.codec
-                        .encrypt(lba, write_seq, &mut sector, self.iv_source.as_mut())?;
-                ciphertexts.push(sector);
-                metas.push(meta);
-            }
+        // One transaction per object extent, built from buffer slices.
+        let mut txs = Vec::with_capacity(batch.object_count());
+        for extent in &batch.extents {
+            let first = extent.first_sector;
+            let count = extent.sector_count;
+            let sectors = &cipher[extent.buf_start..extent.buf_end];
+            let meta_start = extent.buf_start / ss * me;
+            let extent_metas = &metas[meta_start..meta_start + count as usize * me];
 
             let mut tx = Transaction::new(self.image.object_name(extent.object_no));
+            let (off, _) = self.geometry.data_extent(layout, first, count);
             match layout {
                 None => {
-                    let (off, _) = self.geometry.data_extent(None, first, count);
-                    tx.write(off, ciphertexts.concat());
+                    tx.write(off, sectors.to_vec());
                 }
                 Some(MetaLayout::Unaligned) => {
-                    let (off, _) =
+                    tx.write(
+                        off,
                         self.geometry
-                            .data_extent(Some(MetaLayout::Unaligned), first, count);
-                    tx.write(off, self.geometry.interleave_unaligned(&ciphertexts, &metas));
+                            .interleave_unaligned_run(sectors, extent_metas),
+                    );
                 }
                 Some(MetaLayout::ObjectEnd) => {
-                    let (off, _) =
-                        self.geometry
-                            .data_extent(Some(MetaLayout::ObjectEnd), first, count);
-                    tx.write(off, ciphertexts.concat());
+                    tx.write(off, sectors.to_vec());
                     let (meta_off, _) = self
                         .geometry
-                        .meta_extent(Some(MetaLayout::ObjectEnd), first, count)
+                        .meta_extent(layout, first, count)
                         .expect("object-end has a meta extent");
-                    tx.write(meta_off, metas.concat());
+                    tx.write(meta_off, extent_metas.to_vec());
                 }
                 Some(MetaLayout::Omap) => {
-                    let (off, _) = self.geometry.data_extent(Some(MetaLayout::Omap), first, count);
-                    tx.write(off, ciphertexts.concat());
-                    let entries: Vec<(Vec<u8>, Vec<u8>)> = metas
-                        .iter()
+                    tx.write(off, sectors.to_vec());
+                    let entries: Vec<(Vec<u8>, Vec<u8>)> = extent_metas
+                        .chunks_exact(me)
                         .enumerate()
-                        .map(|(s, meta)| (Geometry::omap_key(first + s as u64), meta.clone()))
+                        .map(|(s, meta)| (Geometry::omap_key(first + s as u64), meta.to_vec()))
                         .collect();
                     tx.omap_set(entries);
                 }
             }
-            plans.push(self.image.cluster().execute(tx)?);
+            txs.push(tx);
         }
+
+        let dispatch = self.image.cluster().execute_batch(txs)?;
         // Client-side encryption cost precedes the dispatch.
         let crypto = self.image.cluster().crypto_plan(data.len() as u64);
-        Ok(Plan::seq([crypto, Plan::par(plans)]))
+        Ok(Plan::seq([crypto, dispatch]))
     }
 
     /// Reads and decrypts into `buf` from the image head.
@@ -328,13 +343,17 @@ impl EncryptedImage {
         self.read_common(Some(snap), offset, buf)
     }
 
+    /// The batched read pipeline. The striper maps the whole request
+    /// up front ([`IoBatch`]), every extent's data+metadata ops go out
+    /// in one vectored `read_batch`, and each extent decrypts **in
+    /// place in the destination buffer** (no per-sector allocations).
     fn read_common(&self, snap: Option<SnapId>, offset: u64, buf: &mut [u8]) -> Result<Plan> {
         self.check_bounds(offset, buf.len() as u64)?;
         if buf.is_empty() {
             return Ok(Plan::Noop);
         }
         let ss = self.geometry.sector_size;
-        if offset % ss != 0 || buf.len() as u64 % ss != 0 {
+        if !offset.is_multiple_of(ss) || !(buf.len() as u64).is_multiple_of(ss) {
             // Unaligned read: fetch the aligned span and slice.
             let first_sector = offset / ss;
             let end_sector = (offset + buf.len() as u64).div_ceil(ss);
@@ -346,133 +365,129 @@ impl EncryptedImage {
             return Ok(plan);
         }
 
-        let spo = self.geometry.sectors_per_object;
         let layout = self.config().layout;
         let seq_limit = snap.map(|s| s.0);
-        let me = self.geometry.meta_entry as usize;
+        let batch = IoBatch::plan(
+            self.image.striper(),
+            &self.geometry,
+            offset,
+            buf.len() as u64,
+        );
 
-        let mut plans = Vec::new();
-        for extent in self.image.striper().map(offset, buf.len() as u64) {
-            let first = extent.offset / ss;
-            let count = extent.len / ss;
-            let base_lba = extent.object_no * spo + first;
-            let object = self.image.object_name(extent.object_no);
-            let out =
-                &mut buf[extent.buf_offset as usize..(extent.buf_offset + extent.len) as usize];
+        let requests: Vec<ObjectReads> = batch
+            .extents
+            .iter()
+            .map(|extent| {
+                ObjectReads::new(
+                    self.image.object_name(extent.object_no),
+                    self.extent_read_ops(layout, extent),
+                )
+            })
+            .collect();
+        let (results, dispatch) = self.image.cluster().read_batch(snap, &requests)?;
 
-            let ops: Vec<ReadOp> = match layout {
-                None => {
-                    let (off, len) = self.geometry.data_extent(None, first, count);
-                    vec![ReadOp::Read { offset: off, len }]
-                }
-                Some(MetaLayout::Unaligned) => {
-                    let (off, len) =
-                        self.geometry
-                            .data_extent(Some(MetaLayout::Unaligned), first, count);
-                    vec![ReadOp::Read { offset: off, len }]
-                }
-                Some(MetaLayout::ObjectEnd) => {
-                    let (off, len) =
-                        self.geometry
-                            .data_extent(Some(MetaLayout::ObjectEnd), first, count);
-                    let (meta_off, meta_len) = self
-                        .geometry
-                        .meta_extent(Some(MetaLayout::ObjectEnd), first, count)
-                        .expect("object-end has a meta extent");
-                    vec![
-                        ReadOp::Read { offset: off, len },
-                        ReadOp::Read {
-                            offset: meta_off,
-                            len: meta_len,
-                        },
-                    ]
-                }
-                Some(MetaLayout::Omap) => {
-                    let (off, len) = self.geometry.data_extent(Some(MetaLayout::Omap), first, count);
-                    vec![
-                        ReadOp::Read { offset: off, len },
-                        ReadOp::OmapGetRange {
-                            start: Geometry::omap_key(first),
-                            end: Geometry::omap_key(first + count),
-                        },
-                    ]
-                }
-            };
-
-            match self.image.cluster().read(&object, snap, &ops) {
-                Ok((results, plan)) => {
-                    self.decrypt_extent(
-                        layout, &results, first, count, base_lba, seq_limit, me, out,
-                    )?;
-                    plans.push(plan);
-                }
-                Err(RadosError::NoSuchObject(_)) | Err(RadosError::NoSuchSnapshot { .. }) => {
-                    out.fill(0);
-                }
-                Err(e) => return Err(e.into()),
+        for (extent, result) in batch.extents.iter().zip(&results) {
+            let out = &mut buf[extent.buf_start..extent.buf_end];
+            match result {
+                Some(results) => self.decrypt_extent(layout, results, extent, seq_limit, out)?,
+                // Sparse hole (object absent, or born after the
+                // snapshot): reads as zeros.
+                None => out.fill(0),
             }
         }
         let crypto = self.image.cluster().crypto_plan(buf.len() as u64);
-        Ok(Plan::seq([Plan::par(plans), crypto]))
+        Ok(Plan::seq([dispatch, crypto]))
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// The read operations fetching one extent's ciphertext and
+    /// (depending on the layout) its metadata.
+    fn extent_read_ops(&self, layout: Option<MetaLayout>, extent: &SectorExtent) -> Vec<ReadOp> {
+        let first = extent.first_sector;
+        let count = extent.sector_count;
+        let (off, len) = self.geometry.data_extent(layout, first, count);
+        let data_op = ReadOp::Read { offset: off, len };
+        match layout {
+            // Baseline has no metadata; unaligned carries it inside
+            // the data extent.
+            None | Some(MetaLayout::Unaligned) => vec![data_op],
+            Some(MetaLayout::ObjectEnd) => {
+                let (meta_off, meta_len) = self
+                    .geometry
+                    .meta_extent(layout, first, count)
+                    .expect("object-end has a meta extent");
+                vec![
+                    data_op,
+                    ReadOp::Read {
+                        offset: meta_off,
+                        len: meta_len,
+                    },
+                ]
+            }
+            Some(MetaLayout::Omap) => vec![
+                data_op,
+                ReadOp::OmapGetRange {
+                    start: Geometry::omap_key(first),
+                    end: Geometry::omap_key(first + count),
+                },
+            ],
+        }
+    }
+
+    /// Decrypts one fetched extent in place in `out` (the extent's
+    /// slice of the request buffer).
     fn decrypt_extent(
         &self,
         layout: Option<MetaLayout>,
         results: &[ReadResult],
-        first: u64,
-        count: u64,
-        base_lba: u64,
+        extent: &SectorExtent,
         seq_limit: Option<u64>,
-        me: usize,
         out: &mut [u8],
     ) -> Result<()> {
-        let ss = self.geometry.sector_size as usize;
+        let me = self.geometry.meta_entry as usize;
+        let base_lba = extent.base_lba;
         match layout {
             None => {
-                let data = results[0].as_data();
-                for s in 0..count as usize {
-                    let mut sector = data[s * ss..(s + 1) * ss].to_vec();
-                    self.codec
-                        .decrypt(base_lba + s as u64, seq_limit, &mut sector, &[])?;
-                    out[s * ss..(s + 1) * ss].copy_from_slice(&sector);
-                }
+                out.copy_from_slice(results[0].as_data());
+                self.codec.decrypt_sectors(base_lba, seq_limit, out, &[])?;
             }
             Some(MetaLayout::Unaligned) => {
-                let pairs = self.geometry.deinterleave_unaligned(results[0].as_data());
-                for (s, (mut sector, meta)) in pairs.into_iter().enumerate() {
-                    self.codec
-                        .decrypt(base_lba + s as u64, seq_limit, &mut sector, &meta)?;
-                    out[s * ss..(s + 1) * ss].copy_from_slice(&sector);
-                }
+                let metas = self
+                    .geometry
+                    .deinterleave_unaligned_run(results[0].as_data(), out);
+                self.codec
+                    .decrypt_sectors(base_lba, seq_limit, out, &metas)?;
             }
             Some(MetaLayout::ObjectEnd) => {
-                let data = results[0].as_data();
-                let metas = results[1].as_data();
-                for s in 0..count as usize {
-                    let mut sector = data[s * ss..(s + 1) * ss].to_vec();
-                    let meta = &metas[s * me..(s + 1) * me];
-                    self.codec
-                        .decrypt(base_lba + s as u64, seq_limit, &mut sector, meta)?;
-                    out[s * ss..(s + 1) * ss].copy_from_slice(&sector);
-                }
+                out.copy_from_slice(results[0].as_data());
+                self.codec
+                    .decrypt_sectors(base_lba, seq_limit, out, results[1].as_data())?;
             }
             Some(MetaLayout::Omap) => {
-                let data = results[0].as_data();
-                let entries = results[1].as_omap();
-                let zero_meta = vec![0u8; me];
-                for s in 0..count as usize {
-                    let key = Geometry::omap_key(first + s as u64);
-                    let meta = entries
-                        .iter()
-                        .find(|(k, _)| *k == key)
-                        .map_or(zero_meta.as_slice(), |(_, v)| v.as_slice());
-                    let mut sector = data[s * ss..(s + 1) * ss].to_vec();
-                    self.codec
-                        .decrypt(base_lba + s as u64, seq_limit, &mut sector, meta)?;
-                    out[s * ss..(s + 1) * ss].copy_from_slice(&sector);
+                out.copy_from_slice(results[0].as_data());
+                // Pack the returned entries into a contiguous run in
+                // sector order; absent keys stay all-zero, which the
+                // codec reads as "never written" and zero-fills.
+                let first = extent.first_sector;
+                let count = extent.sector_count as usize;
+                let mut metas = vec![0u8; count * me];
+                for (key, value) in results[1].as_omap() {
+                    let Some(sector) = Geometry::sector_from_omap_key(key) else {
+                        continue;
+                    };
+                    if sector < first || sector >= first + count as u64 {
+                        continue;
+                    }
+                    if value.len() != me {
+                        return Err(CryptError::HeaderCorrupt(format!(
+                            "metadata entry is {} bytes, expected {me}",
+                            value.len()
+                        )));
+                    }
+                    let idx = (sector - first) as usize;
+                    metas[idx * me..(idx + 1) * me].copy_from_slice(value);
                 }
+                self.codec
+                    .decrypt_sectors(base_lba, seq_limit, out, &metas)?;
             }
         }
         Ok(())
@@ -485,11 +500,7 @@ impl EncryptedImage {
     /// # Errors
     ///
     /// Returns [`CryptError::Rbd`] if the sector's object is absent.
-    pub fn observe_sector(
-        &self,
-        lba: u64,
-        snap: Option<SnapId>,
-    ) -> Result<SectorObservation> {
+    pub fn observe_sector(&self, lba: u64, snap: Option<SnapId>) -> Result<SectorObservation> {
         let spo = self.geometry.sectors_per_object;
         let object_no = lba / spo;
         let k = lba % spo;
@@ -539,6 +550,10 @@ impl EncryptedImage {
                 (results[0].as_data().to_vec(), meta)
             }
         };
-        Ok(SectorObservation { lba, ciphertext, meta })
+        Ok(SectorObservation {
+            lba,
+            ciphertext,
+            meta,
+        })
     }
 }

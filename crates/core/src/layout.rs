@@ -38,7 +38,7 @@ impl Geometry {
     #[must_use]
     pub fn new(object_size: u64, sector_size: u64, meta_entry: u64) -> Self {
         assert!(
-            object_size % sector_size == 0,
+            object_size.is_multiple_of(sector_size),
             "object size must be a whole number of sectors"
         );
         Geometry {
@@ -110,44 +110,52 @@ impl Geometry {
         Some(u64::from_be_bytes(b))
     }
 
-    /// Interleaves ciphertext sectors and their metadata entries into
-    /// the unaligned layout's single contiguous buffer.
+    /// Interleaves a contiguous ciphertext run and its packed metadata
+    /// run into the unaligned layout's single on-disk extent — used by
+    /// the batched write path (one output allocation, none per
+    /// sector).
     ///
     /// # Panics
     ///
-    /// Panics if slice counts or sizes disagree with the geometry.
+    /// Panics if the buffer lengths disagree with the geometry.
     #[must_use]
-    pub fn interleave_unaligned(&self, sectors: &[Vec<u8>], metas: &[Vec<u8>]) -> Vec<u8> {
-        assert_eq!(sectors.len(), metas.len(), "one meta entry per sector");
-        let stride = (self.sector_size + self.meta_entry) as usize;
-        let mut out = Vec::with_capacity(sectors.len() * stride);
-        for (sector, meta) in sectors.iter().zip(metas.iter()) {
-            assert_eq!(sector.len() as u64, self.sector_size);
-            assert_eq!(meta.len() as u64, self.meta_entry);
-            out.extend_from_slice(sector);
-            out.extend_from_slice(meta);
+    pub fn interleave_unaligned_run(&self, sectors: &[u8], metas: &[u8]) -> Vec<u8> {
+        let ss = self.sector_size as usize;
+        let me = self.meta_entry as usize;
+        assert_eq!(sectors.len() % ss, 0, "whole sectors only");
+        let count = sectors.len() / ss;
+        assert_eq!(metas.len(), count * me, "one meta entry per sector");
+        let mut out = Vec::with_capacity(count * (ss + me));
+        for i in 0..count {
+            out.extend_from_slice(&sectors[i * ss..(i + 1) * ss]);
+            out.extend_from_slice(&metas[i * me..(i + 1) * me]);
         }
         out
     }
 
-    /// Splits an unaligned-layout buffer back into
-    /// `(ciphertext, metadata)` pairs.
+    /// Splits an unaligned-layout extent into `out` (the contiguous
+    /// ciphertext run, decrypted in place by the caller) and the
+    /// packed metadata run it returns — the flat-buffer inverse of
+    /// [`Geometry::interleave_unaligned_run`].
     ///
     /// # Panics
     ///
-    /// Panics if the buffer length is not a whole number of strides.
+    /// Panics if `buf` is not a whole number of strides or `out` does
+    /// not match its data size.
     #[must_use]
-    pub fn deinterleave_unaligned(&self, buf: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        let stride = (self.sector_size + self.meta_entry) as usize;
+    pub fn deinterleave_unaligned_run(&self, buf: &[u8], out: &mut [u8]) -> Vec<u8> {
+        let ss = self.sector_size as usize;
+        let me = self.meta_entry as usize;
+        let stride = ss + me;
         assert_eq!(buf.len() % stride, 0, "buffer must be whole strides");
-        buf.chunks(stride)
-            .map(|chunk| {
-                (
-                    chunk[..self.sector_size as usize].to_vec(),
-                    chunk[self.sector_size as usize..].to_vec(),
-                )
-            })
-            .collect()
+        let count = buf.len() / stride;
+        assert_eq!(out.len(), count * ss, "output must hold every sector");
+        let mut metas = Vec::with_capacity(count * me);
+        for (chunk, sector_out) in buf.chunks_exact(stride).zip(out.chunks_exact_mut(ss)) {
+            sector_out.copy_from_slice(&chunk[..ss]);
+            metas.extend_from_slice(&chunk[ss..]);
+        }
+        metas
     }
 
     /// Physical bytes occupied by a full object under a layout
@@ -227,18 +235,19 @@ mod tests {
     }
 
     #[test]
-    fn interleave_round_trip() {
+    fn interleave_run_round_trip() {
         let g = geo();
-        let sectors: Vec<Vec<u8>> = (0..3).map(|i| vec![i as u8; 4096]).collect();
-        let metas: Vec<Vec<u8>> = (0..3).map(|i| vec![0xA0 + i as u8; 16]).collect();
-        let buf = g.interleave_unaligned(&sectors, &metas);
+        let sectors: Vec<u8> = (0..3u8).flat_map(|i| vec![i; 4096]).collect();
+        let metas: Vec<u8> = (0..3u8).flat_map(|i| vec![0xA0 + i; 16]).collect();
+        let buf = g.interleave_unaligned_run(&sectors, &metas);
         assert_eq!(buf.len(), 3 * 4112);
-        let parsed = g.deinterleave_unaligned(&buf);
-        assert_eq!(parsed.len(), 3);
-        for i in 0..3 {
-            assert_eq!(parsed[i].0, sectors[i]);
-            assert_eq!(parsed[i].1, metas[i]);
-        }
+        // Sector k's metadata sits immediately after its data.
+        assert_eq!(buf[4096], 0xA0);
+        assert_eq!(buf[4112 + 4096], 0xA1);
+        let mut out = vec![0u8; sectors.len()];
+        let parsed_metas = g.deinterleave_unaligned_run(&buf, &mut out);
+        assert_eq!(out, sectors);
+        assert_eq!(parsed_metas, metas);
     }
 
     #[test]

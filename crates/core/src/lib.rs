@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod batch;
 mod config;
 mod encrypted_image;
 pub mod layout;

@@ -30,7 +30,6 @@ pub const MASTER_KEY_LEN: usize = 64;
 /// [`LuksHeader::add_keyslot_with_iterations`].
 pub const DEFAULT_ITERATIONS: u32 = 2000;
 
-
 const SLOT_SIZE: usize = 1 + 4 + 32 + MASTER_KEY_LEN;
 const HEADER_FIXED: usize = 8 + 1 + 1 + 1 + 4 + 32 + 16;
 
@@ -96,12 +95,7 @@ impl LuksHeader {
             mk_digest: digest_of(master.expose(), &digest_salt),
             slots: (0..KEYSLOTS).map(|_| Keyslot::empty()).collect(),
         };
-        header.add_keyslot_with_iterations(
-            passphrase,
-            &master,
-            DEFAULT_ITERATIONS,
-            iv_source,
-        )?;
+        header.add_keyslot_with_iterations(passphrase, &master, DEFAULT_ITERATIONS, iv_source)?;
         Ok((header, master))
     }
 

@@ -84,6 +84,7 @@ impl SectorCodec {
     /// metadata entry to persist (empty for the baseline).
     ///
     /// `write_seq` is the cluster snapshot sequence at write time.
+    #[cfg(test)]
     pub(crate) fn encrypt(
         &self,
         lba: u64,
@@ -91,8 +92,82 @@ impl SectorCodec {
         data: &mut [u8],
         iv_source: &mut dyn IvSource,
     ) -> Result<Vec<u8>> {
-        debug_assert_eq!(data.len() as u32, self.config.sector_size);
         let mut entry = Vec::with_capacity(self.meta_entry_len());
+        self.encrypt_into(lba, write_seq, data, &mut entry, iv_source)?;
+        Ok(entry)
+    }
+
+    /// Encrypts a contiguous run of sectors in place over one buffer,
+    /// appending each sector's metadata entry to `metas` — the
+    /// batched write path. No per-sector buffers are allocated.
+    ///
+    /// `base_lba` is the logical sector number of `data[0..ss]`;
+    /// subsequent sectors bind consecutive LBAs.
+    pub(crate) fn encrypt_sectors(
+        &self,
+        base_lba: u64,
+        write_seq: u64,
+        data: &mut [u8],
+        metas: &mut Vec<u8>,
+        iv_source: &mut dyn IvSource,
+    ) -> Result<()> {
+        let ss = self.config.sector_size as usize;
+        debug_assert_eq!(data.len() % ss, 0, "whole sectors only");
+        metas.reserve(data.len() / ss * self.meta_entry_len());
+        for (i, sector) in data.chunks_exact_mut(ss).enumerate() {
+            self.encrypt_into(base_lba + i as u64, write_seq, sector, metas, iv_source)?;
+        }
+        Ok(())
+    }
+
+    /// Decrypts a contiguous run of sectors in place; `metas` holds
+    /// the packed per-sector entries (`sector_count × meta_entry_len`
+    /// bytes, empty for the baseline) — the batched read path.
+    ///
+    /// # Errors
+    ///
+    /// As [`SectorCodec::decrypt`], which also documents the replay
+    /// and integrity failure modes.
+    pub(crate) fn decrypt_sectors(
+        &self,
+        base_lba: u64,
+        read_seq_limit: Option<u64>,
+        data: &mut [u8],
+        metas: &[u8],
+    ) -> Result<()> {
+        let ss = self.config.sector_size as usize;
+        let me = self.meta_entry_len();
+        debug_assert_eq!(data.len() % ss, 0, "whole sectors only");
+        let count = data.len() / ss;
+        if me > 0 && metas.len() != count * me {
+            return Err(CryptError::HeaderCorrupt(format!(
+                "metadata run is {} bytes, expected {}",
+                metas.len(),
+                count * me
+            )));
+        }
+        for (i, sector) in data.chunks_exact_mut(ss).enumerate() {
+            let meta = &metas[i * me..(i + 1) * me];
+            self.decrypt(base_lba + i as u64, read_seq_limit, sector, meta)?;
+        }
+        Ok(())
+    }
+
+    /// Encrypts `data` (one full sector) in place, appending the
+    /// metadata entry to persist (nothing for the baseline) onto
+    /// `entry` — the allocation-free core of the codec.
+    ///
+    /// `write_seq` is the cluster snapshot sequence at write time.
+    pub(crate) fn encrypt_into(
+        &self,
+        lba: u64,
+        write_seq: u64,
+        data: &mut [u8],
+        entry: &mut Vec<u8>,
+        iv_source: &mut dyn IvSource,
+    ) -> Result<()> {
+        debug_assert_eq!(data.len() as u32, self.config.sector_size);
+        let entry_start = entry.len();
         match &self.instance {
             CipherInstance::Xts(xts) => {
                 let iv = self.random_iv(iv_source);
@@ -135,8 +210,8 @@ impl SectorCodec {
         if self.config.snapshot_binding {
             entry.extend_from_slice(&write_seq.to_le_bytes());
         }
-        debug_assert_eq!(entry.len(), self.meta_entry_len());
-        Ok(entry)
+        debug_assert_eq!(entry.len() - entry_start, self.meta_entry_len());
+        Ok(())
     }
 
     /// Decrypts `data` in place using the persisted metadata entry.
@@ -161,7 +236,9 @@ impl SectorCodec {
         let expected = self.meta_entry_len();
         if expected == 0 {
             // Baseline: nothing stored; decrypt deterministically.
-            return self.decrypt_baseline(lba, data).map(|()| SectorState::Written);
+            return self
+                .decrypt_baseline(lba, data)
+                .map(|()| SectorState::Written);
         }
         if meta.len() != expected {
             return Err(CryptError::HeaderCorrupt(format!(
@@ -329,7 +406,10 @@ mod tests {
         let entry = c.encrypt(42, 0, &mut data, &mut rng).unwrap();
         assert!(entry.is_empty());
         assert_ne!(data, sector(7));
-        assert_eq!(c.decrypt(42, None, &mut data, &[]).unwrap(), SectorState::Written);
+        assert_eq!(
+            c.decrypt(42, None, &mut data, &[]).unwrap(),
+            SectorState::Written
+        );
         assert_eq!(data, sector(7));
     }
 
@@ -471,7 +551,8 @@ mod tests {
 
     #[test]
     fn eme2_wide_block_round_trip() {
-        let cfg = EncryptionConfig::random_iv(MetaLayout::ObjectEnd).with_cipher(Cipher::Eme2Aes256);
+        let cfg =
+            EncryptionConfig::random_iv(MetaLayout::ObjectEnd).with_cipher(Cipher::Eme2Aes256);
         let c = codec(cfg);
         let mut rng = SeededIvSource::new(10);
         let mut data = sector(0x77);

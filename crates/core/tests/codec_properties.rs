@@ -20,19 +20,18 @@ proptest! {
         seed in any::<u8>(),
     ) {
         let geometry = Geometry::new(4 << 20, 4096, 16);
-        let sectors: Vec<Vec<u8>> = (0..count)
-            .map(|i| vec![seed.wrapping_add(i as u8); 4096])
+        let sectors: Vec<u8> = (0..count)
+            .flat_map(|i| vec![seed.wrapping_add(i as u8); 4096])
             .collect();
-        let metas: Vec<Vec<u8>> = (0..count)
-            .map(|i| vec![seed.wrapping_mul(i as u8 + 1); 16])
+        let metas: Vec<u8> = (0..count)
+            .flat_map(|i| vec![seed.wrapping_mul(i as u8 + 1); 16])
             .collect();
-        let buf = geometry.interleave_unaligned(&sectors, &metas);
-        let parsed = geometry.deinterleave_unaligned(&buf);
-        prop_assert_eq!(parsed.len(), count);
-        for (i, (s, m)) in parsed.into_iter().enumerate() {
-            prop_assert_eq!(s, sectors[i].clone());
-            prop_assert_eq!(m, metas[i].clone());
-        }
+        let buf = geometry.interleave_unaligned_run(&sectors, &metas);
+        prop_assert_eq!(buf.len(), count * (4096 + 16));
+        let mut out = vec![0u8; sectors.len()];
+        let parsed_metas = geometry.deinterleave_unaligned_run(&buf, &mut out);
+        prop_assert_eq!(out, sectors);
+        prop_assert_eq!(parsed_metas, metas);
     }
 
     /// Data extents of distinct sector ranges never overlap, for every

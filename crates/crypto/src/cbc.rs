@@ -63,7 +63,7 @@ impl CbcEssiv {
     /// Returns [`CryptoError::InvalidDataLength`] if the length is zero
     /// or not a multiple of the block size.
     pub fn encrypt_sector(&self, sector: u64, data: &mut [u8]) -> Result<()> {
-        if data.is_empty() || data.len() % 16 != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(16) {
             return Err(CryptoError::InvalidDataLength { got: data.len() });
         }
         let mut prev = self.essiv(sector);
@@ -87,7 +87,7 @@ impl CbcEssiv {
     /// Returns [`CryptoError::InvalidDataLength`] if the length is zero
     /// or not a multiple of the block size.
     pub fn decrypt_sector(&self, sector: u64, data: &mut [u8]) -> Result<()> {
-        if data.is_empty() || data.len() % 16 != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(16) {
             return Err(CryptoError::InvalidDataLength { got: data.len() });
         }
         let mut prev = self.essiv(sector);

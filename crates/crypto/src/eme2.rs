@@ -182,7 +182,7 @@ impl Eme2 {
     }
 
     fn check_len(&self, len: usize) -> Result<()> {
-        if len < 32 || len > MAX_SECTOR || len % 16 != 0 {
+        if !(32..=MAX_SECTOR).contains(&len) || !len.is_multiple_of(16) {
             return Err(CryptoError::InvalidDataLength { got: len });
         }
         Ok(())
@@ -212,7 +212,10 @@ mod tests {
         let eme = Eme2::new(&[0u8; 16]).unwrap();
         for len in [0usize, 16, 17, 33, MAX_SECTOR + 16] {
             let mut data = vec![0u8; len];
-            assert!(eme.encrypt_sector(&[0u8; 16], &mut data).is_err(), "len {len}");
+            assert!(
+                eme.encrypt_sector(&[0u8; 16], &mut data).is_err(),
+                "len {len}"
+            );
         }
     }
 

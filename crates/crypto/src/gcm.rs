@@ -76,13 +76,7 @@ impl AesGcm {
     ///
     /// Returns [`CryptoError::AuthenticationFailed`] if the tag does not
     /// verify; in that case `data` is left **unmodified** (ciphertext).
-    pub fn decrypt(
-        &self,
-        nonce: &[u8],
-        aad: &[u8],
-        data: &mut [u8],
-        tag: &[u8],
-    ) -> Result<()> {
+    pub fn decrypt(&self, nonce: &[u8], aad: &[u8], data: &mut [u8], tag: &[u8]) -> Result<()> {
         assert!(!nonce.is_empty(), "GCM nonce must not be empty");
         let j0 = self.derive_j0(nonce);
         let expected = self.compute_tag(&j0, aad, data);
@@ -138,12 +132,15 @@ struct Ghash {
 
 impl Ghash {
     fn new(h: &[u8; 16]) -> Self {
-        Ghash { h: *h, y: [0u8; 16] }
+        Ghash {
+            h: *h,
+            y: [0u8; 16],
+        }
     }
 
     fn update_block(&mut self, block: &[u8; 16]) {
-        for i in 0..16 {
-            self.y[i] ^= block[i];
+        for (y, b) in self.y.iter_mut().zip(block) {
+            *y ^= b;
         }
         self.y = ghash_mul(&self.y, &self.h);
     }

@@ -134,7 +134,10 @@ mod tests {
     #[test]
     fn rfc4231_case_6_long_key() {
         let key = [0xaa; 131];
-        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             to_hex(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -170,7 +173,10 @@ mod tests {
         let mut mac = HmacSha256::new(b"split-key");
         mac.update(b"part one|");
         mac.update(b"part two");
-        assert_eq!(mac.finalize(), hmac_sha256(b"split-key", b"part one|part two"));
+        assert_eq!(
+            mac.finalize(),
+            hmac_sha256(b"split-key", b"part one|part two")
+        );
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub fn hkdf_expand(prk: &[u8], info: &[u8], out_len: usize) -> SecretBytes {
         let take = (out_len - out.len()).min(DIGEST_LEN);
         out.extend_from_slice(&block[..take]);
         previous = block.to_vec();
-        counter = counter.checked_add(1).unwrap_or(255);
+        counter = counter.saturating_add(1);
     }
     SecretBytes::new(out)
 }

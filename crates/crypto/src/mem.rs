@@ -150,7 +150,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 #[must_use]
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
     let s = s.trim();
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 2);

@@ -17,7 +17,7 @@ fn primes(n: usize) -> Vec<u64> {
     let mut out = Vec::with_capacity(n);
     let mut candidate = 2u64;
     while out.len() < n {
-        if out.iter().all(|p| candidate % p != 0) {
+        if out.iter().all(|p| !candidate.is_multiple_of(*p)) {
             out.push(candidate);
         }
         candidate += 1;

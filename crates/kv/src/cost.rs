@@ -97,8 +97,14 @@ mod tests {
         let t1024 = profile.write_time(&kilo_keys);
         // The per-key term must dominate at high key counts: the 1024-
         // key batch costs far more than the per-op floor suggests.
-        assert!(t1024.as_nanos() > 50 * t1.as_nanos() / 2, "t1={t1}, t1024={t1024}");
-        assert!(t1024.as_nanos() > 2_000_000, "1024-key batch above 2ms: {t1024}");
+        assert!(
+            t1024.as_nanos() > 50 * t1.as_nanos() / 2,
+            "t1={t1}, t1024={t1024}"
+        );
+        assert!(
+            t1024.as_nanos() > 2_000_000,
+            "1024-key batch above 2ms: {t1024}"
+        );
     }
 
     #[test]

@@ -44,5 +44,5 @@ mod wal;
 pub use cost::CostProfile;
 pub use memtable::Memtable;
 pub use sst::SortedRun;
-pub use store::{LsmConfig, LsmStats, LsmStore, ReadReceipt, WriteReceipt};
+pub use store::{KvPairs, LsmConfig, LsmStats, LsmStore, ReadReceipt, WriteReceipt};
 pub use wal::{WalBatch, WriteAheadLog};

@@ -1,6 +1,9 @@
 //! Immutable sorted runs (the on-"disk" levels of the LSM) and the
 //! k-way merge used by compaction.
 
+/// One run entry: a key and its value (`None` = tombstone).
+type Entry = (Vec<u8>, Option<Vec<u8>>);
+
 /// An immutable, sorted list of entries produced by a memtable flush or
 /// a compaction. `None` values are tombstones.
 #[derive(Debug, Clone, Default)]
@@ -44,9 +47,7 @@ impl SortedRun {
         start: &[u8],
         end: &[u8],
     ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> {
-        let lo = self
-            .entries
-            .partition_point(|(k, _)| k.as_slice() < start);
+        let lo = self.entries.partition_point(|(k, _)| k.as_slice() < start);
         let end = end.to_vec();
         self.entries[lo..]
             .iter()
@@ -82,11 +83,10 @@ impl SortedRun {
     pub fn merge(runs: &[&SortedRun], drop_tombstones: bool) -> SortedRun {
         // Simple approach: k-way by collecting cursors; runs are small
         // in this workload (IV blobs), clarity beats heap-based merge.
-        let mut cursors: Vec<std::slice::Iter<'_, (Vec<u8>, Option<Vec<u8>>)>> =
+        let mut cursors: Vec<std::slice::Iter<'_, Entry>> =
             runs.iter().map(|r| r.entries.iter()).collect();
-        let mut heads: Vec<Option<&(Vec<u8>, Option<Vec<u8>>)>> =
-            cursors.iter_mut().map(Iterator::next).collect();
-        let mut out: Vec<(Vec<u8>, Option<Vec<u8>>)> = Vec::new();
+        let mut heads: Vec<Option<&Entry>> = cursors.iter_mut().map(Iterator::next).collect();
+        let mut out: Vec<Entry> = Vec::new();
 
         loop {
             // Find the smallest key among heads; newest run (lowest
@@ -154,7 +154,11 @@ mod tests {
     #[test]
     fn merge_newest_wins() {
         let newest = run(&[(b"a", Some(b"new")), (b"b", None)]);
-        let oldest = run(&[(b"a", Some(b"old")), (b"b", Some(b"old")), (b"c", Some(b"3"))]);
+        let oldest = run(&[
+            (b"a", Some(b"old")),
+            (b"b", Some(b"old")),
+            (b"c", Some(b"3")),
+        ]);
         let merged = SortedRun::merge(&[&newest, &oldest], false);
         assert_eq!(merged.get(b"a"), Some(Some(&b"new"[..])));
         assert_eq!(merged.get(b"b"), Some(None), "tombstone kept");

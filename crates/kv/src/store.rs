@@ -5,6 +5,9 @@ use crate::memtable::Memtable;
 use crate::sst::SortedRun;
 use crate::wal::{WalBatch, WriteAheadLog};
 
+/// Key-value pairs returned by range queries.
+pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// Tuning knobs for the LSM.
 #[derive(Debug, Clone)]
 pub struct LsmConfig {
@@ -186,7 +189,11 @@ impl LsmStore {
         let read_bytes: u64 = refs.iter().map(|r| r.bytes() as u64).sum();
         let merged = SortedRun::merge(&refs, true);
         let written = merged.bytes() as u64;
-        self.runs = if merged.is_empty() { Vec::new() } else { vec![merged] };
+        self.runs = if merged.is_empty() {
+            Vec::new()
+        } else {
+            vec![merged]
+        };
         self.compactions += 1;
         read_bytes + written
     }
@@ -216,7 +223,7 @@ impl LsmStore {
     /// Returns all live entries with keys in `[start, end)`, newest
     /// version winning, tombstones suppressed.
     #[must_use]
-    pub fn range(&self, start: &[u8], end: &[u8]) -> (Vec<(Vec<u8>, Vec<u8>)>, ReadReceipt) {
+    pub fn range(&self, start: &[u8], end: &[u8]) -> (KvPairs, ReadReceipt) {
         use std::collections::BTreeMap;
         let mut receipt = ReadReceipt::default();
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();

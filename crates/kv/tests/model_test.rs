@@ -20,15 +20,17 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..24)).prop_map(|(k, v)| Op::Put(k % 64, v)),
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(k, v)| Op::Put(k % 64, v)),
         any::<u16>().prop_map(|k| Op::Delete(k % 64)),
         proptest::collection::vec(
-            (any::<u16>(), proptest::option::of(proptest::collection::vec(any::<u8>(), 0..16))),
+            (
+                any::<u16>(),
+                proptest::option::of(proptest::collection::vec(any::<u8>(), 0..16))
+            ),
             1..6
         )
-        .prop_map(|entries| Op::Batch(
-            entries.into_iter().map(|(k, v)| (k % 64, v)).collect()
-        )),
+        .prop_map(|entries| Op::Batch(entries.into_iter().map(|(k, v)| (k % 64, v)).collect())),
         Just(Op::Flush),
         Just(Op::Compact),
         Just(Op::CrashRecover),

@@ -4,11 +4,10 @@
 use crate::cost::{self, OsdWork, ResourceHandles, TestbedProfile};
 use crate::object::{Object, ObjectStat, PHYS_BLOCK};
 use crate::placement::PlacementMap;
-use crate::transaction::{ReadOp, ReadResult, SnapContext, Transaction, TxOp};
+use crate::transaction::{ObjectReads, ReadOp, ReadResult, SnapContext, Transaction, TxOp};
 use crate::{RadosError, Result, SnapId};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use vdisk_kv::CostProfile;
 use vdisk_sim::{ClosedLoopStats, Plan, SimDuration, Simulator};
 
@@ -43,6 +42,20 @@ impl ScrubReport {
     }
 }
 
+/// Counters of client-visible operations the cluster has served.
+/// Tests and tooling use them to observe batching behaviour (e.g.
+/// "a striped write issued exactly N transactions in one batch").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Transactions applied, including those inside batches.
+    pub transactions: u64,
+    /// [`Cluster::execute_batch`] invocations.
+    pub batches: u64,
+    /// Per-object read requests served (batched reads count each
+    /// object they touch).
+    pub read_ops: u64,
+}
+
 struct State {
     osds: Vec<HashMap<String, Object>>,
     placement: PlacementMap,
@@ -52,6 +65,7 @@ struct State {
     kv_cost: CostProfile,
     payload: PayloadMode,
     snap_seq: u64,
+    stats: ExecStats,
 }
 
 /// Configures and builds a [`Cluster`].
@@ -141,6 +155,7 @@ impl ClusterBuilder {
                 kv_cost: self.kv_cost,
                 payload: self.payload,
                 snap_seq: 0,
+                stats: ExecStats::default(),
             })),
         }
     }
@@ -157,7 +172,7 @@ pub struct Cluster {
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = self.state.lock();
+        let state = self.lock();
         write!(
             f,
             "Cluster({} osds, {} replicas)",
@@ -174,20 +189,19 @@ impl Cluster {
         ClusterBuilder::default()
     }
 
-    /// Applies a transaction atomically on every replica and returns
-    /// its cost plan.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RadosError::InvalidArgument`] if any op is malformed;
-    /// in that case **no** op has been applied (all-or-nothing).
-    pub fn execute(&self, tx: Transaction) -> Result<Plan> {
-        let mut state = self.state.lock();
+    /// Acquires the shared state; a panic while holding the lock only
+    /// poisons functional state, so recover rather than propagate.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Checks a transaction without touching any replica. Shared by
+    /// the single and batched execution paths so both reject malformed
+    /// input before **any** mutation (all-or-nothing).
+    fn validate_tx(tx: &Transaction) -> Result<()> {
         if tx.object.is_empty() {
             return Err(RadosError::InvalidArgument("empty object name".into()));
         }
-        // Validation phase: reject the whole transaction before any
-        // replica sees any mutation.
         for op in &tx.ops {
             match op {
                 TxOp::OmapSet(entries) => {
@@ -208,7 +222,12 @@ impl Cluster {
                 TxOp::Truncate(_) | TxOp::SetXattr(..) | TxOp::Delete => {}
             }
         }
+        Ok(())
+    }
 
+    /// Applies one already-validated transaction on every replica and
+    /// builds its cost plan.
+    fn apply_tx(state: &mut State, tx: &Transaction) -> Plan {
         let snapc = tx.snapc.unwrap_or(SnapContext {
             seq: SnapId(state.snap_seq),
         });
@@ -234,9 +253,7 @@ impl Cluster {
                 match op {
                     TxOp::Write { offset, data } => {
                         let profile = object.head.write(*offset, data);
-                        if data.len() as u64 <= deferred_threshold
-                            && profile.rmw_read_ops > 0
-                        {
+                        if data.len() as u64 <= deferred_threshold && profile.rmw_read_ops > 0 {
                             // Small overwrite: the deferred/journal path
                             // absorbs it without a foreground RMW.
                             osd_work.deferred_writes.push(profile.write_bytes);
@@ -282,13 +299,54 @@ impl Cluster {
             work.push(osd_work);
         }
 
-        Ok(cost::write_plan(
-            &state.handles,
-            &state.testbed,
-            payload,
-            &acting,
-            &work,
-        ))
+        cost::write_plan(&state.handles, &state.testbed, payload, &acting, &work)
+    }
+
+    /// Applies a transaction atomically on every replica and returns
+    /// its cost plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadosError::InvalidArgument`] if any op is malformed;
+    /// in that case **no** op has been applied (all-or-nothing).
+    pub fn execute(&self, tx: Transaction) -> Result<Plan> {
+        let mut state = self.lock();
+        Self::validate_tx(&tx)?;
+        state.stats.transactions += 1;
+        Ok(Self::apply_tx(&mut state, &tx))
+    }
+
+    /// Applies many transactions under one cluster round trip and
+    /// returns [`Plan::par`] of their costs: the dispatch stage of a
+    /// vectored IO, where every object extent's transaction is in
+    /// flight concurrently.
+    ///
+    /// Validation runs over the **whole batch** before any transaction
+    /// is applied, extending the single-transaction all-or-nothing
+    /// guarantee to the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadosError::InvalidArgument`] if any transaction in
+    /// the batch is malformed; no transaction has been applied then.
+    pub fn execute_batch(&self, txs: Vec<Transaction>) -> Result<Plan> {
+        let mut state = self.lock();
+        for tx in &txs {
+            Self::validate_tx(tx)?;
+        }
+        state.stats.batches += 1;
+        state.stats.transactions += txs.len() as u64;
+        let plans: Vec<Plan> = txs
+            .iter()
+            .map(|tx| Self::apply_tx(&mut state, tx))
+            .collect();
+        Ok(Plan::par(plans))
+    }
+
+    /// Operation counters since the cluster was built.
+    #[must_use]
+    pub fn exec_stats(&self) -> ExecStats {
+        self.lock().stats
     }
 
     /// Executes read operations against the primary replica.
@@ -304,7 +362,52 @@ impl Cluster {
         snap: Option<SnapId>,
         ops: &[ReadOp],
     ) -> Result<(Vec<ReadResult>, Plan)> {
-        let state = self.state.lock();
+        let mut state = self.lock();
+        state.stats.read_ops += 1;
+        Self::read_one(&state, object, snap, ops)
+    }
+
+    /// Serves many per-object read requests in one round trip: the
+    /// read half of the vectored IO path. Returns one result slot per
+    /// request plus [`Plan::par`] of the per-object costs. Objects
+    /// absent (now, or at `snap`) yield `None` so striped callers can
+    /// zero-fill sparse extents without failing the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error other than a missing object/snapshot.
+    pub fn read_batch(
+        &self,
+        snap: Option<SnapId>,
+        requests: &[ObjectReads],
+    ) -> Result<(Vec<Option<Vec<ReadResult>>>, Plan)> {
+        let mut state = self.lock();
+        state.stats.read_ops += requests.len() as u64;
+        let mut results = Vec::with_capacity(requests.len());
+        let mut plans = Vec::with_capacity(requests.len());
+        for request in requests {
+            match Self::read_one(&state, &request.object, snap, &request.ops) {
+                Ok((res, plan)) => {
+                    results.push(Some(res));
+                    plans.push(plan);
+                }
+                Err(RadosError::NoSuchObject(_) | RadosError::NoSuchSnapshot { .. }) => {
+                    results.push(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((results, Plan::par(plans)))
+    }
+
+    /// Read execution shared by [`Cluster::read`] and
+    /// [`Cluster::read_batch`].
+    fn read_one(
+        state: &State,
+        object: &str,
+        snap: Option<SnapId>,
+        ops: &[ReadOp],
+    ) -> Result<(Vec<ReadResult>, Plan)> {
         let primary = state.placement.primary(object);
         let obj = state.osds[primary.0]
             .get(object)
@@ -373,7 +476,7 @@ impl Cluster {
     /// Takes a cluster-wide self-managed snapshot; subsequent writes
     /// copy-on-write any object they touch.
     pub fn create_snap(&self) -> SnapId {
-        let mut state = self.state.lock();
+        let mut state = self.lock();
         state.snap_seq += 1;
         SnapId(state.snap_seq)
     }
@@ -381,13 +484,13 @@ impl Cluster {
     /// The current snapshot sequence.
     #[must_use]
     pub fn snap_seq(&self) -> SnapId {
-        SnapId(self.state.lock().snap_seq)
+        SnapId(self.lock().snap_seq)
     }
 
     /// Whether an object exists (on its primary).
     #[must_use]
     pub fn object_exists(&self, object: &str) -> bool {
-        let state = self.state.lock();
+        let state = self.lock();
         let primary = state.placement.primary(object);
         state.osds[primary.0].contains_key(object)
     }
@@ -398,7 +501,7 @@ impl Cluster {
     ///
     /// Returns [`RadosError::NoSuchObject`] if the object is absent.
     pub fn stat(&self, object: &str) -> Result<ObjectStat> {
-        let state = self.state.lock();
+        let state = self.lock();
         let primary = state.placement.primary(object);
         state.osds[primary.0]
             .get(object)
@@ -409,12 +512,8 @@ impl Cluster {
     /// All object names (sorted), from every OSD's primary view.
     #[must_use]
     pub fn list_objects(&self) -> Vec<String> {
-        let state = self.state.lock();
-        let mut names: Vec<String> = state
-            .osds
-            .iter()
-            .flat_map(|m| m.keys().cloned())
-            .collect();
+        let state = self.lock();
+        let mut names: Vec<String> = state.osds.iter().flat_map(|m| m.keys().cloned()).collect();
         names.sort_unstable();
         names.dedup();
         names
@@ -424,20 +523,20 @@ impl Cluster {
     /// layers, e.g. client-side crypto cost).
     #[must_use]
     pub fn resources(&self) -> ResourceHandles {
-        self.state.lock().handles.clone()
+        self.lock().handles.clone()
     }
 
     /// The testbed profile in effect.
     #[must_use]
     pub fn testbed_profile(&self) -> TestbedProfile {
-        self.state.lock().testbed.clone()
+        self.lock().testbed.clone()
     }
 
     /// Convenience: a plan occupying the client crypto workers for
     /// `bytes` of encryption/decryption work.
     #[must_use]
     pub fn crypto_plan(&self, bytes: u64) -> Plan {
-        let state = self.state.lock();
+        let state = self.lock();
         Plan::op(state.handles.client_crypto, bytes)
     }
 
@@ -445,7 +544,7 @@ impl Cluster {
     /// depth) against this cluster's simulated hardware.
     #[must_use]
     pub fn run_closed_loop(&self, queue_depth: usize, plans: Vec<(Plan, u64)>) -> ClosedLoopStats {
-        let mut state = self.state.lock();
+        let mut state = self.lock();
         let total = plans.len() as u64;
         let mut plans = plans.into_iter();
         state.sim.run_closed_loop(queue_depth, total, move |_| {
@@ -456,20 +555,16 @@ impl Cluster {
     /// Per-resource utilization of the last closed-loop run.
     #[must_use]
     pub fn utilization_report(&self) -> Vec<vdisk_sim::ResourceUsage> {
-        self.state.lock().sim.utilization_report()
+        self.lock().sim.utilization_report()
     }
 
     /// Verifies that all replicas of all objects agree (like Ceph's
     /// deep scrub).
     #[must_use]
     pub fn scrub(&self) -> ScrubReport {
-        let state = self.state.lock();
+        let state = self.lock();
         let mut report = ScrubReport::default();
-        let mut names: Vec<String> = state
-            .osds
-            .iter()
-            .flat_map(|m| m.keys().cloned())
-            .collect();
+        let mut names: Vec<String> = state.osds.iter().flat_map(|m| m.keys().cloned()).collect();
         names.sort_unstable();
         names.dedup();
         for name in names {
@@ -477,11 +572,7 @@ impl Cluster {
             let acting = state.placement.acting_set(&name);
             let prints: Vec<Option<u64>> = acting
                 .iter()
-                .map(|osd| {
-                    state.osds[osd.0]
-                        .get(&name)
-                        .map(|o| o.head.fingerprint())
-                })
+                .map(|osd| state.osds[osd.0].get(&name).map(|o| o.head.fingerprint()))
                 .collect();
             let first = &prints[0];
             if prints.iter().any(|p| p != first) {
@@ -500,13 +591,8 @@ impl Cluster {
     /// Returns [`RadosError::InvalidArgument`] if `replica_index` is 0
     /// (the primary) or out of range, or [`RadosError::NoSuchObject`]
     /// if that replica holds no such object.
-    pub fn damage_replica(
-        &self,
-        object: &str,
-        replica_index: usize,
-        offset: usize,
-    ) -> Result<()> {
-        let mut state = self.state.lock();
+    pub fn damage_replica(&self, object: &str, replica_index: usize, offset: usize) -> Result<()> {
+        let mut state = self.lock();
         let acting = state.placement.acting_set(object);
         if replica_index == 0 || replica_index >= acting.len() {
             return Err(RadosError::InvalidArgument(format!(
@@ -530,7 +616,7 @@ impl Cluster {
     /// Returns [`RadosError::NoSuchObject`] if the primary holds no
     /// such object.
     pub fn repair(&self, object: &str) -> Result<()> {
-        let mut state = self.state.lock();
+        let mut state = self.lock();
         let acting = state.placement.acting_set(object);
         let primary_copy = state.osds[acting[0].0]
             .get(object)
@@ -558,7 +644,14 @@ mod tests {
         tx.write(100, b"hello world".to_vec());
         c.execute(tx).unwrap();
         let (results, plan) = c
-            .read("obj", None, &[ReadOp::Read { offset: 100, len: 11 }])
+            .read(
+                "obj",
+                None,
+                &[ReadOp::Read {
+                    offset: 100,
+                    len: 11,
+                }],
+            )
             .unwrap();
         assert_eq!(results[0].as_data(), b"hello world");
         assert!(plan.op_count() > 0);
@@ -579,10 +672,7 @@ mod tests {
         let mut tx = Transaction::new("obj");
         tx.write(0, b"data".to_vec());
         tx.omap_set(vec![(Vec::new(), b"bad-key".to_vec())]); // invalid
-        assert!(matches!(
-            c.execute(tx),
-            Err(RadosError::InvalidArgument(_))
-        ));
+        assert!(matches!(c.execute(tx), Err(RadosError::InvalidArgument(_))));
         assert!(
             !c.object_exists("obj"),
             "no partial state may survive a rejected transaction"
@@ -744,7 +834,14 @@ mod tests {
         c.execute(tx).unwrap();
         assert_eq!(c.stat("obj").unwrap().size, 8192);
         let (results, _) = c
-            .read("obj", None, &[ReadOp::Read { offset: 4096, len: 4096 }])
+            .read(
+                "obj",
+                None,
+                &[ReadOp::Read {
+                    offset: 4096,
+                    len: 4096,
+                }],
+            )
             .unwrap();
         assert_eq!(results[0].as_data(), &vec![0u8; 4096][..], "payload gone");
     }
@@ -772,9 +869,117 @@ mod tests {
         tx.write(0, b"replicated".to_vec());
         c.execute(tx).unwrap();
         // All three OSDs hold the object (3-way replication on 3 OSDs).
-        let state = c.state.lock();
+        let state = c.lock();
         for (i, osd) in state.osds.iter().enumerate() {
             assert!(osd.contains_key("obj"), "osd {i} missing the object");
+        }
+    }
+
+    #[test]
+    fn execute_batch_applies_all_and_fans_out() {
+        let c = cluster();
+        let txs: Vec<Transaction> = (0..4)
+            .map(|i| {
+                let mut tx = Transaction::new(format!("obj{i}"));
+                tx.write(0, vec![i as u8; 4096]);
+                tx
+            })
+            .collect();
+        let plan = c.execute_batch(txs).unwrap();
+        match &plan {
+            Plan::Par(children) => assert_eq!(children.len(), 4),
+            other => panic!("batch dispatch must be parallel, got {other:?}"),
+        }
+        for i in 0..4 {
+            assert!(c.object_exists(&format!("obj{i}")));
+        }
+        let stats = c.exec_stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.transactions, 4);
+    }
+
+    #[test]
+    fn execute_batch_is_all_or_nothing_across_transactions() {
+        let c = cluster();
+        let mut good = Transaction::new("good");
+        good.write(0, vec![1; 16]);
+        let mut bad = Transaction::new("bad");
+        bad.write(0, Vec::new()); // invalid: empty write
+        assert!(matches!(
+            c.execute_batch(vec![good, bad]),
+            Err(RadosError::InvalidArgument(_))
+        ));
+        assert!(
+            !c.object_exists("good"),
+            "a bad transaction must reject the whole batch before any applies"
+        );
+        assert_eq!(c.exec_stats().transactions, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let c = cluster();
+        assert_eq!(c.execute_batch(Vec::new()).unwrap(), Plan::Noop);
+    }
+
+    #[test]
+    fn read_batch_zero_fills_missing_objects() {
+        let c = cluster();
+        let mut tx = Transaction::new("present");
+        tx.write(0, b"here".to_vec());
+        c.execute(tx).unwrap();
+        let (results, plan) = c
+            .read_batch(
+                None,
+                &[
+                    ObjectReads::new("present", vec![ReadOp::Read { offset: 0, len: 4 }]),
+                    ObjectReads::new("ghost", vec![ReadOp::Read { offset: 0, len: 4 }]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(results[0].as_ref().unwrap()[0].as_data(), b"here");
+        assert!(results[1].is_none(), "missing object reads as a hole");
+        assert!(plan.op_count() > 0);
+        assert_eq!(c.exec_stats().read_ops, 2);
+    }
+
+    #[test]
+    fn batched_and_single_execution_leave_identical_state() {
+        let build = |batched: bool| {
+            let c = cluster();
+            let txs: Vec<Transaction> = (0..3)
+                .map(|i| {
+                    let mut tx = Transaction::new(format!("obj{i}"));
+                    tx.write(i * 512, vec![0xC0 + i as u8; 2048]);
+                    tx.omap_set(vec![(vec![i as u8 + 1], vec![0xEE; 16])]);
+                    tx
+                })
+                .collect();
+            if batched {
+                c.execute_batch(txs).unwrap();
+            } else {
+                for tx in txs {
+                    c.execute(tx).unwrap();
+                }
+            }
+            c
+        };
+        let (single, batched) = (build(false), build(true));
+        for i in 0..3 {
+            let name = format!("obj{i}");
+            let ops = [
+                ReadOp::Read {
+                    offset: 0,
+                    len: 4096,
+                },
+                ReadOp::OmapGetRange {
+                    start: vec![],
+                    end: vec![0xFF],
+                },
+            ];
+            let (a, _) = single.read(&name, None, &ops).unwrap();
+            let (b, _) = batched.read(&name, None, &ops).unwrap();
+            assert_eq!(a, b, "object {name} diverged between paths");
         }
     }
 

@@ -227,8 +227,7 @@ impl OsdWork {
 
         let mut rmw = Vec::new();
         let (rmw_ops, rmw_bytes) = self.rmw_reads;
-        if rmw_ops > 0 {
-            let per = rmw_bytes / rmw_ops;
+        if let Some(per) = rmw_bytes.checked_div(rmw_ops) {
             for _ in 0..rmw_ops {
                 rmw.push(Plan::busy(disk, profile.disk_read_time(per)));
             }

@@ -54,11 +54,11 @@ pub mod object;
 pub mod placement;
 pub mod transaction;
 
-pub use cluster::{Cluster, ClusterBuilder, PayloadMode, ScrubReport};
+pub use cluster::{Cluster, ClusterBuilder, ExecStats, PayloadMode, ScrubReport};
 pub use cost::{ResourceHandles, TestbedProfile};
 pub use object::{ObjectStat, PHYS_BLOCK};
 pub use placement::{OsdId, PlacementMap};
-pub use transaction::{ReadOp, ReadResult, SnapContext, Transaction, TxOp};
+pub use transaction::{ObjectReads, ReadOp, ReadResult, SnapContext, Transaction, TxOp};
 
 use std::error::Error as StdError;
 use std::fmt;

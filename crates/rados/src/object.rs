@@ -89,8 +89,8 @@ impl ObjectContent {
 
         let mut rmw_read_ops = 0u64;
         let mut rmw_read_bytes = 0u64;
-        let head_partial = offset % PHYS_BLOCK != 0;
-        let tail_partial = (offset + len) % PHYS_BLOCK != 0;
+        let head_partial = !offset.is_multiple_of(PHYS_BLOCK);
+        let tail_partial = !(offset + len).is_multiple_of(PHYS_BLOCK);
         let head_exists = head_partial && start_block * PHYS_BLOCK < self.size;
         // The tail block only needs a read if it exists and is not the
         // same block as an already-read head.
@@ -267,8 +267,8 @@ mod tests {
     fn unaligned_overwrite_needs_rmw() {
         let mut c = ObjectContent::new(true);
         c.write(0, &vec![1u8; 16384]); // pre-existing data
-        // Overwrite 4112 bytes at offset 4112: partial head and tail.
-        // [4112, 8224) spans physical blocks 1 and 2, both partially.
+                                       // Overwrite 4112 bytes at offset 4112: partial head and tail.
+                                       // [4112, 8224) spans physical blocks 1 and 2, both partially.
         let p = c.write_profile(4112, 4112);
         assert_eq!(p.rmw_read_ops, 2, "head and tail blocks both partial");
         assert_eq!(p.rmw_read_bytes, 2 * PHYS_BLOCK);
@@ -344,7 +344,10 @@ mod tests {
     fn object_born_after_snapshot_is_absent_there() {
         let obj = Object::new(true, snapc(3));
         assert!(obj.content_at(Some(SnapId(2))).is_none());
-        assert!(obj.content_at(Some(SnapId(3))).is_none(), "snap 3 predates creation");
+        assert!(
+            obj.content_at(Some(SnapId(3))).is_none(),
+            "snap 3 predates creation"
+        );
         assert!(obj.content_at(Some(SnapId(4))).is_some());
     }
 

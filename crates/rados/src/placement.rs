@@ -71,12 +71,7 @@ impl PlacementMap {
     pub fn acting_set(&self, object: &str) -> Vec<OsdId> {
         let pg = self.pg_of(object);
         let mut lots: Vec<(u64, usize)> = (0..self.osd_count)
-            .map(|osd| {
-                (
-                    stable_hash(&[&pg.to_le_bytes(), &osd.to_le_bytes()]),
-                    osd,
-                )
-            })
+            .map(|osd| (stable_hash(&[&pg.to_le_bytes(), &osd.to_le_bytes()]), osd))
             .collect();
         lots.sort_unstable_by(|a, b| b.cmp(a));
         lots.truncate(self.replicas);
@@ -178,9 +173,6 @@ mod tests {
     #[test]
     fn stable_hash_separates_parts() {
         // ("ab", "c") must differ from ("a", "bc").
-        assert_ne!(
-            stable_hash(&[b"ab", b"c"]),
-            stable_hash(&[b"a", b"bc"])
-        );
+        assert_ne!(stable_hash(&[b"ab", b"c"]), stable_hash(&[b"a", b"bc"]));
     }
 }

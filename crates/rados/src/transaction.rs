@@ -133,6 +133,27 @@ impl Transaction {
     }
 }
 
+/// One object's worth of read operations inside a vectored read (see
+/// `Cluster::read_batch`): the read-side analog of a [`Transaction`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectReads {
+    /// Target object name.
+    pub object: String,
+    /// Operations to execute against it, in order.
+    pub ops: Vec<ReadOp>,
+}
+
+impl ObjectReads {
+    /// Builds a read request against `object`.
+    #[must_use]
+    pub fn new(object: impl Into<String>, ops: Vec<ReadOp>) -> Self {
+        ObjectReads {
+            object: object.into(),
+            ops,
+        }
+    }
+}
+
 /// One read operation against an object.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReadOp {

@@ -9,26 +9,58 @@ use vdisk_rados::{Cluster, ReadOp, SnapId, Transaction};
 
 #[derive(Debug, Clone)]
 enum StoreOp {
-    Write { obj: u8, offset: u64, fill: u8, len: u64 },
-    OmapSet { obj: u8, key: u8, value: u8 },
+    Write {
+        obj: u8,
+        offset: u64,
+        fill: u8,
+        len: u64,
+    },
+    OmapSet {
+        obj: u8,
+        key: u8,
+        value: u8,
+    },
     Snapshot,
-    Delete { obj: u8 },
-    VerifyData { obj: u8, offset: u64, len: u64 },
-    VerifyOmap { obj: u8 },
-    VerifySnapshot { idx: u8, obj: u8 },
+    Delete {
+        obj: u8,
+    },
+    VerifyData {
+        obj: u8,
+        offset: u64,
+        len: u64,
+    },
+    VerifyOmap {
+        obj: u8,
+    },
+    VerifySnapshot {
+        idx: u8,
+        obj: u8,
+    },
     Scrub,
 }
 
 fn arb_op() -> impl Strategy<Value = StoreOp> {
     prop_oneof![
-        (0u8..4, 0u64..8192, any::<u8>(), 1u64..2048)
-            .prop_map(|(obj, offset, fill, len)| StoreOp::Write { obj, offset, fill, len }),
-        (0u8..4, any::<u8>(), any::<u8>())
-            .prop_map(|(obj, key, value)| StoreOp::OmapSet { obj, key, value }),
+        (0u8..4, 0u64..8192, any::<u8>(), 1u64..2048).prop_map(|(obj, offset, fill, len)| {
+            StoreOp::Write {
+                obj,
+                offset,
+                fill,
+                len,
+            }
+        }),
+        (0u8..4, any::<u8>(), any::<u8>()).prop_map(|(obj, key, value)| StoreOp::OmapSet {
+            obj,
+            key,
+            value
+        }),
         Just(StoreOp::Snapshot),
         (0u8..4).prop_map(|obj| StoreOp::Delete { obj }),
-        (0u8..4, 0u64..8192, 1u64..2048)
-            .prop_map(|(obj, offset, len)| StoreOp::VerifyData { obj, offset, len }),
+        (0u8..4, 0u64..8192, 1u64..2048).prop_map(|(obj, offset, len)| StoreOp::VerifyData {
+            obj,
+            offset,
+            len
+        }),
         (0u8..4).prop_map(|obj| StoreOp::VerifyOmap { obj }),
         (any::<u8>(), 0u8..4).prop_map(|(idx, obj)| StoreOp::VerifySnapshot { idx, obj }),
         Just(StoreOp::Scrub),
@@ -102,10 +134,10 @@ proptest! {
                                 .read(&name, None, &[ReadOp::Read { offset, len }])
                                 .unwrap();
                             let mut expected = vec![0u8; len as usize];
-                            for i in 0..len as usize {
+                            for (i, byte) in expected.iter_mut().enumerate() {
                                 let pos = offset as usize + i;
                                 if pos < m.data.len() {
-                                    expected[i] = m.data[pos];
+                                    *byte = m.data[pos];
                                 }
                             }
                             prop_assert_eq!(results[0].as_data(), &expected[..]);
@@ -144,21 +176,19 @@ proptest! {
                         if !cluster.object_exists(&name) {
                             continue;
                         }
-                        match cluster.read(
+                        // An Err is acceptable: the object may have
+                        // been recreated after deletion, i.e. born
+                        // after this snapshot.
+                        if let Ok((results, _)) = cluster.read(
                             &name,
                             Some(*snap),
                             &[ReadOp::Read { offset: 0, len: m.data.len() as u64 }],
                         ) {
-                            Ok((results, _)) => {
-                                prop_assert_eq!(
-                                    results[0].as_data(),
-                                    &m.data[..],
-                                    "snapshot {:?} of {} diverged", snap, name
-                                );
-                            }
-                            // Object recreated after deletion: born
-                            // after this snapshot — acceptable.
-                            Err(_) => {}
+                            prop_assert_eq!(
+                                results[0].as_data(),
+                                &m.data[..],
+                                "snapshot {:?} of {} diverged", snap, name
+                            );
                         }
                     }
                 }

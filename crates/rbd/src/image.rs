@@ -2,7 +2,7 @@
 
 use crate::striping::Striper;
 use crate::{RbdError, Result, DEFAULT_OBJECT_SIZE};
-use vdisk_rados::{Cluster, RadosError, ReadOp, SnapId, Transaction};
+use vdisk_rados::{Cluster, ObjectReads, ReadOp, SnapId, Transaction};
 use vdisk_sim::Plan;
 
 /// `stat()` output for an image.
@@ -208,7 +208,10 @@ impl Image {
         Ok(())
     }
 
-    /// Writes raw bytes (no encryption) and returns the IO's cost plan.
+    /// Writes raw bytes (no encryption) and returns the IO's cost
+    /// plan. The request is striped up front and dispatched as **one
+    /// batch**: every touched object's transaction is in flight
+    /// concurrently (`Plan::par`), not executed extent-by-extent.
     ///
     /// # Errors
     ///
@@ -218,15 +221,20 @@ impl Image {
         if data.is_empty() {
             return Ok(Plan::Noop);
         }
-        let mut plans = Vec::new();
-        for extent in self.striper.map(offset, data.len() as u64) {
-            let mut tx = Transaction::new(self.object_name(extent.object_no));
-            let slice =
-                data[extent.buf_offset as usize..(extent.buf_offset + extent.len) as usize].to_vec();
-            tx.write(extent.offset, slice);
-            plans.push(self.cluster.execute(tx)?);
-        }
-        Ok(Plan::par(plans))
+        let txs: Vec<Transaction> = self
+            .striper
+            .map(offset, data.len() as u64)
+            .into_iter()
+            .map(|extent| {
+                let mut tx = Transaction::new(self.object_name(extent.object_no));
+                let slice = data
+                    [extent.buf_offset as usize..(extent.buf_offset + extent.len) as usize]
+                    .to_vec();
+                tx.write(extent.offset, slice);
+                tx
+            })
+            .collect();
+        Ok(self.cluster.execute_batch(txs)?)
     }
 
     /// Reads raw bytes from the image head into `buf`; unwritten space
@@ -253,33 +261,33 @@ impl Image {
         if buf.is_empty() {
             return Ok(Plan::Noop);
         }
-        let mut plans = Vec::new();
-        for extent in self.striper.map(offset, buf.len() as u64) {
-            let object = self.object_name(extent.object_no);
-            match self.cluster.read(
-                &object,
-                snap,
-                &[ReadOp::Read {
-                    offset: extent.offset,
-                    len: extent.len,
-                }],
-            ) {
-                Ok((results, plan)) => {
-                    let data = results[0].as_data();
-                    buf[extent.buf_offset as usize..(extent.buf_offset + extent.len) as usize]
-                        .copy_from_slice(data);
-                    plans.push(plan);
-                }
-                Err(RadosError::NoSuchObject(_)) | Err(RadosError::NoSuchSnapshot { .. }) => {
-                    // Sparse hole: zero-fill, negligible cost (the OSD
-                    // answers from its object index without disk IO).
-                    buf[extent.buf_offset as usize..(extent.buf_offset + extent.len) as usize]
-                        .fill(0);
-                }
-                Err(e) => return Err(e.into()),
+        // Map the whole request up front, then fetch every extent in
+        // one vectored round trip.
+        let extents = self.striper.map(offset, buf.len() as u64);
+        let requests: Vec<ObjectReads> = extents
+            .iter()
+            .map(|extent| {
+                ObjectReads::new(
+                    self.object_name(extent.object_no),
+                    vec![ReadOp::Read {
+                        offset: extent.offset,
+                        len: extent.len,
+                    }],
+                )
+            })
+            .collect();
+        let (results, plan) = self.cluster.read_batch(snap, &requests)?;
+        for (extent, result) in extents.iter().zip(&results) {
+            let out =
+                &mut buf[extent.buf_offset as usize..(extent.buf_offset + extent.len) as usize];
+            match result {
+                Some(results) => out.copy_from_slice(results[0].as_data()),
+                // Sparse hole: zero-fill, negligible cost (the OSD
+                // answers from its object index without disk IO).
+                None => out.fill(0),
             }
         }
-        Ok(Plan::par(plans))
+        Ok(plan)
     }
 
     /// Takes a named image snapshot. All data objects written after

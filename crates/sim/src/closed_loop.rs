@@ -132,11 +132,7 @@ mod tests {
         // A single 1 GB/s pipe with negligible per-op cost: large-IO
         // closed-loop throughput must approach 1000 MB/s.
         let mut sim = Simulator::new();
-        let pipe = sim.add_resource(ResourceSpec::pipe(
-            "pipe",
-            1e9,
-            SimDuration::from_nanos(1),
-        ));
+        let pipe = sim.add_resource(ResourceSpec::pipe("pipe", 1e9, SimDuration::from_nanos(1)));
         let io = 1 << 20; // 1 MiB
         let stats = sim.run_closed_loop(8, 200, |_| (Plan::op(pipe, io), io));
         let bw = stats.bandwidth_mb_s();
@@ -184,8 +180,16 @@ mod tests {
         // loop at QD2 should pipeline to ~100K IOPS (stage-limited),
         // not 50K (latency-limited).
         let mut sim = Simulator::new();
-        let a = sim.add_resource(ResourceSpec::latency_only("a", 1, SimDuration::from_micros(10)));
-        let b = sim.add_resource(ResourceSpec::latency_only("b", 1, SimDuration::from_micros(10)));
+        let a = sim.add_resource(ResourceSpec::latency_only(
+            "a",
+            1,
+            SimDuration::from_micros(10),
+        ));
+        let b = sim.add_resource(ResourceSpec::latency_only(
+            "b",
+            1,
+            SimDuration::from_micros(10),
+        ));
         let stats = sim.run_closed_loop(2, 2000, |_| {
             (Plan::seq([Plan::op(a, 0), Plan::op(b, 0)]), 0)
         });
@@ -199,11 +203,7 @@ mod tests {
     #[test]
     fn latency_stats_ordered() {
         let mut sim = Simulator::new();
-        let r = sim.add_resource(ResourceSpec::pipe(
-            "p",
-            1e9,
-            SimDuration::from_micros(10),
-        ));
+        let r = sim.add_resource(ResourceSpec::pipe("p", 1e9, SimDuration::from_micros(10)));
         let stats = sim.run_closed_loop(4, 100, |i| {
             let bytes = (i % 7) * 10_000;
             (Plan::op(r, bytes), bytes)

@@ -74,8 +74,14 @@ pub struct ResourceUsage {
 
 #[derive(Debug, Clone, Copy)]
 enum NodeKind {
-    Op { resource: ResourceId, bytes: u64 },
-    Busy { resource: ResourceId, time: SimDuration },
+    Op {
+        resource: ResourceId,
+        bytes: u64,
+    },
+    Busy {
+        resource: ResourceId,
+        time: SimDuration,
+    },
     Delay(SimDuration),
 }
 
@@ -161,7 +167,11 @@ impl Instance {
             roots,
             remaining,
             issued_at,
-            completed_at: if remaining == 0 { Some(issued_at) } else { None },
+            completed_at: if remaining == 0 {
+                Some(issued_at)
+            } else {
+                None
+            },
         }
     }
 }
@@ -401,10 +411,7 @@ mod tests {
     fn busy_occupies_for_explicit_duration() {
         let mut sim = Simulator::new();
         let r = sim.add_resource(ResourceSpec::latency_only("kv", 1, micros(1)));
-        let p = Plan::par([
-            Plan::busy(r, micros(100)),
-            Plan::busy(r, micros(100)),
-        ]);
+        let p = Plan::par([Plan::busy(r, micros(100)), Plan::busy(r, micros(100))]);
         let done = sim.execute(&p, SimTime::ZERO);
         assert_eq!(done.as_nanos(), 200_000, "busy times serialize too");
     }

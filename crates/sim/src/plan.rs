@@ -118,9 +118,7 @@ impl Plan {
         match self {
             Plan::Op { .. } | Plan::Busy { .. } => 1,
             Plan::Delay(_) | Plan::Noop => 0,
-            Plan::Seq(children) | Plan::Par(children) => {
-                children.iter().map(Plan::op_count).sum()
-            }
+            Plan::Seq(children) | Plan::Par(children) => children.iter().map(Plan::op_count).sum(),
         }
     }
 

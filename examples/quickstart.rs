@@ -48,10 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         observed.ciphertext.len(),
         vdisk::crypto::mem::to_hex(observed.meta.as_deref().unwrap_or(&[]))
     );
-    assert!(!observed
-        .ciphertext
-        .windows(3)
-        .any(|w| w == b"MBR"), "plaintext must never reach the store");
+    assert!(
+        !observed.ciphertext.windows(3).any(|w| w == b"MBR"),
+        "plaintext must never reach the store"
+    );
 
     // Reopen with the passphrase (header + keyslot machinery).
     let image = Image::open(&cluster, "vm-disk")?;

@@ -14,7 +14,7 @@
 //!
 //! Run with: `cargo run --release --example snapshot_security`
 
-use vdisk::core::audit::{differing_subblocks, diff_ratio};
+use vdisk::core::audit::{diff_ratio, differing_subblocks};
 use vdisk::core::{EncryptedImage, EncryptionConfig, MetaLayout};
 use vdisk::rados::Cluster;
 use vdisk::rbd::Image;
@@ -85,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== Overwrite with identical plaintext ===");
     for (label, config) in [
         ("LUKS2", EncryptionConfig::luks2_baseline()),
-        ("random IV", EncryptionConfig::random_iv(MetaLayout::ObjectEnd)),
+        (
+            "random IV",
+            EncryptionConfig::random_iv(MetaLayout::ObjectEnd),
+        ),
     ] {
         let cluster = Cluster::builder().build();
         let image = Image::create(&cluster, "ow", 16 << 20)?;

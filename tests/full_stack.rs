@@ -78,7 +78,7 @@ fn unaligned_io_read_modify_write() {
         let (_c, mut disk) = make_disk(&config, 8 << 20);
         disk.write(0, &vec![0xAA; 8192]).unwrap();
         // 100 bytes straddling the sector-0/sector-1 boundary.
-        disk.write(4050, &vec![0xBB; 100]).unwrap();
+        disk.write(4050, &[0xBB; 100]).unwrap();
         let mut buf = vec![0u8; 8192];
         disk.read(0, &mut buf).unwrap();
         assert!(buf[..4050].iter().all(|&b| b == 0xAA));
@@ -179,11 +179,7 @@ fn discarded_payload_mode_produces_identical_plans() {
         let plan = disk.write(0, &vec![1; 16384]).unwrap();
         // 3 replicas × (1 full data write + 1 deferred meta write).
         let handles = cluster.resources();
-        let disk_ops: usize = handles
-            .osd_disk
-            .iter()
-            .map(|&r| plan.op_count_on(r))
-            .sum();
+        let disk_ops: usize = handles.osd_disk.iter().map(|&r| plan.op_count_on(r)).sum();
         assert_eq!(disk_ops, 6, "mode {mode:?}");
     }
 }
@@ -210,7 +206,10 @@ fn cross_lba_ciphertext_replay_decrypts_to_garbage() {
 
     let mut replayed = vec![0u8; 4096];
     disk.read(4096, &mut replayed).unwrap();
-    assert_ne!(replayed, secret, "replayed sector must not reveal the original");
+    assert_ne!(
+        replayed, secret,
+        "replayed sector must not reveal the original"
+    );
     // The original is untouched.
     let mut original = vec![0u8; 4096];
     disk.read(0, &mut original).unwrap();
@@ -223,12 +222,12 @@ fn multiple_images_share_a_cluster() {
     let mut disks: Vec<EncryptedImage> = (0..3)
         .map(|i| {
             let image = Image::create(&cluster, &format!("tenant-{i}"), 8 << 20).unwrap();
-            EncryptedImage::format(image, &EncryptionConfig::random_iv_object_end(), b"pw")
-                .unwrap()
+            EncryptedImage::format(image, &EncryptionConfig::random_iv_object_end(), b"pw").unwrap()
         })
         .collect();
     for (i, disk) in disks.iter_mut().enumerate() {
-        disk.write(0, format!("tenant {i} data").as_bytes()).unwrap();
+        disk.write(0, format!("tenant {i} data").as_bytes())
+            .unwrap();
     }
     for (i, disk) in disks.iter().enumerate() {
         let mut buf = vec![0u8; 13];
