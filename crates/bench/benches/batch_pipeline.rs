@@ -1,16 +1,23 @@
-//! Per-sector vs. batched write dispatch across the metadata layouts.
+//! Per-sector vs. batched write dispatch across the metadata layouts,
+//! and batch application scaling across cluster state shards.
 //!
-//! Measures the client-side wall-clock cost of the write path (extent
-//! planning, in-place encryption, transaction build, batch dispatch)
-//! for 4 KB / 64 KB / 1 MB requests. The `batched` rows go through
-//! `EncryptedImage::write` once per request; the `per-sector` rows
-//! replay the legacy dispatch by issuing one write per 4 KB sector.
-//! Both paths store identical bytes (asserted by the
-//! `batch_pipeline` integration test); only their costs differ.
+//! The dispatch rows measure the client-side wall-clock cost of the
+//! write path (extent planning, in-place encryption, transaction
+//! build, batch dispatch) for 4 KB / 64 KB / 1 MB requests. The
+//! `batched` rows go through `EncryptedImage::write` once per request;
+//! the `per-sector` rows replay the legacy dispatch by issuing one
+//! write per 4 KB sector. Both paths store identical bytes (asserted
+//! by the `batch_pipeline` integration test); only their costs differ.
+//!
+//! The `shard-scaling` rows apply one multi-object batch directly via
+//! `Cluster::execute_batch` against clusters built with 1 / 4 / 8
+//! state shards: the same 32-object batch, so the only variable is how
+//! much of its application runs concurrently.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vdisk_bench::testbed;
 use vdisk_core::{EncryptedImage, EncryptionConfig, MetaLayout};
+use vdisk_rados::{Cluster, Transaction};
 
 const IMAGE: u64 = 32 << 20;
 const SIZES: [(u64, &str); 3] = [(4 << 10, "4K"), (64 << 10, "64K"), (1 << 20, "1M")];
@@ -61,5 +68,40 @@ fn bench_write_dispatch(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_write_dispatch);
+/// One multi-object batch: `objects` transactions of `write_size`
+/// bytes each, to distinct objects (distinct placement groups, so the
+/// batch spans many shards when the cluster has them).
+fn shard_batch(objects: usize, write_size: usize) -> Vec<Transaction> {
+    (0..objects)
+        .map(|i| {
+            let mut tx = Transaction::new(format!("shardbench.{i:04}"));
+            tx.write(0, vec![0xC3u8; write_size]);
+            tx
+        })
+        .collect()
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    const OBJECTS: usize = 32;
+    const WRITE_SIZE: usize = 256 << 10;
+    let mut group = c.benchmark_group("shard-scaling/batch-apply");
+    group.throughput(Throughput::Bytes((OBJECTS * WRITE_SIZE) as u64));
+    // Build the batch once; per-iteration cost is one flat memcpy
+    // clone (identical across rows) plus the apply under test — not
+    // 32 allocations and `format!`s of setup.
+    let template = shard_batch(OBJECTS, WRITE_SIZE);
+    for shards in [1usize, 4, 8] {
+        let cluster = Cluster::builder().shard_count(shards).build();
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                cluster
+                    .execute_batch(template.clone())
+                    .expect("batch applies")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_dispatch, bench_shard_scaling);
 criterion_main!(benches);

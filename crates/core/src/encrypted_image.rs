@@ -74,6 +74,7 @@ impl EncryptedImage {
                 "sector size exceeds object size".into(),
             ));
         }
+        Self::check_sector_multiple(&image, u64::from(config.sector_size))?;
         let (header, master) = LuksHeader::format(config, passphrase, iv_source.as_mut())?;
         let mut tx = Transaction::new(Self::crypt_header_object(image.name()));
         tx.write(0, header.encode());
@@ -131,6 +132,7 @@ impl EncryptedImage {
         let header = LuksHeader::decode(results[0].as_data())?;
         let master = header.unlock(passphrase)?;
         let config = header.config().clone();
+        Self::check_sector_multiple(&image, u64::from(config.sector_size))?;
         let keys = DerivedKeys::derive(&master, config.cipher);
         let codec = SectorCodec::new(&config, &keys)?;
         let geometry = Geometry::new(
@@ -199,27 +201,44 @@ impl EncryptedImage {
         Ok(self.image.snap_create(name)?)
     }
 
+    /// Encryption operates on whole sectors, so an image whose size is
+    /// not a sector multiple would leave an un-encryptable tail — and
+    /// unaligned tail IOs would round their RMW span past the image
+    /// end. Rejected up front with a clear error instead.
+    fn check_sector_multiple(image: &Image, sector_size: u64) -> Result<()> {
+        if image.size().is_multiple_of(sector_size) {
+            Ok(())
+        } else {
+            Err(CryptError::UnsupportedConfig(format!(
+                "image size {} is not a multiple of the {sector_size}-byte sector size",
+                image.size()
+            )))
+        }
+    }
+
     fn check_bounds(&self, offset: u64, len: u64) -> Result<()> {
-        let end = offset
-            .checked_add(len)
-            .filter(|&end| end <= self.image.size())
-            .ok_or(CryptError::Rbd(RbdError::OutOfBounds {
-                offset: offset.saturating_add(len),
+        match offset.checked_add(len) {
+            Some(end) if end <= self.image.size() => Ok(()),
+            // Report the true requested end; an offset+len overflow
+            // (necessarily out of bounds) reports the saturated end.
+            end => Err(CryptError::Rbd(RbdError::OutOfBounds {
+                offset: end.unwrap_or(u64::MAX),
                 size: self.image.size(),
-            }))?;
-        let _ = end;
-        Ok(())
+            })),
+        }
     }
 
     /// Encrypts and writes `data` at byte `offset`; returns the IO's
     /// cost plan. Writes not aligned to the sector size perform
-    /// client-side read-modify-write of the touched boundary sectors.
+    /// client-side read-modify-write of **only the partially-written
+    /// boundary sectors** — interior sectors are fully overwritten and
+    /// never read back or decrypted.
     ///
     /// # Errors
     ///
     /// Returns [`CryptError::Rbd`] for out-of-bounds IO or store
     /// failures, and decryption errors if an unaligned write has to
-    /// read back tampered sectors.
+    /// read back tampered boundary sectors.
     pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<Plan> {
         self.check_bounds(offset, data.len() as u64)?;
         if data.is_empty() {
@@ -229,18 +248,38 @@ impl EncryptedImage {
         if offset.is_multiple_of(ss) && (data.len() as u64).is_multiple_of(ss) {
             return self.write_aligned(offset, data);
         }
-        // Client-side RMW: fetch the boundary sectors, splice, write
-        // the aligned span.
+        // Client-side RMW: fetch only the boundary sectors the write
+        // partially covers, splice the new bytes over them, write the
+        // aligned span. (`check_sector_multiple` guarantees the span
+        // cannot round past the image end.)
         let first_sector = offset / ss;
-        let end_sector = (offset + data.len() as u64).div_ceil(ss);
+        let end = offset + data.len() as u64;
+        let end_sector = end.div_ceil(ss);
         let aligned_off = first_sector * ss;
-        let aligned_len = (end_sector - first_sector) * ss;
-        let mut span = vec![0u8; aligned_len as usize];
-        let read_plan = self.read_common(None, aligned_off, &mut span)?;
-        let start = (offset - aligned_off) as usize;
-        span[start..start + data.len()].copy_from_slice(data);
+        let aligned_len = ((end_sector - first_sector) * ss) as usize;
+        let mut span = vec![0u8; aligned_len];
+        let head_len = (offset - aligned_off) as usize;
+        let tail_partial = !end.is_multiple_of(ss);
+        let mut read_plans = Vec::with_capacity(2);
+        if end_sector - first_sector == 1 {
+            // Single sector, partial at one or both ends.
+            read_plans.push(self.read_common(None, aligned_off, &mut span[..ss as usize])?);
+        } else {
+            if head_len > 0 {
+                read_plans.push(self.read_common(None, aligned_off, &mut span[..ss as usize])?);
+            }
+            if tail_partial {
+                let tail_off = (end_sector - 1) * ss;
+                read_plans.push(self.read_common(
+                    None,
+                    tail_off,
+                    &mut span[aligned_len - ss as usize..],
+                )?);
+            }
+        }
+        span[head_len..head_len + data.len()].copy_from_slice(data);
         let write_plan = self.write_aligned(aligned_off, &span)?;
-        Ok(Plan::seq([read_plan, write_plan]))
+        Ok(Plan::seq([Plan::par(read_plans), write_plan]))
     }
 
     /// The batched write pipeline. The striper maps the whole request
@@ -355,6 +394,8 @@ impl EncryptedImage {
         let ss = self.geometry.sector_size;
         if !offset.is_multiple_of(ss) || !(buf.len() as u64).is_multiple_of(ss) {
             // Unaligned read: fetch the aligned span and slice.
+            // (`check_sector_multiple` guarantees the span cannot
+            // round past the image end.)
             let first_sector = offset / ss;
             let end_sector = (offset + buf.len() as u64).div_ceil(ss);
             let aligned_off = first_sector * ss;

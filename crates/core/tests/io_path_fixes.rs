@@ -1,0 +1,176 @@
+//! Regression tests for the IO-path correctness sweep:
+//!
+//! 1. images whose size is not a sector multiple are rejected at
+//!    format time (previously the unaligned tail RMW span rounded up
+//!    past the image end and a legitimate in-bounds IO was refused);
+//! 2. unaligned writes read-modify-write **only the partially-written
+//!    boundary sectors**, never decrypting interior sectors that are
+//!    about to be fully overwritten;
+//! 3. out-of-bounds errors report the true requested end.
+
+use vdisk_core::{CryptError, EncryptedImage, EncryptionConfig, MetaLayout};
+use vdisk_crypto::rng::SeededIvSource;
+use vdisk_rados::{Cluster, Transaction};
+use vdisk_rbd::{Image, RbdError};
+
+const SS: u64 = 4096;
+
+fn make_disk(config: &EncryptionConfig, image_size: u64) -> (Cluster, EncryptedImage) {
+    let cluster = Cluster::builder().build();
+    let image = Image::create(&cluster, "fixes", image_size).unwrap();
+    let disk = EncryptedImage::format_with_iv_source(
+        image,
+        config,
+        b"io-path-fixes",
+        Box::new(SeededIvSource::new(17)),
+    )
+    .unwrap();
+    (cluster, disk)
+}
+
+#[test]
+fn non_sector_multiple_image_size_is_rejected_at_format() {
+    let cluster = Cluster::builder().build();
+    let image = Image::create(&cluster, "ragged", (8 << 20) + 100).unwrap();
+    let err = EncryptedImage::format(
+        image,
+        &EncryptionConfig::random_iv(MetaLayout::ObjectEnd),
+        b"pw",
+    )
+    .unwrap_err();
+    let CryptError::UnsupportedConfig(why) = err else {
+        panic!("expected UnsupportedConfig, got {err:?}");
+    };
+    assert!(
+        why.contains("not a multiple"),
+        "error must say what is wrong: {why}"
+    );
+}
+
+#[test]
+fn unaligned_io_at_the_image_tail_round_trips() {
+    // The case the old span arithmetic got wrong: an IO whose aligned
+    // span ends exactly at the image end must be accepted.
+    let size = 8 << 20;
+    let (_cluster, mut disk) = make_disk(&EncryptionConfig::random_iv(MetaLayout::ObjectEnd), size);
+    let payload = [0xABu8; 100];
+    disk.write(size - 100, &payload).unwrap();
+    let mut buf = [0u8; 100];
+    disk.read(size - 100, &mut buf).unwrap();
+    assert_eq!(buf, payload);
+    // Spanning the last sector boundary unaligned works too.
+    let payload: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+    disk.write(size - 5000, &payload).unwrap();
+    let mut buf = vec![0u8; 5000];
+    disk.read(size - 5000, &mut buf).unwrap();
+    assert_eq!(buf, payload);
+}
+
+#[test]
+fn rmw_reads_only_the_boundary_sectors() {
+    let (cluster, mut disk) =
+        make_disk(&EncryptionConfig::random_iv(MetaLayout::ObjectEnd), 8 << 20);
+    // Prefill eight sectors so the RMW has real data to preserve.
+    disk.write(0, &vec![0x11u8; (8 * SS) as usize]).unwrap();
+
+    // Overwrite sectors 1..=5, partial at both ends: head sector 1 and
+    // tail sector 5 must be read back; interior sectors 2..=4 are
+    // fully overwritten and must NOT be.
+    let offset = SS + 16;
+    let len = 4 * SS;
+    let plan = disk.write(offset, &vec![0x22u8; len as usize]).unwrap();
+
+    // Client crypto cost proves what got decrypted: 2 boundary sectors
+    // read back + the 5-sector aligned span encrypted. The old
+    // whole-span RMW decrypted all 5.
+    let crypto = cluster.resources().client_crypto;
+    assert_eq!(
+        plan.bytes_on(crypto),
+        2 * SS + 5 * SS,
+        "RMW must decrypt exactly the two partially-written boundary sectors"
+    );
+
+    // And the splice is correct.
+    let mut buf = vec![0u8; (8 * SS) as usize];
+    disk.read(0, &mut buf).unwrap();
+    let mut expected = vec![0x11u8; (8 * SS) as usize];
+    expected[offset as usize..(offset + len) as usize].fill(0x22);
+    assert_eq!(buf, expected);
+}
+
+#[test]
+fn rmw_skips_interior_sectors_even_when_tampered() {
+    // The sharpest observable consequence of boundary-only RMW: with
+    // integrity on, corrupted ciphertext in a fully-overwritten
+    // interior sector must not fail the write (the old code read and
+    // MAC-checked the whole span).
+    let config = EncryptionConfig::random_iv(MetaLayout::ObjectEnd).with_mac();
+    let (cluster, mut disk) = make_disk(&config, 8 << 20);
+    disk.write(0, &vec![0x33u8; (8 * SS) as usize]).unwrap();
+
+    // Corrupt sector 3's ciphertext directly in the object store.
+    let object = disk.image().object_name(0);
+    let (data_off, _) = disk.geometry().data_extent(config.layout, 3, 1);
+    let mut tx = Transaction::new(&object);
+    tx.write(data_off, vec![0xFF; SS as usize]);
+    cluster.execute(tx).unwrap();
+
+    // Unaligned overwrite spanning sectors 1..=5: interior sector 3 is
+    // fully replaced, so the tamper must not block the write...
+    let offset = SS + 16;
+    let len = 4 * SS;
+    disk.write(offset, &vec![0x44u8; len as usize]).unwrap();
+
+    // ...and afterwards the whole range reads clean again.
+    let mut buf = vec![0u8; (8 * SS) as usize];
+    disk.read(0, &mut buf).unwrap();
+    let mut expected = vec![0x33u8; (8 * SS) as usize];
+    expected[offset as usize..(offset + len) as usize].fill(0x44);
+    assert_eq!(buf, expected);
+}
+
+#[test]
+fn aligned_head_unaligned_tail_reads_one_boundary_sector() {
+    let (cluster, mut disk) =
+        make_disk(&EncryptionConfig::random_iv(MetaLayout::ObjectEnd), 8 << 20);
+    disk.write(0, &vec![0x55u8; (4 * SS) as usize]).unwrap();
+    // Aligned start, tail ends mid-sector 2: only sector 2 is read.
+    let plan = disk
+        .write(0, &vec![0x66u8; (2 * SS + 100) as usize])
+        .unwrap();
+    let crypto = cluster.resources().client_crypto;
+    assert_eq!(plan.bytes_on(crypto), SS + 3 * SS);
+    let mut buf = vec![0u8; (4 * SS) as usize];
+    disk.read(0, &mut buf).unwrap();
+    let mut expected = vec![0x55u8; (4 * SS) as usize];
+    expected[..(2 * SS + 100) as usize].fill(0x66);
+    assert_eq!(buf, expected);
+}
+
+#[test]
+fn out_of_bounds_reports_the_true_requested_end() {
+    let size = 8 << 20;
+    let (_cluster, mut disk) = make_disk(&EncryptionConfig::luks2_baseline(), size);
+    let err = disk.write(size - 100, &[0u8; 4096]).unwrap_err();
+    let CryptError::Rbd(RbdError::OutOfBounds { offset, size: sz }) = err else {
+        panic!("expected OutOfBounds, got {err:?}");
+    };
+    assert_eq!(offset, size - 100 + 4096, "must report offset + len");
+    assert_eq!(sz, size);
+
+    let mut buf = [0u8; 8];
+    let err = disk.read(u64::MAX - 4, &mut buf).unwrap_err();
+    let CryptError::Rbd(RbdError::OutOfBounds { offset, .. }) = err else {
+        panic!("expected OutOfBounds, got {err:?}");
+    };
+    assert_eq!(offset, u64::MAX, "overflowing end saturates");
+}
+
+#[test]
+fn zero_length_io_is_a_noop_anywhere_in_bounds() {
+    let size = 8 << 20;
+    let (_cluster, mut disk) = make_disk(&EncryptionConfig::luks2_baseline(), size);
+    assert_eq!(disk.write(size, &[]).unwrap(), vdisk_sim::Plan::Noop);
+    let mut empty = [0u8; 0];
+    assert_eq!(disk.read(size, &mut empty).unwrap(), vdisk_sim::Plan::Noop);
+}

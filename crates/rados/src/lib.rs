@@ -52,6 +52,8 @@ pub mod cluster;
 pub mod cost;
 pub mod object;
 pub mod placement;
+mod shard;
+mod state;
 pub mod transaction;
 
 pub use cluster::{Cluster, ClusterBuilder, ExecStats, PayloadMode, ScrubReport};

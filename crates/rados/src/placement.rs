@@ -84,6 +84,20 @@ impl PlacementMap {
         self.acting_set(object)[0]
     }
 
+    /// The state shard an object belongs to, for a cluster split into
+    /// `shard_count` shards. Derived from the placement group so that
+    /// an object's entire acting set (primary and replicas) lands in
+    /// one shard and the mapping stays deterministic across clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero.
+    #[must_use]
+    pub fn shard_of(&self, object: &str, shard_count: usize) -> usize {
+        assert!(shard_count >= 1, "need at least one shard");
+        (self.pg_of(object) % shard_count as u64) as usize
+    }
+
     /// Number of replicas per object.
     #[must_use]
     pub fn replicas(&self) -> usize {
@@ -168,6 +182,22 @@ mod tests {
     #[should_panic(expected = "cannot place")]
     fn too_many_replicas_rejected() {
         let _ = PlacementMap::new(2, 3, 8);
+    }
+
+    #[test]
+    fn shards_are_deterministic_and_wide() {
+        let p = PlacementMap::new(3, 3, 128);
+        let mut shards = std::collections::HashSet::new();
+        for i in 0..200 {
+            let name = format!("rbd_data.img.{i:016x}");
+            let shard = p.shard_of(&name, 8);
+            assert_eq!(shard, p.shard_of(&name, 8), "shard mapping must be stable");
+            assert!(shard < 8);
+            shards.insert(shard);
+        }
+        assert_eq!(shards.len(), 8, "200 objects must use every shard");
+        // One shard degenerates to the unsharded cluster.
+        assert_eq!(p.shard_of("anything", 1), 0);
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! One shard of cluster state: the per-OSD object maps for every
+//! object whose placement group lands in this shard, behind its own
+//! lock.
+//!
+//! An object's whole acting set (primary and replicas) lives in one
+//! shard — placement is a pure function of the object name, so the
+//! shard key is too. That makes per-object transactions and reads
+//! single-shard operations, and lets [`crate::Cluster::execute_batch`]
+//! apply disjoint shard groups genuinely concurrently.
+
+use crate::cost::{self, OsdWork};
+use crate::object::{Object, ObjectStat, PHYS_BLOCK};
+use crate::state::ControlPlane;
+use crate::transaction::{ReadOp, ReadResult, SnapContext, Transaction, TxOp};
+use crate::{RadosError, Result, SnapId};
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use vdisk_sim::{Plan, SimDuration};
+
+/// A shard: one lock over one placement-disjoint slice of the object
+/// space.
+pub(crate) struct Shard {
+    state: Mutex<ShardState>,
+}
+
+impl Shard {
+    pub(crate) fn new(osd_count: usize) -> Self {
+        Shard {
+            state: Mutex::new(ShardState {
+                osds: (0..osd_count).map(|_| HashMap::new()).collect(),
+            }),
+        }
+    }
+
+    /// Acquires the shard; a panic while holding the lock only poisons
+    /// functional state, so recover rather than propagate.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, ShardState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The objects of one shard, kept per OSD exactly as the unsharded
+/// cluster kept them (a shard is a restriction of the old global maps
+/// to this shard's placement groups).
+pub(crate) struct ShardState {
+    /// `osds[i]` holds this shard's objects stored on OSD `i`.
+    pub(crate) osds: Vec<HashMap<String, Object>>,
+}
+
+impl ShardState {
+    /// Applies one already-validated transaction on every replica and
+    /// builds its cost plan. `default_seq` is the snapshot sequence
+    /// captured once at batch entry, so every transaction of a batch
+    /// sees one consistent snapshot context.
+    pub(crate) fn apply_tx(
+        &mut self,
+        cp: &ControlPlane,
+        default_seq: u64,
+        tx: &Transaction,
+    ) -> Plan {
+        let snapc = tx.snapc.unwrap_or(SnapContext {
+            seq: SnapId(default_seq),
+        });
+        let acting = cp.placement.acting_set(&tx.object);
+        let payload = tx.payload_bytes();
+
+        let deferred_threshold = cp.testbed.deferred_write_threshold;
+        let mut work: Vec<OsdWork> = Vec::with_capacity(acting.len());
+        for osd in &acting {
+            let store_payload = cp.payload == crate::cluster::PayloadMode::Stored;
+            let objects = &mut self.osds[osd.0];
+            let object = objects
+                .entry(tx.object.clone())
+                .or_insert_with(|| Object::new(store_payload, snapc));
+            object.prepare_write(snapc);
+
+            let mut osd_work = OsdWork::default();
+            let mut kv_time = SimDuration::ZERO;
+            let mut deleted = false;
+            for op in &tx.ops {
+                match op {
+                    TxOp::Write { offset, data } => {
+                        let profile = object.head.write(*offset, data);
+                        if data.len() as u64 <= deferred_threshold {
+                            // Small overwrite: the deferred/journal path
+                            // absorbs it without a foreground RMW.
+                            osd_work.deferred_writes.push(profile.write_bytes);
+                        } else {
+                            osd_work.rmw_reads.0 += profile.rmw_read_ops;
+                            osd_work.rmw_reads.1 += profile.rmw_read_bytes;
+                            osd_work.disk_writes.push(profile.write_bytes);
+                        }
+                    }
+                    TxOp::Truncate(size) => {
+                        object.head.truncate(*size);
+                    }
+                    TxOp::OmapSet(entries) => {
+                        let batch: Vec<(Vec<u8>, Option<Vec<u8>>)> = entries
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Some(v.clone())))
+                            .collect();
+                        let receipt = object.head.omap.write_batch(batch);
+                        kv_time += cp.kv_cost.write_time(&receipt);
+                        osd_work.kv_wal_bytes += receipt.wal_bytes;
+                    }
+                    TxOp::OmapRemove(keys) => {
+                        let batch: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+                            keys.iter().map(|k| (k.clone(), None)).collect();
+                        let receipt = object.head.omap.write_batch(batch);
+                        kv_time += cp.kv_cost.write_time(&receipt);
+                        osd_work.kv_wal_bytes += receipt.wal_bytes;
+                    }
+                    TxOp::SetXattr(name, value) => {
+                        object.head.xattrs.insert(name.clone(), value.clone());
+                    }
+                    TxOp::Delete => {
+                        deleted = true;
+                    }
+                }
+            }
+            osd_work.kv_time = kv_time;
+            if deleted {
+                objects.remove(&tx.object);
+            }
+            work.push(osd_work);
+        }
+
+        cost::write_plan(&cp.handles, &cp.testbed, payload, &acting, &work)
+    }
+
+    /// Serves one object's read operations from the primary replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadosError::NoSuchObject`] if the object does not
+    /// exist, or [`RadosError::NoSuchSnapshot`] if it did not exist yet
+    /// at the requested snapshot.
+    pub(crate) fn read_one(
+        &self,
+        cp: &ControlPlane,
+        object: &str,
+        snap: Option<SnapId>,
+        ops: &[ReadOp],
+    ) -> Result<(Vec<ReadResult>, Plan)> {
+        let primary = cp.placement.primary(object);
+        let obj = self.osds[primary.0]
+            .get(object)
+            .ok_or_else(|| RadosError::NoSuchObject(object.to_string()))?;
+        let content = obj
+            .content_at(snap)
+            .ok_or_else(|| RadosError::NoSuchSnapshot {
+                object: object.to_string(),
+                snap: snap.unwrap_or_default(),
+            })?;
+
+        let mut results = Vec::with_capacity(ops.len());
+        let mut work = OsdWork::default();
+        let mut response_bytes = 0u64;
+        for op in ops {
+            match op {
+                ReadOp::Read { offset, len } => {
+                    let data = content.read(*offset, *len);
+                    // Physical read: whole blocks covering the extent.
+                    // A zero-length extent touches no block at all.
+                    if *len > 0 {
+                        let start_block = offset / PHYS_BLOCK;
+                        let end_block = (offset + len).div_ceil(PHYS_BLOCK);
+                        work.disk_reads.push((end_block - start_block) * PHYS_BLOCK);
+                    }
+                    response_bytes += *len;
+                    results.push(ReadResult::Data(data));
+                }
+                ReadOp::OmapGetRange { start, end } => {
+                    let (entries, receipt) = content.omap.range(start, end);
+                    work.kv_time += cp.kv_cost.read_time(&receipt);
+                    response_bytes += receipt.bytes_returned;
+                    results.push(ReadResult::OmapEntries(entries));
+                }
+                ReadOp::OmapGetKeys(keys) => {
+                    let mut entries = Vec::new();
+                    for key in keys {
+                        let (value, receipt) = content.omap.get(key);
+                        work.kv_time += cp.kv_cost.read_time(&receipt);
+                        if let Some(value) = value {
+                            response_bytes += (key.len() + value.len()) as u64;
+                            entries.push((key.clone(), value));
+                        }
+                    }
+                    results.push(ReadResult::OmapEntries(entries));
+                }
+                ReadOp::GetXattr(name) => {
+                    let value = content.xattrs.get(name).cloned();
+                    response_bytes += value.as_ref().map_or(0, Vec::len) as u64;
+                    results.push(ReadResult::Xattr(value));
+                }
+                ReadOp::Stat => {
+                    results.push(ReadResult::Stat {
+                        size: content.size(),
+                    });
+                }
+            }
+        }
+        let plan = cost::read_plan(&cp.handles, &cp.testbed, primary, response_bytes, &work);
+        Ok((results, plan))
+    }
+
+    /// The cost of discovering an object is absent: the request still
+    /// makes the round trip to the primary and through its CPU — only
+    /// the disk stays idle. Sparse batched reads charge one of these
+    /// per hole so [`crate::Cluster::read_batch`]'s `Plan::par` keeps
+    /// one child per request.
+    pub(crate) fn miss_plan(cp: &ControlPlane, object: &str) -> Plan {
+        let primary = cp.placement.primary(object);
+        cost::read_plan(&cp.handles, &cp.testbed, primary, 0, &OsdWork::default())
+    }
+
+    /// Object metadata from the primary.
+    pub(crate) fn stat(&self, cp: &ControlPlane, object: &str) -> Result<ObjectStat> {
+        let primary = cp.placement.primary(object);
+        self.osds[primary.0]
+            .get(object)
+            .map(Object::stat)
+            .ok_or_else(|| RadosError::NoSuchObject(object.to_string()))
+    }
+}

@@ -1,0 +1,191 @@
+//! The cluster control plane: configuration that is fixed at build
+//! time and shared by every shard, plus the lock-free counters.
+//!
+//! The split matters for scale: [`ControlPlane`] is read-only after
+//! construction (placement, cost profiles, resource handles), so shard
+//! workers use it without any lock. The only mutable control-plane
+//! state — the snapshot sequence and the operation counters — is
+//! atomic. Everything that *does* need mutual exclusion (the objects
+//! themselves) lives in the per-placement [`crate::shard::Shard`]s.
+
+use crate::cluster::{ExecStats, PayloadMode};
+use crate::cost::{ResourceHandles, TestbedProfile};
+use crate::placement::PlacementMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use vdisk_kv::CostProfile;
+
+/// Immutable cluster configuration plus the atomic counters. One
+/// instance per cluster, shared (via `Arc`) by every handle and every
+/// shard worker.
+pub(crate) struct ControlPlane {
+    pub(crate) placement: PlacementMap,
+    pub(crate) handles: ResourceHandles,
+    pub(crate) testbed: TestbedProfile,
+    pub(crate) kv_cost: CostProfile,
+    pub(crate) payload: PayloadMode,
+    pub(crate) shard_count: usize,
+    /// How multi-shard batches apply. Resolved at build time (see
+    /// [`crate::ClusterBuilder::concurrent_apply`]).
+    pub(crate) apply_concurrency: ApplyConcurrency,
+    /// Cluster-wide self-managed snapshot sequence.
+    snap_seq: AtomicU64,
+    pub(crate) stats: StatCounters,
+}
+
+/// How multi-shard batch groups are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ApplyConcurrency {
+    /// Always inline (single-core hosts, or an explicit opt-out):
+    /// threads cannot overlap in wall-clock, so spawning them would be
+    /// pure overhead.
+    Never,
+    /// Scoped threads when the batch carries enough work to amortize
+    /// thread spawn/join; inline below the threshold.
+    Auto,
+    /// Scoped threads whenever more than one shard is touched (test
+    /// hook: exercises the concurrent path regardless of host or
+    /// batch size).
+    Always,
+}
+
+/// Below both of these, `Auto` applies inline: spawn/join costs tens
+/// of microseconds per shard, which dwarfs the in-memory apply of a
+/// few small transactions.
+const SPAWN_MIN_ITEMS: usize = 16;
+const SPAWN_MIN_BYTES: u64 = 512 << 10;
+
+impl ControlPlane {
+    pub(crate) fn new(
+        placement: PlacementMap,
+        handles: ResourceHandles,
+        testbed: TestbedProfile,
+        kv_cost: CostProfile,
+        payload: PayloadMode,
+        shard_count: usize,
+        apply_concurrency: ApplyConcurrency,
+    ) -> Self {
+        ControlPlane {
+            placement,
+            handles,
+            testbed,
+            kv_cost,
+            payload,
+            shard_count,
+            apply_concurrency,
+            snap_seq: AtomicU64::new(0),
+            stats: StatCounters::default(),
+        }
+    }
+
+    /// Whether a batch of `items` transactions/requests moving
+    /// `payload_bytes` should fan out on threads (assuming it touches
+    /// more than one shard).
+    pub(crate) fn use_threads(&self, items: usize, payload_bytes: u64) -> bool {
+        match self.apply_concurrency {
+            ApplyConcurrency::Never => false,
+            ApplyConcurrency::Always => true,
+            ApplyConcurrency::Auto => items >= SPAWN_MIN_ITEMS || payload_bytes >= SPAWN_MIN_BYTES,
+        }
+    }
+
+    /// The shard an object's placement group maps to.
+    pub(crate) fn shard_of(&self, object: &str) -> usize {
+        self.placement.shard_of(object, self.shard_count)
+    }
+
+    /// The current snapshot sequence.
+    pub(crate) fn snap_seq(&self) -> u64 {
+        self.snap_seq.load(Ordering::Acquire)
+    }
+
+    /// Advances the snapshot sequence, returning the new value.
+    pub(crate) fn advance_snap_seq(&self) -> u64 {
+        self.snap_seq.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+/// Atomic operation counters behind [`ExecStats`]. Incremented without
+/// any lock so concurrently-applying shard groups never serialize on
+/// bookkeeping.
+#[derive(Default)]
+pub(crate) struct StatCounters {
+    transactions: AtomicU64,
+    batches: AtomicU64,
+    read_ops: AtomicU64,
+    shard_fanout_max: AtomicU64,
+    shard_concurrency_peak: AtomicU64,
+    in_flight_shards: AtomicU64,
+}
+
+impl StatCounters {
+    pub(crate) fn record_transactions(&self, n: u64) {
+        self.transactions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_read_ops(&self, n: u64) {
+        self.read_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records how many distinct shards one batch touched.
+    pub(crate) fn record_shard_fanout(&self, shards: u64) {
+        self.shard_fanout_max.fetch_max(shards, Ordering::Relaxed);
+    }
+
+    /// Marks one shard group entering its (locked) apply phase and
+    /// updates the concurrency high-water mark.
+    pub(crate) fn enter_shard_apply(&self) {
+        let now = self.in_flight_shards.fetch_add(1, Ordering::SeqCst) + 1;
+        self.shard_concurrency_peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    /// Marks one shard group leaving its apply phase.
+    pub(crate) fn exit_shard_apply(&self) {
+        self.in_flight_shards.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            transactions: self.transactions.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            shard_fanout_max: self.shard_fanout_max.load(Ordering::Relaxed),
+            shard_concurrency_peak: self.shard_concurrency_peak.load(Ordering::SeqCst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = StatCounters::default();
+        s.record_batch();
+        s.record_transactions(4);
+        s.record_read_ops(2);
+        s.record_shard_fanout(3);
+        s.record_shard_fanout(2); // lower fanout must not regress the max
+        let snap = s.snapshot();
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.transactions, 4);
+        assert_eq!(snap.read_ops, 2);
+        assert_eq!(snap.shard_fanout_max, 3);
+    }
+
+    #[test]
+    fn concurrency_peak_tracks_high_water() {
+        let s = StatCounters::default();
+        s.enter_shard_apply();
+        s.enter_shard_apply();
+        s.exit_shard_apply();
+        s.enter_shard_apply();
+        s.exit_shard_apply();
+        s.exit_shard_apply();
+        assert_eq!(s.snapshot().shard_concurrency_peak, 2);
+    }
+}

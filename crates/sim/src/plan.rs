@@ -31,7 +31,11 @@ pub enum Plan {
     /// Children run one after another.
     Seq(Vec<Plan>),
     /// Children all start together; the plan completes when the last
-    /// child completes (fork/join).
+    /// child completes (fork/join). The cluster's batched dispatch
+    /// returns one of these per batch — and since the sharded cluster
+    /// applies shard groups on real threads, the modeled concurrency
+    /// now mirrors genuinely concurrent application, not just a
+    /// notional fan-out.
     Par(Vec<Plan>),
     /// Completes immediately.
     Noop,
