@@ -1,5 +1,6 @@
 //! Per-sector vs. batched write dispatch across the metadata layouts,
-//! and batch application scaling across cluster state shards.
+//! batch application scaling across cluster state shards, and
+//! queue-depth scaling through the real submission queue.
 //!
 //! The dispatch rows measure the client-side wall-clock cost of the
 //! write path (extent planning, in-place encryption, transaction
@@ -15,6 +16,7 @@
 //! much of its application runs concurrently.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vdisk_bench::fio::{self, IoPattern, JobSpec};
 use vdisk_bench::testbed;
 use vdisk_core::{EncryptedImage, EncryptionConfig, MetaLayout};
 use vdisk_rados::{Cluster, Transaction};
@@ -103,5 +105,41 @@ fn bench_shard_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_write_dispatch, bench_shard_scaling);
+/// Randwrite through the real submission queue at increasing depth:
+/// the zero-copy owned-buffer path plus cross-submission overlap on
+/// the shard workers. QD 1 is the old one-IO-at-a-time client; the
+/// QD 8/32 rows show what keeping IOs in flight buys in wall-clock.
+fn bench_queue_depth(c: &mut Criterion) {
+    const IO_SIZE: u64 = 16 << 10;
+    const OPS: u64 = 64;
+    let mut group = c.benchmark_group("queue-depth/randwrite-16k");
+    group.throughput(Throughput::Bytes(IO_SIZE * OPS));
+    for qd in [1usize, 8, 32] {
+        let mut disk =
+            testbed::queued_bench_disk(&EncryptionConfig::random_iv_object_end(), IMAGE, 17);
+        group.bench_function(BenchmarkId::new("qd", qd), |b| {
+            b.iter(|| {
+                fio::run_job(
+                    &mut disk,
+                    &JobSpec {
+                        pattern: IoPattern::RandWrite,
+                        io_size: IO_SIZE,
+                        queue_depth: qd,
+                        ops: OPS,
+                        seed: 23,
+                    },
+                )
+                .expect("queue-depth job")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_write_dispatch,
+    bench_shard_scaling,
+    bench_queue_depth
+);
 criterion_main!(benches);

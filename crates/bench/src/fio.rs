@@ -1,9 +1,17 @@
-//! A fio-like closed-loop workload generator (the paper drives its
-//! evaluation with fio randread/randwrite at QD 32, §3.3).
+//! A fio-like workload generator (the paper drives its evaluation with
+//! fio randread/randwrite at QD 32, §3.3).
+//!
+//! Jobs drive the **real submission queue**
+//! ([`vdisk_core::EncryptedIoQueue`]): up to `queue_depth` operations
+//! are genuinely in flight against the cluster's shard workers while
+//! further IOs are generated — actual cross-submission concurrency,
+//! not a notional fan-out. The per-op cost plans reaped from the
+//! completions are then replayed in the calibrated closed-loop
+//! simulator at the same depth to produce bandwidth numbers.
 
-use vdisk_core::{EncryptedImage, Result};
+use vdisk_core::{EncryptedImage, IoOp, Result};
 use vdisk_crypto::rng::SeededRng;
-use vdisk_sim::ClosedLoopStats;
+use vdisk_sim::{ClosedLoopStats, Plan};
 
 /// Access pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,10 +79,11 @@ pub fn precondition(disk: &mut EncryptedImage) -> Result<()> {
     Ok(())
 }
 
-/// Runs one job: generates every IO through the full encrypt/layout
-/// path (collecting its cost plan), then replays the plans in a
-/// closed loop at the requested queue depth on the cluster's simulated
-/// hardware.
+/// Runs one job through the real submission queue: keeps up to
+/// `queue_depth` operations in flight on the cluster's shard workers
+/// (every IO runs the full encrypt/layout path), reaps per-op cost
+/// plans from the completions, and finally replays the plans in a
+/// closed loop at the same depth on the calibrated simulated hardware.
 ///
 /// # Errors
 ///
@@ -88,32 +97,54 @@ pub fn run_job(disk: &mut EncryptedImage, spec: &JobSpec) -> Result<ClosedLoopSt
     let image_size = disk.image().size();
     assert!(spec.io_size <= image_size, "io_size exceeds image");
     let slots = image_size / spec.io_size;
+    let queue_depth = spec.queue_depth.max(1);
     let mut rng = SeededRng::new(spec.seed);
 
-    // fio-style payload: one random buffer reused across IOs (the
-    // cost model is content-independent; encryption still runs on it).
-    let mut payload = vec![0u8; spec.io_size as usize];
-    let head = payload.len().min(8192);
-    rng.fill_bytes(&mut payload[..head]);
+    // fio-style payload pattern: a random head stamped on every IO's
+    // owned buffer (the cost model is content-independent; encryption
+    // still runs on every byte).
+    let mut pattern = vec![0u8; spec.io_size as usize];
+    let head = pattern.len().min(8192);
+    rng.fill_bytes(&mut pattern[..head]);
 
-    let mut plans = Vec::with_capacity(spec.ops as usize);
-    let mut read_buf = vec![0u8; spec.io_size as usize];
+    // Completions may be reaped out of submission order; key plans by
+    // completion id so the closed-loop replay is deterministic.
+    let mut done: Vec<(u64, Plan)> = Vec::with_capacity(spec.ops as usize);
+    let mut queue = disk.io_queue();
     for i in 0..spec.ops {
         let offset = match spec.pattern {
             IoPattern::RandRead | IoPattern::RandWrite => rng.gen_below(slots) * spec.io_size,
             IoPattern::SeqRead | IoPattern::SeqWrite => (i % slots) * spec.io_size,
         };
-        let plan = if spec.pattern.is_write() {
-            disk.write(offset, &payload)?
+        let op = if spec.pattern.is_write() {
+            IoOp::Write {
+                offset,
+                data: pattern.clone(),
+            }
         } else {
-            disk.read(offset, &mut read_buf)?
+            IoOp::Read {
+                offset,
+                len: spec.io_size,
+            }
         };
-        plans.push((plan, spec.io_size));
+        queue.submit(op)?;
+        while queue.in_flight() >= queue_depth {
+            for result in queue.wait()? {
+                done.push((result.completion.id(), result.plan));
+            }
+        }
     }
-    Ok(disk
-        .image()
-        .cluster()
-        .run_closed_loop(spec.queue_depth, plans))
+    for result in queue.fence()? {
+        done.push((result.completion.id(), result.plan));
+    }
+    drop(queue);
+
+    done.sort_unstable_by_key(|(id, _)| *id);
+    let plans: Vec<(Plan, u64)> = done
+        .into_iter()
+        .map(|(_, plan)| (plan, spec.io_size))
+        .collect();
+    Ok(disk.image().cluster().run_closed_loop(queue_depth, plans))
 }
 
 #[cfg(test)]

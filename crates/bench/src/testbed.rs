@@ -55,13 +55,18 @@ pub fn paper_variants() -> Vec<Variant> {
     ]
 }
 
-/// A fresh paper-calibrated cluster for benchmarking (payloads
-/// discarded: identical cost plans, bounded memory).
+/// The shared configuration of every bench cluster (payloads
+/// discarded: identical cost plans, bounded memory). Both cluster
+/// flavours derive from this builder so calibration changes apply to
+/// all benchmark rows at once.
+fn bench_builder() -> vdisk_rados::ClusterBuilder {
+    Cluster::builder().payload_mode(PayloadMode::Discarded)
+}
+
+/// A fresh paper-calibrated cluster for benchmarking.
 #[must_use]
 pub fn bench_cluster() -> Cluster {
-    Cluster::builder()
-        .payload_mode(PayloadMode::Discarded)
-        .build()
+    bench_builder().build()
 }
 
 /// A fresh cluster that stores payloads (for integrity/GCM ablations,
@@ -78,7 +83,28 @@ pub fn functional_cluster() -> Cluster {
 /// Panics if image creation or formatting fails (benchmark setup).
 #[must_use]
 pub fn bench_disk(config: &EncryptionConfig, size: u64, seed: u64) -> EncryptedImage {
-    let cluster = bench_cluster();
+    disk_on(bench_cluster(), config, size, seed)
+}
+
+/// Builds an encrypted disk on a bench cluster with the per-shard
+/// worker threads **forced on** — the setup for queue-depth workloads,
+/// where submissions must genuinely overlap on the shard workers
+/// regardless of the host's core count.
+///
+/// # Panics
+///
+/// Panics if image creation or formatting fails (benchmark setup).
+#[must_use]
+pub fn queued_bench_disk(config: &EncryptionConfig, size: u64, seed: u64) -> EncryptedImage {
+    disk_on(
+        bench_builder().concurrent_apply(true).build(),
+        config,
+        size,
+        seed,
+    )
+}
+
+fn disk_on(cluster: Cluster, config: &EncryptionConfig, size: u64, seed: u64) -> EncryptedImage {
     let image = Image::create(&cluster, "bench", size).expect("create bench image");
     EncryptedImage::format_with_iv_source(
         image,

@@ -8,7 +8,7 @@ use crate::luks::{DerivedKeys, LuksHeader};
 use crate::sector::SectorCodec;
 use crate::{CryptError, Result};
 use vdisk_crypto::rng::{IvSource, OsIvSource};
-use vdisk_rados::{ObjectReads, ReadOp, ReadResult, SnapId, Transaction};
+use vdisk_rados::{ObjectReads, ReadOp, ReadResult, ReadTicket, SharedBuf, SnapId, Transaction};
 use vdisk_rbd::{Image, RbdError};
 use vdisk_sim::Plan;
 
@@ -229,10 +229,12 @@ impl EncryptedImage {
     }
 
     /// Encrypts and writes `data` at byte `offset`; returns the IO's
-    /// cost plan. Writes not aligned to the sector size perform
-    /// client-side read-modify-write of **only the partially-written
-    /// boundary sectors** — interior sectors are fully overwritten and
-    /// never read back or decrypted.
+    /// cost plan. The borrowing convenience wrapper: an aligned
+    /// request copies `data` once into the owned zero-copy path; an
+    /// unaligned one splices it straight into the RMW span (no extra
+    /// copy). Hot paths that can hand over their buffer should call
+    /// [`EncryptedImage::write_owned`] or drive an
+    /// [`crate::EncryptedIoQueue`].
     ///
     /// # Errors
     ///
@@ -244,14 +246,57 @@ impl EncryptedImage {
         if data.is_empty() {
             return Ok(Plan::Noop);
         }
-        let ss = self.geometry.sector_size;
-        if offset.is_multiple_of(ss) && (data.len() as u64).is_multiple_of(ss) {
-            return self.write_aligned(offset, data);
+        if self.is_sector_aligned(offset, data.len() as u64) {
+            self.write_aligned_owned(offset, data.to_vec())
+        } else {
+            self.write_unaligned(offset, data)
         }
-        // Client-side RMW: fetch only the boundary sectors the write
-        // partially covers, splice the new bytes over them, write the
-        // aligned span. (`check_sector_multiple` guarantees the span
-        // cannot round past the image end.)
+    }
+
+    /// Encrypt-on-ingest owned-buffer write: ciphertext is produced
+    /// **in place in the submitted buffer** and every touched object's
+    /// transaction receives a slice view of that one allocation — an
+    /// aligned write performs zero full-request copies end to end.
+    /// Writes not aligned to the sector size perform client-side
+    /// read-modify-write of **only the partially-written boundary
+    /// sectors** — interior sectors are fully overwritten and never
+    /// read back or decrypted.
+    ///
+    /// # Errors
+    ///
+    /// As [`EncryptedImage::write`].
+    pub fn write_owned(&mut self, offset: u64, data: Vec<u8>) -> Result<Plan> {
+        self.check_bounds(offset, data.len() as u64)?;
+        if data.is_empty() {
+            return Ok(Plan::Noop);
+        }
+        if self.is_sector_aligned(offset, data.len() as u64) {
+            self.write_aligned_owned(offset, data)
+        } else {
+            self.write_unaligned(offset, &data)
+        }
+    }
+
+    fn is_sector_aligned(&self, offset: u64, len: u64) -> bool {
+        let ss = self.geometry.sector_size;
+        offset.is_multiple_of(ss) && len.is_multiple_of(ss)
+    }
+
+    /// The unaligned write tail shared by both write entry points:
+    /// RMW the boundary sectors, then write the aligned span.
+    fn write_unaligned(&mut self, offset: u64, data: &[u8]) -> Result<Plan> {
+        let (aligned_off, span, read_plans) = self.rmw_span(offset, data)?;
+        let write_plan = self.write_aligned_owned(aligned_off, span)?;
+        Ok(Plan::seq([Plan::par(read_plans), write_plan]))
+    }
+
+    /// Client-side RMW for an unaligned write: fetches only the
+    /// boundary sectors the write partially covers, splices the new
+    /// bytes over them, and returns the aligned span to write (plus
+    /// the boundary-read cost plans). (`check_sector_multiple`
+    /// guarantees the span cannot round past the image end.)
+    fn rmw_span(&mut self, offset: u64, data: &[u8]) -> Result<(u64, Vec<u8>, Vec<Plan>)> {
+        let ss = self.geometry.sector_size;
         let first_sector = offset / ss;
         let end = offset + data.len() as u64;
         let end_sector = end.div_ceil(ss);
@@ -278,73 +323,91 @@ impl EncryptedImage {
             }
         }
         span[head_len..head_len + data.len()].copy_from_slice(data);
-        let write_plan = self.write_aligned(aligned_off, &span)?;
-        Ok(Plan::seq([Plan::par(read_plans), write_plan]))
+        Ok((aligned_off, span, read_plans))
     }
 
-    /// The batched write pipeline. The striper maps the whole request
-    /// up front ([`IoBatch`]), the codec encrypts it **in place over
-    /// one contiguous buffer** (plus one packed metadata run — no
-    /// per-sector allocations), and the cluster dispatches one
-    /// transaction per touched object as a single parallel batch.
-    fn write_aligned(&mut self, offset: u64, data: &[u8]) -> Result<Plan> {
+    /// The synchronous aligned write over
+    /// [`EncryptedImage::encrypt_batch`] (idle shards served inline).
+    fn write_aligned_owned(&mut self, offset: u64, data: Vec<u8>) -> Result<Plan> {
+        let (txs, len) = self.encrypt_batch(offset, data)?;
+        let dispatch = self.image.cluster().execute_batch(txs)?;
+        // Client-side encryption cost precedes the dispatch.
+        let crypto = self.image.cluster().crypto_plan(len as u64);
+        Ok(Plan::seq([crypto, dispatch]))
+    }
+
+    /// The zero-copy encrypt-on-ingest pipeline. The striper maps the
+    /// whole request up front ([`IoBatch`]), the codec encrypts it
+    /// **in place in the submitted buffer** (plus one packed metadata
+    /// run — no per-sector allocations), and each object extent's
+    /// transaction is built from **slice views** of those two
+    /// allocations: no full-request clone, no per-extent copies. (The
+    /// unaligned layout is the exception — interleaving ciphertext and
+    /// metadata into one on-disk extent inherently materializes a new
+    /// run; OMAP entries are per-sector key-value pairs by contract.)
+    /// Returns the transactions and the request length.
+    fn encrypt_batch(
+        &mut self,
+        offset: u64,
+        mut data: Vec<u8>,
+    ) -> Result<(Vec<Transaction>, usize)> {
         let ss = self.geometry.sector_size as usize;
         let me = self.geometry.meta_entry as usize;
         let layout = self.config().layout;
         let write_seq = self.image.cluster().snap_seq().0;
-        let batch = IoBatch::plan(
-            self.image.striper(),
-            &self.geometry,
-            offset,
-            data.len() as u64,
-        );
+        let len = data.len();
+        if len == 0 {
+            return Ok((Vec::new(), 0));
+        }
+        let batch = IoBatch::plan(self.image.striper(), &self.geometry, offset, len as u64);
 
-        // Encrypt the whole request: one ciphertext buffer mirroring
-        // the request, one metadata run packed in sector order.
-        let mut cipher = data.to_vec();
+        // Encrypt the whole request in the submitted buffer: one
+        // metadata run packed in sector order alongside.
         let mut metas = Vec::with_capacity(batch.sector_count() as usize * me);
         for extent in &batch.extents {
             self.codec.encrypt_sectors(
                 extent.base_lba,
                 write_seq,
-                &mut cipher[extent.buf_start..extent.buf_end],
+                &mut data[extent.buf_start..extent.buf_end],
                 &mut metas,
                 self.iv_source.as_mut(),
             )?;
         }
+        let cipher = SharedBuf::from_vec(data);
+        let metas = SharedBuf::from_vec(metas);
 
-        // One transaction per object extent, built from buffer slices.
+        // One transaction per object extent, built from buffer views.
         let mut txs = Vec::with_capacity(batch.object_count());
         for extent in &batch.extents {
             let first = extent.first_sector;
             let count = extent.sector_count;
-            let sectors = &cipher[extent.buf_start..extent.buf_end];
+            let sectors = cipher.slice(extent.buf_start..extent.buf_end);
             let meta_start = extent.buf_start / ss * me;
-            let extent_metas = &metas[meta_start..meta_start + count as usize * me];
+            let extent_metas = metas.slice(meta_start..meta_start + count as usize * me);
 
             let mut tx = Transaction::new(self.image.object_name(extent.object_no));
             let (off, _) = self.geometry.data_extent(layout, first, count);
             match layout {
                 None => {
-                    tx.write(off, sectors.to_vec());
+                    tx.write(off, sectors);
                 }
                 Some(MetaLayout::Unaligned) => {
                     tx.write(
                         off,
                         self.geometry
-                            .interleave_unaligned_run(sectors, extent_metas),
+                            .interleave_unaligned_run(&sectors, &extent_metas),
                     );
                 }
                 Some(MetaLayout::ObjectEnd) => {
-                    tx.write(off, sectors.to_vec());
+                    tx.write(off, sectors);
                     let (meta_off, _) = self
                         .geometry
                         .meta_extent(layout, first, count)
                         .expect("object-end has a meta extent");
-                    tx.write(meta_off, extent_metas.to_vec());
+                    tx.write(meta_off, extent_metas);
                 }
                 Some(MetaLayout::Omap) => {
-                    tx.write(off, sectors.to_vec());
+                    tx.write(off, sectors);
                     let entries: Vec<(Vec<u8>, Vec<u8>)> = extent_metas
                         .chunks_exact(me)
                         .enumerate()
@@ -355,11 +418,33 @@ impl EncryptedImage {
             }
             txs.push(tx);
         }
+        Ok((txs, len))
+    }
 
-        let dispatch = self.image.cluster().execute_batch(txs)?;
-        // Client-side encryption cost precedes the dispatch.
-        let crypto = self.image.cluster().crypto_plan(data.len() as u64);
-        Ok(Plan::seq([crypto, dispatch]))
+    /// The asynchronous write primitive behind
+    /// [`crate::EncryptedIoQueue`]: encrypts on ingest (in the
+    /// submitted buffer), submits the batch to the shard work queues,
+    /// and returns without waiting. Yields the ticket, the client-side
+    /// crypto cost plan, and — for unaligned writes, which RMW their
+    /// boundary sectors synchronously before dispatch — the boundary
+    /// read plan.
+    pub(crate) fn submit_write_owned(
+        &mut self,
+        offset: u64,
+        data: Vec<u8>,
+    ) -> Result<(vdisk_rados::ApplyTicket, Plan, Option<Plan>)> {
+        self.check_bounds(offset, data.len() as u64)?;
+        let aligned = self.is_sector_aligned(offset, data.len() as u64);
+        let (aligned_off, owned, rmw) = if aligned || data.is_empty() {
+            (offset, data, None)
+        } else {
+            let (aligned_off, span, read_plans) = self.rmw_span(offset, &data)?;
+            (aligned_off, span, Some(Plan::par(read_plans)))
+        };
+        let (txs, len) = self.encrypt_batch(aligned_off, owned)?;
+        let ticket = self.image.cluster().submit_batch(txs)?;
+        let crypto = self.image.cluster().crypto_plan(len as u64);
+        Ok((ticket, crypto, rmw))
     }
 
     /// Reads and decrypts into `buf` from the image head.
@@ -382,39 +467,79 @@ impl EncryptedImage {
         self.read_common(Some(snap), offset, buf)
     }
 
-    /// The batched read pipeline. The striper maps the whole request
-    /// up front ([`IoBatch`]), every extent's data+metadata ops go out
-    /// in one vectored `read_batch`, and each extent decrypts **in
-    /// place in the destination buffer** (no per-sector allocations).
+    /// The batched read pipeline. The striper maps the whole (sector-
+    /// aligned) span up front ([`IoBatch`]), every extent's
+    /// data+metadata ops go out in one vectored submission, and each
+    /// extent decrypts **in place in the destination buffer** (no
+    /// per-sector allocations). Submit-then-wait over
+    /// [`EncryptedImage::submit_read_span`].
     fn read_common(&self, snap: Option<SnapId>, offset: u64, buf: &mut [u8]) -> Result<Plan> {
         self.check_bounds(offset, buf.len() as u64)?;
         if buf.is_empty() {
             return Ok(Plan::Noop);
         }
-        let ss = self.geometry.sector_size;
-        if !offset.is_multiple_of(ss) || !(buf.len() as u64).is_multiple_of(ss) {
-            // Unaligned read: fetch the aligned span and slice.
+        let (requests, batch) = self.span_requests(offset, buf.len() as u64)?;
+        let (results, dispatch) = self.image.cluster().read_batch(snap, requests)?;
+        let seq_limit = snap.map(|s| s.0);
+        if batch.offset == offset && batch.len == buf.len() as u64 {
+            self.complete_read_span(&batch, &results, seq_limit, buf)?;
+        } else {
+            // Unaligned request: decrypt the aligned span, then slice.
             // (`check_sector_multiple` guarantees the span cannot
             // round past the image end.)
-            let first_sector = offset / ss;
-            let end_sector = (offset + buf.len() as u64).div_ceil(ss);
-            let aligned_off = first_sector * ss;
-            let mut span = vec![0u8; ((end_sector - first_sector) * ss) as usize];
-            let plan = self.read_common(snap, aligned_off, &mut span)?;
-            let start = (offset - aligned_off) as usize;
+            let mut span = vec![0u8; batch.len as usize];
+            self.complete_read_span(&batch, &results, seq_limit, &mut span)?;
+            let start = (offset - batch.offset) as usize;
             buf.copy_from_slice(&span[start..start + buf.len()]);
-            return Ok(plan);
         }
+        let crypto = self.image.cluster().crypto_plan(batch.len);
+        Ok(Plan::seq([dispatch, crypto]))
+    }
 
-        let layout = self.config().layout;
-        let seq_limit = snap.map(|s| s.0);
+    /// The asynchronous read primitive behind
+    /// [`crate::EncryptedIoQueue`]: maps the request's aligned span,
+    /// submits every extent's data+metadata reads to the shard work
+    /// queues, and returns the ticket plus the extent plan needed to
+    /// decrypt at completion ([`EncryptedImage::complete_read_span`]).
+    pub(crate) fn submit_read_span(
+        &self,
+        snap: Option<SnapId>,
+        offset: u64,
+        len: u64,
+    ) -> Result<(ReadTicket, IoBatch)> {
+        let (requests, batch) = self.span_requests(offset, len)?;
+        Ok((
+            self.image.cluster().submit_read_batch(snap, requests),
+            batch,
+        ))
+    }
+
+    /// Maps a read's sector-aligned span onto its per-object
+    /// data+metadata requests and extent plan.
+    fn span_requests(&self, offset: u64, len: u64) -> Result<(Vec<ObjectReads>, IoBatch)> {
+        self.check_bounds(offset, len)?;
+        if len == 0 {
+            // Match the synchronous path's no-op: no sector is fetched
+            // or decrypted, and the op charges nothing.
+            return Ok((
+                Vec::new(),
+                IoBatch {
+                    offset,
+                    len: 0,
+                    extents: Vec::new(),
+                },
+            ));
+        }
+        let ss = self.geometry.sector_size;
+        let first_sector = offset / ss;
+        let end_sector = (offset + len).div_ceil(ss);
         let batch = IoBatch::plan(
             self.image.striper(),
             &self.geometry,
-            offset,
-            buf.len() as u64,
+            first_sector * ss,
+            (end_sector - first_sector) * ss,
         );
-
+        let layout = self.config().layout;
         let requests: Vec<ObjectReads> = batch
             .extents
             .iter()
@@ -425,19 +550,29 @@ impl EncryptedImage {
                 )
             })
             .collect();
-        let (results, dispatch) = self.image.cluster().read_batch(snap, &requests)?;
+        Ok((requests, batch))
+    }
 
-        for (extent, result) in batch.extents.iter().zip(&results) {
-            let out = &mut buf[extent.buf_start..extent.buf_end];
+    /// Decrypts one completed span submission into `span` (which must
+    /// cover exactly `batch`'s bytes): each extent in place in its
+    /// slice of the destination, sparse holes (objects absent, or born
+    /// after the snapshot) zero-filled.
+    pub(crate) fn complete_read_span(
+        &self,
+        batch: &IoBatch,
+        results: &[Option<Vec<ReadResult>>],
+        seq_limit: Option<u64>,
+        span: &mut [u8],
+    ) -> Result<()> {
+        let layout = self.config().layout;
+        for (extent, result) in batch.extents.iter().zip(results) {
+            let out = &mut span[extent.buf_start..extent.buf_end];
             match result {
                 Some(results) => self.decrypt_extent(layout, results, extent, seq_limit, out)?,
-                // Sparse hole (object absent, or born after the
-                // snapshot): reads as zeros.
                 None => out.fill(0),
             }
         }
-        let crypto = self.image.cluster().crypto_plan(buf.len() as u64);
-        Ok(Plan::seq([dispatch, crypto]))
+        Ok(())
     }
 
     /// The read operations fetching one extent's ciphertext and
@@ -596,5 +731,100 @@ impl EncryptedImage {
             ciphertext,
             meta,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdisk_crypto::rng::SeededIvSource;
+    use vdisk_rados::{Cluster, TxOp};
+
+    fn zc_disk(config: &EncryptionConfig) -> EncryptedImage {
+        let cluster = Cluster::builder().build();
+        let image = Image::create(&cluster, "zc", 16 << 20).unwrap();
+        EncryptedImage::format_with_iv_source(
+            image,
+            config,
+            b"zero-copy",
+            Box::new(SeededIvSource::new(7)),
+        )
+        .unwrap()
+    }
+
+    fn write_ptr(tx: &Transaction, op_idx: usize) -> *const u8 {
+        match &tx.ops[op_idx] {
+            TxOp::Write { data, .. } => data.as_slice().as_ptr(),
+            other => panic!("expected write op, got {other:?}"),
+        }
+    }
+
+    /// The acceptance bar for the owned-buffer path: an aligned
+    /// `write_owned` produces its ciphertext *in the submitted buffer*
+    /// and hands transactions slice views of it — asserted by pointer
+    /// identity against the caller's allocation.
+    #[test]
+    fn aligned_owned_write_is_zero_copy_into_transactions() {
+        for config in [
+            EncryptionConfig::luks2_baseline(),
+            EncryptionConfig::random_iv(MetaLayout::ObjectEnd),
+            EncryptionConfig::random_iv(MetaLayout::Omap),
+        ] {
+            let mut disk = zc_disk(&config);
+            let data = vec![0x42u8; 64 << 10];
+            let base = data.as_ptr();
+            let (txs, len) = disk.encrypt_batch(0, data).unwrap();
+            assert_eq!(len, 64 << 10);
+            assert_eq!(txs.len(), 1, "single object");
+            assert_eq!(
+                write_ptr(&txs[0], 0),
+                base,
+                "config {config:?}: ciphertext must live in the submitted buffer"
+            );
+        }
+    }
+
+    /// A write spanning objects splits into slice views of ONE shared
+    /// allocation — no per-extent copies — and the object-end layout's
+    /// metadata extents are slice views of one packed metadata run.
+    #[test]
+    fn spanning_owned_write_shares_one_allocation() {
+        let config = EncryptionConfig::random_iv(MetaLayout::ObjectEnd);
+        let mut disk = zc_disk(&config);
+        let object = disk.image().object_size();
+        let me = disk.geometry().meta_entry as usize;
+        let offset = object - 8192;
+        let data = vec![0x5Au8; 16384];
+        let base = data.as_ptr();
+        let (txs, _) = disk.encrypt_batch(offset, data).unwrap();
+        assert_eq!(txs.len(), 2, "write spans two objects");
+
+        // Data slices: extent 0 at the buffer head, extent 1 exactly
+        // 8192 bytes in — same allocation, no copies.
+        assert_eq!(write_ptr(&txs[0], 0), base);
+        assert_eq!(write_ptr(&txs[1], 0), base.wrapping_add(8192));
+
+        // Metadata slices: one packed run, extent 1's entries directly
+        // after extent 0's (2 sectors × entry length).
+        let meta0 = write_ptr(&txs[0], 1);
+        let meta1 = write_ptr(&txs[1], 1);
+        assert_eq!(meta1, meta0.wrapping_add(2 * me));
+    }
+
+    #[test]
+    fn owned_and_borrowing_writes_store_identical_bytes() {
+        let config = EncryptionConfig::random_iv(MetaLayout::ObjectEnd);
+        let mut a = zc_disk(&config);
+        let mut b = zc_disk(&config);
+        let payload: Vec<u8> = (0..32768u32).map(|i| (i % 253) as u8).collect();
+        // Unaligned on purpose: both paths share the RMW logic.
+        a.write(4000, &payload).unwrap();
+        b.write_owned(4000, payload.clone()).unwrap();
+        let mut ra = vec![0u8; payload.len()];
+        let mut rb = vec![0u8; payload.len()];
+        a.read(4000, &mut ra).unwrap();
+        b.read(4000, &mut rb).unwrap();
+        assert_eq!(ra, payload);
+        assert_eq!(ra, rb);
     }
 }

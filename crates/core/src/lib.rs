@@ -56,11 +56,15 @@ mod config;
 mod encrypted_image;
 pub mod layout;
 pub mod luks;
+mod queue;
 mod sector;
 
 pub use config::{Cipher, EncryptionConfig, MetaLayout};
 pub use encrypted_image::EncryptedImage;
+pub use queue::EncryptedIoQueue;
 pub use sector::SectorState;
+// The op/completion vocabulary is shared with the raw queue.
+pub use vdisk_rbd::{Completion, IoOp, IoPayload, IoResult};
 
 use std::error::Error as StdError;
 use std::fmt;

@@ -5,25 +5,36 @@
 //! State is split three ways (the sharding the ROADMAP's async-dispatch
 //! item asked for):
 //!
-//! - an immutable control plane ([`crate::state::ControlPlane`]):
+//! - an immutable control plane (`ControlPlane`):
 //!   placement, cost profiles, resource handles, plus atomic counters —
 //!   read by every worker with no lock;
-//! - N object [`crate::shard::Shard`]s keyed by placement group, each
-//!   behind its own lock — an object's whole acting set lives in one
-//!   shard, so per-object transactions and reads touch exactly one
-//!   lock;
+//! - N object `Shard`s keyed by placement group, each
+//!   behind its own lock **and its own FIFO work queue** — an object's
+//!   whole acting set lives in one shard, so per-object transactions
+//!   and reads touch exactly one lock;
 //! - the simulator, behind its own lock (only the closed-loop harness
 //!   mutates it).
 //!
-//! [`Cluster::execute_batch`] validates a whole batch up front
-//! (all-or-nothing), groups transactions by shard, and applies the
-//! groups **concurrently** with scoped threads; [`Cluster::read_batch`]
-//! fans out the same way.
+//! IO dispatch is **submission-based**: [`Cluster::submit_batch`] and
+//! [`Cluster::submit_read_batch`] validate up front (all-or-nothing),
+//! split the submission into per-shard jobs, enqueue them on the shard
+//! work queues (served by one worker thread per shard), and return a
+//! ticket immediately — so jobs from *different* submissions interleave
+//! on the shard workers, and one client overlaps many IOs. The
+//! synchronous [`Cluster::execute_batch`] / [`Cluster::read_batch`] /
+//! [`Cluster::execute`] / [`Cluster::read`] are thin submit-then-wait
+//! wrappers. Per-shard FIFO with a single consumer is the ordering
+//! rule: ops touching the same object always apply in submission
+//! order.
 
 use crate::cost::{ResourceHandles, TestbedProfile};
 use crate::placement::PlacementMap;
-use crate::shard::{Shard, ShardState};
-use crate::state::{ApplyConcurrency, ControlPlane};
+use crate::queue::{
+    self, ApplyShared, ApplyTicket, DepthGuard, Job, Progress, ReadOutcome, ReadShared, ReadTicket,
+    WorkerRuntime,
+};
+use crate::shard::Shard;
+use crate::state::ControlPlane;
 use crate::transaction::{ObjectReads, ReadOp, ReadResult, Transaction, TxOp};
 use crate::{RadosError, Result, SnapId};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -74,13 +85,25 @@ pub struct ExecStats {
     /// Per-object read requests served (batched reads count each
     /// object they touch).
     pub read_ops: u64,
-    /// Largest number of distinct shards one batch (write or read)
-    /// fanned out over — deterministic potential parallelism.
+    /// Largest number of distinct shards one submission (write or
+    /// read) fanned out over — deterministic potential parallelism.
     pub shard_fanout_max: u64,
-    /// High-water mark of shard groups observed applying at the same
-    /// instant — realized wall-clock parallelism (scheduling-
-    /// dependent, so tests should treat it as a lower-bound signal).
+    /// High-water mark of shards holding admitted-but-incomplete work
+    /// at the same instant. A multi-shard submission admits all its
+    /// shards before any applies, so this is at least the fanout of
+    /// any single submission; values above the largest single
+    /// submission's fanout prove **cross-submission** overlap on the
+    /// shard workers (scheduling-dependent on a single-core host, so
+    /// treat the cross-submission component as a lower-bound signal).
     pub shard_concurrency_peak: u64,
+    /// High-water mark of submissions simultaneously open (issued via
+    /// `submit_*` and not yet reaped) — the realized client queue
+    /// depth. Client-bracketed, so it is deterministic for a
+    /// single-threaded submission loop. Note that synchronous wrappers
+    /// also hold one open submission for the duration of their call:
+    /// N threads of sync IO register a depth up to N, so depths above
+    /// 1 mean async use *or* multi-threaded sync use.
+    pub queue_depth_peak: u64,
 }
 
 /// Configures and builds a [`Cluster`].
@@ -141,15 +164,14 @@ impl ClusterBuilder {
         self
     }
 
-    /// Whether multi-shard batches apply on scoped threads (one per
-    /// touched shard). Defaults to auto: on a multi-core host, threads
-    /// whenever the batch carries enough work to amortize spawn/join
-    /// (small batches stay inline); on a single core, always inline
-    /// (threads cannot overlap in wall-clock there, so spawning them
-    /// would be pure overhead). `true` forces threads for every
-    /// multi-shard batch — the hook tests use to exercise the
-    /// concurrent path regardless of host or batch size; `false`
-    /// forces inline application.
+    /// Whether submissions are served by per-shard worker threads (one
+    /// dedicated worker per state shard, draining that shard's FIFO
+    /// work queue). Defaults to auto: workers on a multi-core host,
+    /// inline on a single core (worker threads cannot overlap in
+    /// wall-clock there, so the queue degenerates to synchronous
+    /// execution with identical semantics). `true` forces workers —
+    /// the hook tests use to exercise the queued path regardless of
+    /// host; `false` forces inline application at submit time.
     #[must_use]
     pub fn concurrent_apply(mut self, enabled: bool) -> Self {
         self.concurrent_apply = Some(enabled);
@@ -187,29 +209,32 @@ impl ClusterBuilder {
         let mut sim = Simulator::new();
         let handles = self.testbed.install(&mut sim, self.osd_count);
         let placement = PlacementMap::new(self.osd_count, self.replicas, self.pg_count);
-        let shards: Vec<Shard> = (0..self.shard_count)
+        let shards: Arc<[Shard]> = (0..self.shard_count)
             .map(|_| Shard::new(self.osd_count))
-            .collect();
-        let apply_concurrency = match self.concurrent_apply {
-            Some(true) => ApplyConcurrency::Always,
-            Some(false) => ApplyConcurrency::Never,
-            None if std::thread::available_parallelism().map_or(1, usize::from) > 1 => {
-                ApplyConcurrency::Auto
-            }
-            None => ApplyConcurrency::Never,
+            .collect::<Vec<_>>()
+            .into();
+        let workers = self
+            .concurrent_apply
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from) > 1);
+        let control = Arc::new(ControlPlane::new(
+            placement,
+            handles,
+            self.testbed,
+            self.kv_cost,
+            self.payload,
+            self.shard_count,
+            workers,
+        ));
+        let runtime = if workers {
+            WorkerRuntime::spawn(&control, &shards)
+        } else {
+            WorkerRuntime::inline()
         };
         Cluster {
-            control: Arc::new(ControlPlane::new(
-                placement,
-                handles,
-                self.testbed,
-                self.kv_cost,
-                self.payload,
-                self.shard_count,
-                apply_concurrency,
-            )),
-            shards: shards.into(),
+            control,
+            shards,
             sim: Arc::new(Mutex::new(sim)),
+            runtime: Arc::new(runtime),
         }
     }
 }
@@ -223,6 +248,9 @@ pub struct Cluster {
     control: Arc<ControlPlane>,
     shards: Arc<[Shard]>,
     sim: Arc<Mutex<Simulator>>,
+    /// The per-shard worker threads and their queues; dropped (closing
+    /// the queues and joining the workers) with the last handle.
+    runtime: Arc<WorkerRuntime>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -280,85 +308,119 @@ impl Cluster {
     }
 
     /// Applies a transaction atomically on every replica and returns
-    /// its cost plan.
+    /// its cost plan. A thin submit-then-wait wrapper over the shard
+    /// work queues, so it orders correctly after any asynchronous
+    /// submissions already in flight on the same objects.
     ///
     /// # Errors
     ///
     /// Returns [`RadosError::InvalidArgument`] if any op is malformed;
     /// in that case **no** op has been applied (all-or-nothing).
     pub fn execute(&self, tx: Transaction) -> Result<Plan> {
-        Self::validate_tx(&tx)?;
-        let cp = &self.control;
-        cp.stats.record_transactions(1);
-        let default_seq = cp.snap_seq();
-        let mut shard = self.shard_for(&tx.object).lock();
-        Ok(shard.apply_tx(cp, default_seq, &tx))
+        Ok(self.submit_txs(vec![tx], false, true)?.wait())
     }
 
     /// Applies many transactions under one cluster round trip and
-    /// returns [`Plan::par`] of their costs (in submission order): the
-    /// dispatch stage of a vectored IO, where every object extent's
-    /// transaction is in flight concurrently.
-    ///
-    /// Validation runs over the **whole batch** before any transaction
-    /// is applied, extending the single-transaction all-or-nothing
-    /// guarantee to the batch — a malformed transaction anywhere
-    /// leaves every shard untouched. Transactions are then grouped by
-    /// state shard and the groups apply **concurrently** (scoped
-    /// threads, one per touched shard, gated by
-    /// [`ClusterBuilder::concurrent_apply`]), so independent objects
-    /// proceed in parallel in wall-clock, not just in the cost model.
+    /// returns [`Plan::par`] of their costs (in submission order):
+    /// [`Cluster::submit_batch`] followed by [`ApplyTicket::wait`].
     ///
     /// # Errors
     ///
     /// Returns [`RadosError::InvalidArgument`] if any transaction in
     /// the batch is malformed; no transaction has been applied then.
     pub fn execute_batch(&self, txs: Vec<Transaction>) -> Result<Plan> {
+        Ok(self.submit_txs(txs, true, true)?.wait())
+    }
+
+    /// Submits a batch of transactions to the shard work queues and
+    /// returns immediately with an [`ApplyTicket`]; the per-shard
+    /// worker threads apply the jobs while the caller goes on to
+    /// submit more IO. The asynchronous half of the aio/submission-
+    /// queue API — keeping many submissions in flight is what realizes
+    /// the paper's queue-depth bandwidth argument.
+    ///
+    /// Validation runs over the **whole batch** before anything is
+    /// enqueued, extending the single-transaction all-or-nothing
+    /// guarantee to the batch — a malformed transaction anywhere
+    /// leaves every shard untouched. Ordering: per-shard FIFO with one
+    /// consumer per shard, so two submissions touching the same object
+    /// (same shard, by construction) apply in submission order, while
+    /// disjoint shards interleave freely across submissions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadosError::InvalidArgument`] if any transaction in
+    /// the batch is malformed; nothing has been enqueued then.
+    pub fn submit_batch(&self, txs: Vec<Transaction>) -> Result<ApplyTicket> {
+        self.submit_txs(txs, true, false)
+    }
+
+    fn submit_txs(
+        &self,
+        txs: Vec<Transaction>,
+        is_batch: bool,
+        inline_if_idle: bool,
+    ) -> Result<ApplyTicket> {
         for tx in &txs {
             Self::validate_tx(tx)?;
         }
         let cp = &self.control;
-        cp.stats.record_batch();
-        cp.stats.record_transactions(txs.len() as u64);
-        if txs.is_empty() {
-            return Ok(Plan::Noop);
+        // An empty submission dispatches nothing; keep it invisible to
+        // the batch/queue-depth counters like the sync no-op paths.
+        let is_empty = txs.is_empty();
+        if is_batch && !is_empty {
+            cp.stats.record_batch();
         }
-        let default_seq = cp.snap_seq();
-
-        let payload: u64 = txs.iter().map(Transaction::payload_bytes).sum();
+        cp.stats.record_transactions(txs.len() as u64);
         let shard_keys: Vec<usize> = txs.iter().map(|tx| cp.shard_of(&tx.object)).collect();
-        let txs = &txs;
-        let plans = self.fan_out(
-            &shard_keys,
-            cp.use_threads(txs.len(), payload),
-            |shard, idxs| {
-                Ok(idxs
-                    .iter()
-                    .map(|&i| (i, shard.apply_tx(cp, default_seq, &txs[i])))
-                    .collect())
+        let tx_count = txs.len() as u64;
+        let shared = Arc::new(ApplyShared {
+            default_seq: cp.snap_seq(),
+            progress: Progress::new(txs.len()),
+            txs,
+        });
+        let depth = if is_empty {
+            DepthGuard::noop(Arc::clone(cp))
+        } else {
+            DepthGuard::open(Arc::clone(cp))
+        };
+        let fanout = self.dispatch(&shard_keys, inline_if_idle, |idxs| Job::Apply {
+            shared: Arc::clone(&shared),
+            idxs,
+        });
+        Ok(ApplyTicket {
+            shared,
+            stats: ExecStats {
+                transactions: tx_count,
+                batches: u64::from(is_batch),
+                shard_fanout_max: fanout,
+                ..ExecStats::default()
             },
-        )?;
-        Ok(Plan::par(plans))
+            depth,
+        })
     }
 
-    /// The shared fan-out skeleton of the batched paths: group item
-    /// indices by their shard key, serve each group under that shard's
-    /// lock — inline, or on scoped threads (one per touched shard)
-    /// when `use_threads` and more than one shard is touched — and
-    /// reassemble the per-item results in submission order.
+    /// Groups item indices by shard, admits every touched shard (the
+    /// concurrency bracket is entered here, *before* any job runs, so
+    /// a submission's fanout registers deterministically), then either
+    /// enqueues the jobs on the shard work queues or runs them on the
+    /// spot. Returns the number of shards touched.
     ///
-    /// `serve` receives the locked shard state and that shard's item
-    /// indices and returns `(item_index, result)` pairs; an error from
-    /// any group fails the whole call (after every group has
-    /// finished). Locking and the concurrency-counter bracketing are
-    /// done here, structurally: the counter is only ever incremented
-    /// under a shard lock, which is what keeps
-    /// `shard_concurrency_peak <= shard_count` a true invariant.
-    fn fan_out<T, F>(&self, shard_keys: &[usize], use_threads: bool, serve: F) -> Result<Vec<T>>
-    where
-        T: Send,
-        F: Fn(&mut ShardState, &[usize]) -> Result<Vec<(usize, T)>> + Sync,
-    {
+    /// `inline_if_idle` is the synchronous wrappers' fast path: the
+    /// caller is about to block on the ticket anyway, so a shard whose
+    /// admission found it **idle** (no enqueued or running job — the
+    /// admission counter is the linearization point) is served in the
+    /// calling thread, skipping two thread handoffs. This cannot
+    /// reorder anything: an idle shard's queue is empty, so there is
+    /// nothing to jump ahead of, and any job admitted concurrently is
+    /// from an unordered independent submission. Asynchronous
+    /// submissions never use it — their point is not to block.
+    fn dispatch(
+        &self,
+        shard_keys: &[usize],
+        inline_if_idle: bool,
+        mut job_for: impl FnMut(Vec<usize>) -> Job,
+    ) -> u64 {
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, &shard) in shard_keys.iter().enumerate() {
             groups[shard].push(i);
@@ -368,44 +430,33 @@ impl Cluster {
             .enumerate()
             .filter(|(_, idxs)| !idxs.is_empty())
             .collect();
-        self.control.stats.record_shard_fanout(touched.len() as u64);
-
-        let serve_locked = |shard: usize, idxs: &[usize]| {
-            let mut guard = self.shards[shard].lock();
-            self.control.stats.enter_shard_apply();
-            let out = serve(&mut guard, idxs);
-            self.control.stats.exit_shard_apply();
-            out
-        };
-
-        let served: Vec<Result<Vec<(usize, T)>>> = if touched.len() == 1 || !use_threads {
-            touched
-                .iter()
-                .map(|(shard, idxs)| serve_locked(*shard, idxs))
-                .collect()
-        } else {
-            std::thread::scope(|s| {
-                let workers: Vec<_> = touched
-                    .iter()
-                    .map(|(shard, idxs)| s.spawn(|| serve_locked(*shard, idxs)))
-                    .collect();
-                workers
-                    .into_iter()
-                    .map(|w| w.join().expect("shard worker panicked"))
-                    .collect()
-            })
-        };
-
-        let mut out: Vec<Option<T>> = (0..shard_keys.len()).map(|_| None).collect();
-        for group in served {
-            for (i, item) in group? {
-                out[i] = Some(item);
+        if touched.is_empty() {
+            return 0;
+        }
+        let fanout = touched.len() as u64;
+        self.control.stats.record_shard_fanout(fanout);
+        let was_idle: Vec<bool> = touched
+            .iter()
+            .map(|(shard, _)| self.shards[*shard].job_admitted(&self.control.stats))
+            .collect();
+        match self.runtime.queues() {
+            Some(queues) => {
+                for ((shard, idxs), idle) in touched.into_iter().zip(was_idle) {
+                    let job = job_for(idxs);
+                    if inline_if_idle && idle {
+                        queue::run_job(&self.control, &self.shards, shard, job);
+                    } else {
+                        queues[shard].push(job);
+                    }
+                }
+            }
+            None => {
+                for (shard, idxs) in touched {
+                    queue::run_job(&self.control, &self.shards, shard, job_for(idxs));
+                }
             }
         }
-        Ok(out
-            .into_iter()
-            .map(|t| t.expect("every item served"))
-            .collect())
+        fanout
     }
 
     /// Operation counters since the cluster was built.
@@ -420,7 +471,26 @@ impl Cluster {
         self.shards.len()
     }
 
-    /// Executes read operations against the primary replica.
+    /// The state shard `object` maps to (deterministic, derived from
+    /// its placement group). Upper layers use this for shard-aware
+    /// naming — spreading one image's consecutive objects over shards
+    /// so queued IO fans out evenly.
+    #[must_use]
+    pub fn placement_shard(&self, object: &str) -> usize {
+        self.control.shard_of(object)
+    }
+
+    /// Whether submissions are served by per-shard worker threads
+    /// (true) or applied inline at submit time (false) — see
+    /// [`ClusterBuilder::concurrent_apply`].
+    #[must_use]
+    pub fn workers_enabled(&self) -> bool {
+        self.control.workers
+    }
+
+    /// Executes read operations against the primary replica. A thin
+    /// submit-then-wait wrapper over the shard work queues, so it sees
+    /// every previously submitted write to the same object.
     ///
     /// # Errors
     ///
@@ -433,68 +503,103 @@ impl Cluster {
         snap: Option<SnapId>,
         ops: &[ReadOp],
     ) -> Result<(Vec<ReadResult>, Plan)> {
-        let cp = &self.control;
-        cp.stats.record_read_ops(1);
-        let shard = self.shard_for(object).lock();
-        shard.read_one(cp, object, snap, ops)
+        let requests = vec![ObjectReads::new(object, ops.to_vec())];
+        let mut outcomes = self.submit_reads(snap, requests, true).into_outcomes();
+        match outcomes.pop().expect("one request, one outcome") {
+            ReadOutcome::Hit(results, plan) => Ok((results, plan)),
+            ReadOutcome::Miss(e, _) | ReadOutcome::Fail(e) => Err(e),
+        }
     }
 
-    /// Serves many per-object read requests in one round trip: the
-    /// read half of the vectored IO path, fanned out over the state
-    /// shards like [`Cluster::execute_batch`]. Returns one result slot
-    /// per request plus [`Plan::par`] of the per-request costs (in
-    /// submission order). Objects absent (now, or at `snap`) yield
-    /// `None` so striped callers can zero-fill sparse extents without
-    /// failing the whole batch — but still cost a round trip to the
-    /// primary, so the plan keeps **one child per request**.
+    /// Serves many per-object read requests in one round trip:
+    /// [`Cluster::submit_read_batch`] followed by [`ReadTicket::wait`].
+    /// Returns one result slot per request plus [`Plan::par`] of the
+    /// per-request costs (in submission order). Objects absent (now,
+    /// or at `snap`) yield `None` so striped callers can zero-fill
+    /// sparse extents without failing the whole batch — but still cost
+    /// a round trip to the primary, so the plan keeps **one child per
+    /// request**.
     ///
     /// # Errors
     ///
     /// Propagates any error other than a missing object/snapshot.
+    #[allow(clippy::type_complexity)]
     pub fn read_batch(
         &self,
         snap: Option<SnapId>,
-        requests: &[ObjectReads],
+        requests: Vec<ObjectReads>,
     ) -> Result<(Vec<Option<Vec<ReadResult>>>, Plan)> {
+        self.submit_reads(snap, requests, true).wait()
+    }
+
+    /// Submits a vectored read to the shard work queues and returns
+    /// immediately with a [`ReadTicket`] — the read half of the
+    /// submission-queue API. Jobs ride the same per-shard FIFO queues
+    /// as writes, so a read submitted after a write to the same object
+    /// always observes it, even with both still in flight.
+    pub fn submit_read_batch(
+        &self,
+        snap: Option<SnapId>,
+        requests: Vec<ObjectReads>,
+    ) -> ReadTicket {
+        self.submit_reads(snap, requests, false)
+    }
+
+    fn submit_reads(
+        &self,
+        snap: Option<SnapId>,
+        requests: Vec<ObjectReads>,
+        inline_if_idle: bool,
+    ) -> ReadTicket {
         let cp = &self.control;
         cp.stats.record_read_ops(requests.len() as u64);
-        if requests.is_empty() {
-            return Ok((Vec::new(), Plan::Noop));
-        }
-
-        let requested: u64 = requests
-            .iter()
-            .flat_map(|r| &r.ops)
-            .map(|op| match op {
-                ReadOp::Read { len, .. } => *len,
-                _ => 0,
-            })
-            .sum();
         let shard_keys: Vec<usize> = requests.iter().map(|r| cp.shard_of(&r.object)).collect();
-        let served: Vec<(Option<Vec<ReadResult>>, Plan)> = self.fan_out(
-            &shard_keys,
-            cp.use_threads(requests.len(), requested),
-            |shard, idxs| {
-                idxs.iter()
-                    .map(|&i| {
-                        let request = &requests[i];
-                        match shard.read_one(cp, &request.object, snap, &request.ops) {
-                            Ok((res, plan)) => Ok((i, (Some(res), plan))),
-                            Err(
-                                RadosError::NoSuchObject(_) | RadosError::NoSuchSnapshot { .. },
-                            ) => {
-                                // A miss still costs a round trip.
-                                Ok((i, (None, ShardState::miss_plan(cp, &request.object))))
-                            }
-                            Err(e) => Err(e),
-                        }
-                    })
-                    .collect()
+        let request_count = requests.len() as u64;
+        let is_empty = requests.is_empty();
+        let shared = Arc::new(ReadShared {
+            snap,
+            progress: Progress::new(requests.len()),
+            requests,
+        });
+        let depth = if is_empty {
+            DepthGuard::noop(Arc::clone(cp))
+        } else {
+            DepthGuard::open(Arc::clone(cp))
+        };
+        let fanout = self.dispatch(&shard_keys, inline_if_idle, |idxs| Job::Read {
+            shared: Arc::clone(&shared),
+            idxs,
+        });
+        ReadTicket {
+            shared,
+            stats: ExecStats {
+                read_ops: request_count,
+                shard_fanout_max: fanout,
+                ..ExecStats::default()
             },
-        )?;
+            depth,
+        }
+    }
 
-        let (results, plans): (Vec<_>, Vec<_>) = served.into_iter().unzip();
-        Ok((results, Plan::par(plans)))
+    /// Drains the shard work queues: blocks until every job submitted
+    /// **before** this call has been applied. The barrier for callers
+    /// about to inspect cluster state directly (object listing, image
+    /// removal, scrub) while asynchronous submissions may be in
+    /// flight; jobs submitted concurrently with the flush are not
+    /// covered. A no-op in inline mode, where nothing is ever left
+    /// enqueued.
+    pub fn flush(&self) {
+        let Some(queues) = self.runtime.queues() else {
+            return;
+        };
+        let progress = Arc::new(Progress::new(queues.len()));
+        for (slot, queue) in queues.iter().enumerate() {
+            queue.push(Job::Flush {
+                shared: Arc::clone(&progress),
+                slot,
+            });
+        }
+        progress.wait();
     }
 
     /// Takes a cluster-wide self-managed snapshot; subsequent writes
@@ -1007,7 +1112,7 @@ mod tests {
         let (results, plan) = c
             .read_batch(
                 None,
-                &[
+                vec![
                     ObjectReads::new("present", vec![ReadOp::Read { offset: 0, len: 4 }]),
                     ObjectReads::new("ghost", vec![ReadOp::Read { offset: 0, len: 4 }]),
                 ],
@@ -1028,7 +1133,7 @@ mod tests {
         let (_, plan) = c
             .read_batch(
                 None,
-                &[
+                vec![
                     ObjectReads::new(
                         "present",
                         vec![ReadOp::Read {
@@ -1059,7 +1164,7 @@ mod tests {
         let (_, lone) = c
             .read_batch(
                 None,
-                &[ObjectReads::new(
+                vec![ObjectReads::new(
                     "present",
                     vec![ReadOp::Read {
                         offset: 0,
@@ -1072,7 +1177,7 @@ mod tests {
         // And a miss costs no disk op on any OSD.
         let handles = c.resources();
         let (_, miss_only) = c
-            .read_batch(None, &[ObjectReads::new("ghost-c", vec![ReadOp::Stat])])
+            .read_batch(None, vec![ObjectReads::new("ghost-c", vec![ReadOp::Stat])])
             .unwrap();
         for disk in &handles.osd_disk {
             assert_eq!(
@@ -1142,6 +1247,146 @@ mod tests {
             let (b, _) = batched.read(&name, None, &ops).unwrap();
             assert_eq!(a, b, "object {name} diverged between paths");
         }
+    }
+
+    #[test]
+    fn async_submissions_overlap_and_record_queue_depth() {
+        let c = Cluster::builder().concurrent_apply(true).build();
+        let mut tickets = Vec::new();
+        for i in 0..8u8 {
+            let mut tx = Transaction::new(format!("qd{i}"));
+            tx.write(0, vec![i + 1; 2048]);
+            tickets.push(c.submit_batch(vec![tx]).unwrap());
+        }
+        // All eight submissions are open before any is reaped:
+        // deterministic, client-side-bracketed queue depth.
+        assert_eq!(c.exec_stats().queue_depth_peak, 8);
+        for ticket in tickets {
+            let delta = ticket.stats_delta();
+            assert_eq!(delta.transactions, 1);
+            assert_eq!(delta.batches, 1);
+            assert_eq!(delta.shard_fanout_max, 1);
+            assert!(ticket.wait().op_count() > 0);
+        }
+        for i in 0..8 {
+            assert!(c.object_exists(&format!("qd{i}")));
+        }
+    }
+
+    #[test]
+    fn queued_ops_on_one_object_apply_in_submission_order() {
+        let c = Cluster::builder().concurrent_apply(true).build();
+        // 32 overlapping writes to one object, all in flight at once.
+        let tickets: Vec<_> = (0..32u8)
+            .map(|round| {
+                let mut tx = Transaction::new("hot");
+                tx.write(0, vec![round; 4096]);
+                c.submit_batch(vec![tx]).unwrap()
+            })
+            .collect();
+        // A read submitted after them rides the same shard FIFO, so it
+        // must observe exactly the last write — while everything is
+        // still in flight.
+        let read = c.submit_read_batch(
+            None,
+            vec![ObjectReads::new(
+                "hot",
+                vec![ReadOp::Read {
+                    offset: 0,
+                    len: 4096,
+                }],
+            )],
+        );
+        let (results, _) = read.wait().unwrap();
+        let data = results[0].as_ref().unwrap()[0].as_data();
+        assert!(
+            data.iter().all(|&b| b == 31),
+            "a queued read must see every previously submitted write"
+        );
+        // Reaping after the read is fine; order of reaping is free.
+        for ticket in tickets {
+            let _ = ticket.wait();
+        }
+    }
+
+    #[test]
+    fn multi_shard_submission_registers_fanout_as_concurrency() {
+        let c = Cluster::builder().concurrent_apply(true).build();
+        let txs: Vec<Transaction> = (0..16)
+            .map(|i| {
+                let mut tx = Transaction::new(format!("spread{i}"));
+                tx.write(0, vec![1u8; 512]);
+                tx
+            })
+            .collect();
+        let ticket = c.submit_batch(txs).unwrap();
+        let fanout = ticket.stats_delta().shard_fanout_max;
+        assert!(fanout >= 2, "16 objects must span >= 2 of 8 shards");
+        let _ = ticket.wait();
+        // Every touched shard is admitted before any job runs, so a
+        // single submission's fanout registers as concurrency
+        // deterministically — even on a single-core host.
+        let stats = c.exec_stats();
+        assert!(stats.shard_concurrency_peak >= fanout);
+        assert!(stats.shard_concurrency_peak <= c.shard_count() as u64);
+    }
+
+    #[test]
+    fn inline_mode_serves_submissions_synchronously() {
+        let c = Cluster::builder().concurrent_apply(false).build();
+        assert!(!c.workers_enabled());
+        let mut tx = Transaction::new("inline");
+        tx.write(0, vec![7u8; 1024]);
+        let ticket = c.submit_batch(vec![tx]).unwrap();
+        assert!(ticket.is_complete(), "inline submissions apply at submit");
+        assert!(ticket.wait().op_count() > 0);
+        let read = c.submit_read_batch(
+            None,
+            vec![ObjectReads::new(
+                "inline",
+                vec![ReadOp::Read {
+                    offset: 0,
+                    len: 1024,
+                }],
+            )],
+        );
+        assert!(read.is_complete());
+        let (results, _) = read.wait().unwrap();
+        assert_eq!(results[0].as_ref().unwrap()[0].as_data(), &[7u8; 1024][..]);
+    }
+
+    #[test]
+    fn abandoned_tickets_still_apply_and_release_depth() {
+        let c = Cluster::builder().concurrent_apply(true).build();
+        let mut tx = Transaction::new("fire-and-forget");
+        tx.write(0, vec![1u8; 512]);
+        let ticket = c.submit_batch(vec![tx]).unwrap();
+        drop(ticket);
+        // The write still lands (drain via a queued read).
+        let (results, _) = c
+            .read(
+                "fire-and-forget",
+                None,
+                &[ReadOp::Read {
+                    offset: 0,
+                    len: 512,
+                }],
+            )
+            .unwrap();
+        assert_eq!(results[0].as_data(), &[1u8; 512][..]);
+    }
+
+    #[test]
+    fn flush_drains_abandoned_submissions() {
+        let c = Cluster::builder().concurrent_apply(true).build();
+        for i in 0..16u8 {
+            let mut tx = Transaction::new(format!("flush{i}"));
+            tx.write(0, vec![i + 1; 1024]);
+            drop(c.submit_batch(vec![tx]).unwrap());
+        }
+        c.flush();
+        // Direct state inspection is safe after the barrier.
+        assert_eq!(c.list_objects().len(), 16);
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! - **Snapshots**: RADOS self-managed snapshots with per-object
 //!   copy-on-write clones, so "overwritten data remains accessible"
 //!   (§1) exactly as in the paper's threat model.
+//! - **Submission queues** ([`Cluster::submit_batch`] /
+//!   [`Cluster::submit_read_batch`]): per-shard FIFO work queues served
+//!   by one worker thread per shard; submissions return tickets
+//!   immediately so a client keeps many IOs in flight, with ops from
+//!   different submissions interleaving on the shard workers while
+//!   same-object ops keep submission order.
 //! - **Replication**: writes go to the primary and fan out to replicas;
 //!   scrub/repair utilities detect and fix divergence.
 //! - **Cost model** ([`cost`]): every operation compiles to a
@@ -52,6 +58,7 @@ pub mod cluster;
 pub mod cost;
 pub mod object;
 pub mod placement;
+mod queue;
 mod shard;
 mod state;
 pub mod transaction;
@@ -60,7 +67,8 @@ pub use cluster::{Cluster, ClusterBuilder, ExecStats, PayloadMode, ScrubReport};
 pub use cost::{ResourceHandles, TestbedProfile};
 pub use object::{ObjectStat, PHYS_BLOCK};
 pub use placement::{OsdId, PlacementMap};
-pub use transaction::{ObjectReads, ReadOp, ReadResult, SnapContext, Transaction, TxOp};
+pub use queue::{ApplyTicket, ReadTicket};
+pub use transaction::{ObjectReads, ReadOp, ReadResult, SharedBuf, SnapContext, Transaction, TxOp};
 
 use std::error::Error as StdError;
 use std::fmt;

@@ -1,0 +1,544 @@
+//! Per-shard work queues: the asynchronous dispatch engine behind
+//! [`crate::Cluster::submit_batch`] / [`crate::Cluster::submit_read_batch`].
+//!
+//! Every shard owns one FIFO job queue served by one dedicated worker
+//! thread (when workers are enabled — see
+//! [`crate::ClusterBuilder::concurrent_apply`]). A submission validates
+//! up front, splits into per-shard jobs, and enqueues them all before
+//! returning a ticket; the caller overlaps further submissions with the
+//! apply and reaps completions via [`ApplyTicket::wait`] /
+//! [`ReadTicket::wait`].
+//!
+//! **Ordering rule** (the fence/sequence contract of the queue API):
+//! one queue per shard, one consumer per shard, FIFO. An object maps to
+//! exactly one shard, so two operations on overlapping extents — which
+//! necessarily touch the same objects — are applied in submission
+//! order, even when their submissions were concurrent in flight.
+//! Operations on disjoint shards interleave freely; that is the
+//! cross-batch concurrency the paper's queue-depth argument needs.
+
+use crate::shard::{Shard, ShardState};
+use crate::state::ControlPlane;
+use crate::transaction::{ObjectReads, ReadResult, Transaction};
+use crate::{RadosError, SnapId};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use vdisk_sim::Plan;
+
+/// One per-shard unit of work: the indices of a submission's items
+/// that landed on this shard.
+pub(crate) enum Job {
+    /// Apply transactions `idxs` of `shared`.
+    Apply {
+        shared: Arc<ApplyShared>,
+        idxs: Vec<usize>,
+    },
+    /// Serve read requests `idxs` of `shared`.
+    Read {
+        shared: Arc<ReadShared>,
+        idxs: Vec<usize>,
+    },
+    /// A barrier marker (see `Cluster::flush`): completes slot `slot`
+    /// of `shared` once every job enqueued before it on this shard has
+    /// been applied.
+    Flush {
+        shared: Arc<Progress<()>>,
+        slot: usize,
+    },
+}
+
+/// A FIFO job queue with blocking pop — one per shard.
+pub(crate) struct ShardQueue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl ShardQueue {
+    pub(crate) fn new() -> Self {
+        ShardQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn push(&self, job: Job) {
+        self.lock().jobs.push_back(job);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once closed **and** drained, so
+    /// in-flight work always completes before a worker exits.
+    pub(crate) fn pop(&self) -> Option<Job> {
+        let mut guard = self.lock();
+        loop {
+            if let Some(job) = guard.jobs.pop_front() {
+                return Some(job);
+            }
+            if guard.closed {
+                return None;
+            }
+            guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The worker threads (one per shard) and their queues. Held by every
+/// [`crate::Cluster`] clone via `Arc`; when the last handle drops, the
+/// queues close and the workers drain and exit.
+pub(crate) struct WorkerRuntime {
+    /// `None` in inline mode (single-core hosts or an explicit
+    /// opt-out): submissions apply synchronously at submit time.
+    queues: Option<Arc<Vec<ShardQueue>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerRuntime {
+    /// Inline mode: no threads, submissions apply at submit.
+    pub(crate) fn inline() -> Self {
+        WorkerRuntime {
+            queues: None,
+            handles: Vec::new(),
+        }
+    }
+
+    /// Spawns one worker per shard.
+    pub(crate) fn spawn(cp: &Arc<ControlPlane>, shards: &Arc<[Shard]>) -> Self {
+        let queues: Arc<Vec<ShardQueue>> =
+            Arc::new((0..shards.len()).map(|_| ShardQueue::new()).collect());
+        let handles = (0..shards.len())
+            .map(|i| {
+                let queues = Arc::clone(&queues);
+                let cp = Arc::clone(cp);
+                let shards = Arc::clone(shards);
+                std::thread::spawn(move || {
+                    while let Some(job) = queues[i].pop() {
+                        run_job(&cp, &shards, i, job);
+                    }
+                })
+            })
+            .collect();
+        WorkerRuntime {
+            queues: Some(queues),
+            handles,
+        }
+    }
+
+    /// The shard queues, or `None` in inline mode.
+    pub(crate) fn queues(&self) -> Option<&[ShardQueue]> {
+        self.queues.as_deref().map(Vec::as_slice)
+    }
+}
+
+impl Drop for WorkerRuntime {
+    fn drop(&mut self) {
+        if let Some(queues) = &self.queues {
+            for queue in queues.iter() {
+                queue.close();
+            }
+        }
+        for handle in self.handles.drain(..) {
+            // A worker that panicked has already poisoned its ticket;
+            // nothing useful to propagate here.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Executes one job against its shard — the body of a worker thread,
+/// also called directly by the inline path. Bracketing of the
+/// per-shard pending counter (entered at enqueue time by the
+/// submitter) is *exited* here, after the shard's work completes.
+pub(crate) fn run_job(cp: &ControlPlane, shards: &[Shard], shard_idx: usize, job: Job) {
+    match job {
+        Job::Apply { shared, idxs } => {
+            let result = {
+                let mut guard = shards[shard_idx].lock();
+                catch_unwind(AssertUnwindSafe(|| {
+                    idxs.iter()
+                        .map(|&i| (i, guard.apply_tx(cp, shared.default_seq, &shared.txs[i])))
+                        .collect::<Vec<_>>()
+                }))
+            };
+            exit_shard(cp, shards, shard_idx);
+            match result {
+                Ok(items) => shared.progress.complete(items),
+                Err(_) => shared.progress.poison(),
+            }
+        }
+        Job::Read { shared, idxs } => {
+            let result = {
+                let guard = shards[shard_idx].lock();
+                catch_unwind(AssertUnwindSafe(|| {
+                    idxs.iter()
+                        .map(|&i| {
+                            let request = &shared.requests[i];
+                            let outcome = match guard.read_one(
+                                cp,
+                                &request.object,
+                                shared.snap,
+                                &request.ops,
+                            ) {
+                                Ok((results, plan)) => ReadOutcome::Hit(results, plan),
+                                Err(
+                                    e @ (RadosError::NoSuchObject(_)
+                                    | RadosError::NoSuchSnapshot { .. }),
+                                ) => {
+                                    // A miss still costs a round trip.
+                                    ReadOutcome::Miss(e, ShardState::miss_plan(cp, &request.object))
+                                }
+                                Err(e) => ReadOutcome::Fail(e),
+                            };
+                            (i, outcome)
+                        })
+                        .collect::<Vec<_>>()
+                }))
+            };
+            exit_shard(cp, shards, shard_idx);
+            match result {
+                Ok(items) => shared.progress.complete(items),
+                Err(_) => shared.progress.poison(),
+            }
+        }
+        Job::Flush { shared, slot } => {
+            // FIFO per shard: reaching this marker means everything
+            // enqueued before it on this shard has applied. Markers
+            // carry no work, so they stay invisible to the
+            // admission/concurrency counters.
+            shared.complete(vec![(slot, ())]);
+        }
+    }
+}
+
+fn exit_shard(cp: &ControlPlane, shards: &[Shard], shard_idx: usize) {
+    shards[shard_idx].job_done(&cp.stats);
+}
+
+/// Completion state shared between a submission's jobs and its ticket:
+/// one slot per submitted item, a remaining count, and a condvar.
+pub(crate) struct Progress<T> {
+    state: Mutex<ProgressState<T>>,
+    cv: Condvar,
+}
+
+struct ProgressState<T> {
+    slots: Vec<Option<T>>,
+    remaining: usize,
+    poisoned: bool,
+}
+
+impl<T> Progress<T> {
+    pub(crate) fn new(items: usize) -> Self {
+        Progress {
+            state: Mutex::new(ProgressState {
+                slots: (0..items).map(|_| None).collect(),
+                remaining: items,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ProgressState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fills completed slots; signals waiters when the last slot lands.
+    pub(crate) fn complete(&self, items: Vec<(usize, T)>) {
+        let mut guard = self.lock();
+        for (i, item) in items {
+            debug_assert!(guard.slots[i].is_none(), "slot {i} completed twice");
+            guard.slots[i] = Some(item);
+            guard.remaining -= 1;
+        }
+        if guard.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Marks the submission failed by a panicking worker.
+    fn poison(&self) {
+        let mut guard = self.lock();
+        guard.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// True once every slot has completed.
+    pub(crate) fn is_done(&self) -> bool {
+        let guard = self.lock();
+        guard.remaining == 0 || guard.poisoned
+    }
+
+    /// Blocks until every slot has completed, then returns the items in
+    /// submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked while serving this submission
+    /// (mirroring the panic propagation of the old scoped-thread path).
+    pub(crate) fn wait(&self) -> Vec<T> {
+        let mut guard = self.lock();
+        while guard.remaining > 0 && !guard.poisoned {
+            guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+        assert!(!guard.poisoned, "shard worker panicked");
+        guard
+            .slots
+            .iter_mut()
+            .map(|slot| slot.take().expect("every slot completed"))
+            .collect()
+    }
+}
+
+/// Shared state of one write submission.
+pub(crate) struct ApplyShared {
+    pub(crate) txs: Vec<Transaction>,
+    /// Snapshot sequence captured once at submit, so every transaction
+    /// of the submission sees one consistent snapshot context.
+    pub(crate) default_seq: u64,
+    pub(crate) progress: Progress<Plan>,
+}
+
+/// Shared state of one read submission.
+pub(crate) struct ReadShared {
+    pub(crate) requests: Vec<ObjectReads>,
+    pub(crate) snap: Option<SnapId>,
+    pub(crate) progress: Progress<ReadOutcome>,
+}
+
+/// What one object's read request produced.
+pub(crate) enum ReadOutcome {
+    /// The object exists; its results and cost plan.
+    Hit(Vec<ReadResult>, Plan),
+    /// The object is absent (now, or at the snapshot). Carries the
+    /// original error (for single-object callers that must fail) and
+    /// the miss cost plan (for batched callers that zero-fill).
+    Miss(RadosError, Plan),
+    /// A non-miss error; fails the whole submission.
+    Fail(RadosError),
+}
+
+/// Tracks the "issued but not yet reaped" bracket of one submission
+/// against the cluster-wide queue-depth counter. Decrements exactly
+/// once — on `wait` or on drop.
+pub(crate) struct DepthGuard {
+    cp: Arc<ControlPlane>,
+    open: bool,
+}
+
+impl DepthGuard {
+    pub(crate) fn open(cp: Arc<ControlPlane>) -> Self {
+        cp.stats.enter_submission();
+        DepthGuard { cp, open: true }
+    }
+
+    /// A guard for submissions that dispatch nothing (empty batches):
+    /// never counts against the queue depth.
+    pub(crate) fn noop(cp: Arc<ControlPlane>) -> Self {
+        DepthGuard { cp, open: false }
+    }
+
+    fn close(&mut self) {
+        if self.open {
+            self.open = false;
+            self.cp.stats.exit_submission();
+        }
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// An in-flight write submission (from [`crate::Cluster::submit_batch`]).
+///
+/// Holding the ticket keeps the submission's buffers alive; dropping it
+/// without waiting abandons the results (the writes still apply).
+#[must_use = "a submission completes in the background; wait() reaps its cost plan"]
+pub struct ApplyTicket {
+    pub(crate) shared: Arc<ApplyShared>,
+    pub(crate) stats: crate::cluster::ExecStats,
+    pub(crate) depth: DepthGuard,
+}
+
+impl ApplyTicket {
+    /// True once every shard has applied its part.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.shared.progress.is_done()
+    }
+
+    /// Blocks until the submission has fully applied and returns
+    /// [`Plan::par`] of the per-transaction cost plans, in submission
+    /// order — exactly what the synchronous
+    /// [`crate::Cluster::execute_batch`] returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked while applying.
+    pub fn wait(mut self) -> Plan {
+        let plans = self.shared.progress.wait();
+        self.depth.close();
+        Plan::par(plans)
+    }
+
+    /// Exact operation counts attributable to this submission (the
+    /// cluster-wide high-water marks are not per-op quantities and stay
+    /// zero here; read them from [`crate::Cluster::exec_stats`]).
+    #[must_use]
+    pub fn stats_delta(&self) -> crate::cluster::ExecStats {
+        self.stats
+    }
+}
+
+impl std::fmt::Debug for ApplyTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ApplyTicket({} txs, complete: {})",
+            self.shared.txs.len(),
+            self.is_complete()
+        )
+    }
+}
+
+/// An in-flight read submission (from
+/// [`crate::Cluster::submit_read_batch`]).
+#[must_use = "a submission completes in the background; wait() reaps its results"]
+pub struct ReadTicket {
+    pub(crate) shared: Arc<ReadShared>,
+    pub(crate) stats: crate::cluster::ExecStats,
+    pub(crate) depth: DepthGuard,
+}
+
+impl ReadTicket {
+    /// True once every shard has served its part.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.shared.progress.is_done()
+    }
+
+    /// Blocks until the submission has fully completed. Returns one
+    /// result slot per request (in submission order; `None` for objects
+    /// absent now or at the snapshot) plus [`Plan::par`] of the
+    /// per-request costs — exactly what the synchronous
+    /// [`crate::Cluster::read_batch`] returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error other than a missing object/snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked while serving.
+    #[allow(clippy::type_complexity)]
+    pub fn wait(self) -> crate::Result<(Vec<Option<Vec<ReadResult>>>, Plan)> {
+        let outcomes = self.into_outcomes();
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut plans = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
+                ReadOutcome::Hit(res, plan) => {
+                    results.push(Some(res));
+                    plans.push(plan);
+                }
+                ReadOutcome::Miss(_, plan) => {
+                    results.push(None);
+                    plans.push(plan);
+                }
+                ReadOutcome::Fail(e) => return Err(e),
+            }
+        }
+        Ok((results, Plan::par(plans)))
+    }
+
+    /// Exact operation counts attributable to this submission.
+    #[must_use]
+    pub fn stats_delta(&self) -> crate::cluster::ExecStats {
+        self.stats
+    }
+
+    /// Blocks for completion and hands back the raw per-request
+    /// outcomes (single-object callers distinguish miss kinds).
+    pub(crate) fn into_outcomes(mut self) -> Vec<ReadOutcome> {
+        let outcomes = self.shared.progress.wait();
+        self.depth.close();
+        outcomes
+    }
+}
+
+impl std::fmt::Debug for ReadTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReadTicket({} requests, complete: {})",
+            self.shared.requests.len(),
+            self.is_complete()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_completes_out_of_order() {
+        let p: Progress<u32> = Progress::new(3);
+        assert!(!p.is_done());
+        p.complete(vec![(2, 20)]);
+        p.complete(vec![(0, 0), (1, 10)]);
+        assert!(p.is_done());
+        assert_eq!(p.wait(), vec![0, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard worker panicked")]
+    fn poisoned_progress_panics_waiters() {
+        let p: Progress<u32> = Progress::new(1);
+        p.poison();
+        let _ = p.wait();
+    }
+
+    #[test]
+    fn queue_is_fifo_and_drains_on_close() {
+        let q = ShardQueue::new();
+        let shared = Arc::new(ApplyShared {
+            txs: Vec::new(),
+            default_seq: 0,
+            progress: Progress::new(0),
+        });
+        for i in 0..3 {
+            q.push(Job::Apply {
+                shared: Arc::clone(&shared),
+                idxs: vec![i],
+            });
+        }
+        q.close();
+        let mut seen = Vec::new();
+        while let Some(Job::Apply { idxs, .. }) = q.pop() {
+            seen.extend(idxs);
+        }
+        assert_eq!(seen, vec![0, 1, 2], "closed queues still drain FIFO");
+    }
+}

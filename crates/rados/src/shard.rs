@@ -11,6 +11,7 @@
 use crate::cost::{self, OsdWork};
 use crate::object::{Object, ObjectStat, PHYS_BLOCK};
 use crate::state::ControlPlane;
+use crate::state::StatCounters;
 use crate::transaction::{ReadOp, ReadResult, SnapContext, Transaction, TxOp};
 use crate::{RadosError, Result, SnapId};
 use std::collections::HashMap;
@@ -18,9 +19,16 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use vdisk_sim::{Plan, SimDuration};
 
 /// A shard: one lock over one placement-disjoint slice of the object
-/// space.
+/// space, plus its work-queue admission counter.
 pub(crate) struct Shard {
     state: Mutex<ShardState>,
+    /// Jobs admitted to this shard (enqueued or applying) and not yet
+    /// complete. The 0↔1 transitions drive the cluster-wide
+    /// shard-concurrency high-water mark; the global update happens
+    /// *under this lock* so one shard's enter/exit strictly alternate
+    /// — which is what makes `shard_concurrency_peak <= shard_count` a
+    /// structural invariant rather than a race-prone approximation.
+    pending: Mutex<usize>,
 }
 
 impl Shard {
@@ -29,6 +37,7 @@ impl Shard {
             state: Mutex::new(ShardState {
                 osds: (0..osd_count).map(|_| HashMap::new()).collect(),
             }),
+            pending: Mutex::new(0),
         }
     }
 
@@ -36,6 +45,30 @@ impl Shard {
     /// functional state, so recover rather than propagate.
     pub(crate) fn lock(&self) -> MutexGuard<'_, ShardState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records a job admitted to this shard, bumping the cluster-wide
+    /// busy-shard counter on the idle→busy transition. Returns whether
+    /// the shard was idle (no enqueued or running job) — the
+    /// linearization point for the sync wrappers' inline fast path.
+    pub(crate) fn job_admitted(&self, stats: &StatCounters) -> bool {
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        *pending += 1;
+        let was_idle = *pending == 1;
+        if was_idle {
+            stats.enter_shard_apply();
+        }
+        was_idle
+    }
+
+    /// Records a job finished on this shard, dropping the busy-shard
+    /// counter on the busy→idle transition.
+    pub(crate) fn job_done(&self, stats: &StatCounters) {
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        *pending -= 1;
+        if *pending == 0 {
+            stats.exit_shard_apply();
+        }
     }
 }
 

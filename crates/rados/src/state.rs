@@ -24,35 +24,14 @@ pub(crate) struct ControlPlane {
     pub(crate) kv_cost: CostProfile,
     pub(crate) payload: PayloadMode,
     pub(crate) shard_count: usize,
-    /// How multi-shard batches apply. Resolved at build time (see
-    /// [`crate::ClusterBuilder::concurrent_apply`]).
-    pub(crate) apply_concurrency: ApplyConcurrency,
+    /// Whether per-shard worker threads serve submissions (resolved at
+    /// build time — see [`crate::ClusterBuilder::concurrent_apply`]).
+    /// When false, submissions apply inline in the submitting thread.
+    pub(crate) workers: bool,
     /// Cluster-wide self-managed snapshot sequence.
     snap_seq: AtomicU64,
     pub(crate) stats: StatCounters,
 }
-
-/// How multi-shard batch groups are applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum ApplyConcurrency {
-    /// Always inline (single-core hosts, or an explicit opt-out):
-    /// threads cannot overlap in wall-clock, so spawning them would be
-    /// pure overhead.
-    Never,
-    /// Scoped threads when the batch carries enough work to amortize
-    /// thread spawn/join; inline below the threshold.
-    Auto,
-    /// Scoped threads whenever more than one shard is touched (test
-    /// hook: exercises the concurrent path regardless of host or
-    /// batch size).
-    Always,
-}
-
-/// Below both of these, `Auto` applies inline: spawn/join costs tens
-/// of microseconds per shard, which dwarfs the in-memory apply of a
-/// few small transactions.
-const SPAWN_MIN_ITEMS: usize = 16;
-const SPAWN_MIN_BYTES: u64 = 512 << 10;
 
 impl ControlPlane {
     pub(crate) fn new(
@@ -62,7 +41,7 @@ impl ControlPlane {
         kv_cost: CostProfile,
         payload: PayloadMode,
         shard_count: usize,
-        apply_concurrency: ApplyConcurrency,
+        workers: bool,
     ) -> Self {
         ControlPlane {
             placement,
@@ -71,20 +50,9 @@ impl ControlPlane {
             kv_cost,
             payload,
             shard_count,
-            apply_concurrency,
+            workers,
             snap_seq: AtomicU64::new(0),
             stats: StatCounters::default(),
-        }
-    }
-
-    /// Whether a batch of `items` transactions/requests moving
-    /// `payload_bytes` should fan out on threads (assuming it touches
-    /// more than one shard).
-    pub(crate) fn use_threads(&self, items: usize, payload_bytes: u64) -> bool {
-        match self.apply_concurrency {
-            ApplyConcurrency::Never => false,
-            ApplyConcurrency::Always => true,
-            ApplyConcurrency::Auto => items >= SPAWN_MIN_ITEMS || payload_bytes >= SPAWN_MIN_BYTES,
         }
     }
 
@@ -115,6 +83,8 @@ pub(crate) struct StatCounters {
     shard_fanout_max: AtomicU64,
     shard_concurrency_peak: AtomicU64,
     in_flight_shards: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    open_submissions: AtomicU64,
 }
 
 impl StatCounters {
@@ -135,16 +105,28 @@ impl StatCounters {
         self.shard_fanout_max.fetch_max(shards, Ordering::Relaxed);
     }
 
-    /// Marks one shard group entering its (locked) apply phase and
+    /// Marks one shard going from idle to holding in-flight work and
     /// updates the concurrency high-water mark.
     pub(crate) fn enter_shard_apply(&self) {
         let now = self.in_flight_shards.fetch_add(1, Ordering::SeqCst) + 1;
         self.shard_concurrency_peak.fetch_max(now, Ordering::SeqCst);
     }
 
-    /// Marks one shard group leaving its apply phase.
+    /// Marks one shard going back to idle.
     pub(crate) fn exit_shard_apply(&self) {
         self.in_flight_shards.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Marks one submission issued (not yet reaped) and updates the
+    /// queue-depth high-water mark.
+    pub(crate) fn enter_submission(&self) {
+        let now = self.open_submissions.fetch_add(1, Ordering::SeqCst) + 1;
+        self.queue_depth_peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    /// Marks one submission reaped (or abandoned).
+    pub(crate) fn exit_submission(&self) {
+        self.open_submissions.fetch_sub(1, Ordering::SeqCst);
     }
 
     pub(crate) fn snapshot(&self) -> ExecStats {
@@ -154,6 +136,7 @@ impl StatCounters {
             read_ops: self.read_ops.load(Ordering::Relaxed),
             shard_fanout_max: self.shard_fanout_max.load(Ordering::Relaxed),
             shard_concurrency_peak: self.shard_concurrency_peak.load(Ordering::SeqCst),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::SeqCst),
         }
     }
 }

@@ -6,6 +6,112 @@
 //! \[supports\] atomically writing multiple IOs", §3.1).
 
 use crate::SnapId;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A cheaply-cloneable view into a shared owned byte buffer.
+///
+/// The zero-copy currency of the write path: a client encrypts (or
+/// assembles) a whole request in **one** `Vec<u8>`, wraps it once, and
+/// hands each object's transaction a *slice view* of the same
+/// allocation — no per-extent copies, no full-request clone. A plain
+/// `Vec<u8>` converts with `into()` (wrapping the allocation, not
+/// copying it), so single-buffer callers keep their old call shape.
+///
+/// # Example
+///
+/// ```
+/// use vdisk_rados::SharedBuf;
+/// let buf: SharedBuf = vec![1u8, 2, 3, 4].into();
+/// let tail = buf.slice(2..4);
+/// assert_eq!(&*tail, &[3, 4]);
+/// // Both views share one allocation.
+/// assert_eq!(buf.as_slice()[2..].as_ptr(), tail.as_slice().as_ptr());
+/// ```
+#[derive(Clone)]
+pub struct SharedBuf {
+    buf: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl SharedBuf {
+    /// Wraps a whole owned buffer (no copy: the allocation is shared).
+    #[must_use]
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        let end = buf.len();
+        SharedBuf {
+            buf: Arc::new(buf),
+            start: 0,
+            end,
+        }
+    }
+
+    /// A sub-view of this view (indices are relative to this view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds this view.
+    #[must_use]
+    pub fn slice(&self, range: Range<usize>) -> SharedBuf {
+        assert!(
+            range.start <= range.end && self.start + range.end <= self.end,
+            "slice {range:?} exceeds view of {} bytes",
+            self.len()
+        );
+        SharedBuf {
+            buf: Arc::clone(&self.buf),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// The viewed bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Length of the view in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl std::ops::Deref for SharedBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for SharedBuf {
+    fn from(buf: Vec<u8>) -> Self {
+        SharedBuf::from_vec(buf)
+    }
+}
+
+impl std::fmt::Debug for SharedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedBuf({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for SharedBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBuf {}
 
 /// The snapshot context sent with every write: the most recent
 /// snapshot id the client knows about. An object whose last
@@ -23,8 +129,10 @@ pub enum TxOp {
     Write {
         /// Byte offset within the object.
         offset: u64,
-        /// Bytes to write.
-        data: Vec<u8>,
+        /// Bytes to write — a view into a (possibly shared) owned
+        /// buffer, so striped writes hand each object a slice of one
+        /// request allocation instead of a copy.
+        data: SharedBuf,
     },
     /// Truncate the object to `size` bytes.
     Truncate(u64),
@@ -70,9 +178,13 @@ impl Transaction {
         }
     }
 
-    /// Adds a data write.
-    pub fn write(&mut self, offset: u64, data: Vec<u8>) -> &mut Self {
-        self.ops.push(TxOp::Write { offset, data });
+    /// Adds a data write. Accepts an owned `Vec<u8>` (wrapped without
+    /// copying) or a [`SharedBuf`] slice of a shared request buffer.
+    pub fn write(&mut self, offset: u64, data: impl Into<SharedBuf>) -> &mut Self {
+        self.ops.push(TxOp::Write {
+            offset,
+            data: data.into(),
+        });
         self
     }
 
@@ -245,6 +357,38 @@ mod tests {
         tx.omap_set(vec![(vec![0; 8], vec![0; 16])]);
         tx.set_xattr("ab", vec![0; 10]);
         assert_eq!(tx.payload_bytes(), 100 + 24 + 12);
+    }
+
+    #[test]
+    fn shared_buf_views_are_zero_copy() {
+        let v = vec![9u8; 8192];
+        let ptr = v.as_ptr();
+        let buf = SharedBuf::from_vec(v);
+        assert_eq!(buf.as_slice().as_ptr(), ptr, "wrapping must not copy");
+        let tail = buf.slice(4096..8192);
+        assert_eq!(
+            tail.as_slice().as_ptr(),
+            buf.as_slice()[4096..].as_ptr(),
+            "a slice view shares the parent allocation"
+        );
+        assert_eq!(tail.len(), 4096);
+
+        // A Vec handed to Transaction::write keeps its allocation too.
+        let v = vec![1u8, 2, 3];
+        let ptr = v.as_ptr();
+        let mut tx = Transaction::new("obj");
+        tx.write(0, v);
+        match &tx.ops[0] {
+            TxOp::Write { data, .. } => assert_eq!(data.as_slice().as_ptr(), ptr),
+            other => panic!("expected write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds view")]
+    fn shared_buf_slice_bounds_checked() {
+        let buf = SharedBuf::from_vec(vec![0u8; 4]);
+        let _ = buf.slice(2..8);
     }
 
     #[test]

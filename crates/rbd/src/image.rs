@@ -1,8 +1,12 @@
 //! Image lifecycle and the raw (unencrypted) IO path.
 
-use crate::striping::Striper;
+use crate::striping::{ObjectExtent, Striper};
 use crate::{RbdError, Result, DEFAULT_OBJECT_SIZE};
-use vdisk_rados::{Cluster, ObjectReads, ReadOp, SnapId, Transaction};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use vdisk_rados::{
+    ApplyTicket, Cluster, ObjectReads, ReadOp, ReadTicket, SharedBuf, SnapId, Transaction,
+};
 use vdisk_sim::Plan;
 
 /// `stat()` output for an image.
@@ -35,6 +39,10 @@ pub struct Image {
     name: String,
     size: u64,
     striper: Striper,
+    /// Memoized shard-aware object names: a pure function of the image
+    /// name, object number and cluster placement config, so the salt
+    /// search runs once per object, not once per IO extent.
+    object_names: Arc<Mutex<HashMap<u64, String>>>,
 }
 
 impl Image {
@@ -43,9 +51,48 @@ impl Image {
     }
 
     /// The RADOS object holding stripe `object_no` of this image.
+    ///
+    /// Names are **shard-aware**: generation is biased (by a salt
+    /// suffix chosen deterministically from the cluster's placement
+    /// function) so that consecutive objects of one image land on
+    /// consecutive state shards. Pure hashing spreads objects only in
+    /// expectation; striping them round-robin makes small queued IOs
+    /// over neighbouring objects fan out over the maximum number of
+    /// shard workers deterministically.
     #[must_use]
     pub fn object_name(&self, object_no: u64) -> String {
-        format!("rbd_data.{}.{:016x}", self.name, object_no)
+        let mut cache = self
+            .object_names
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(name) = cache.get(&object_no) {
+            return name.clone();
+        }
+        let name = self.compute_object_name(object_no);
+        cache.insert(object_no, name.clone());
+        name
+    }
+
+    fn compute_object_name(&self, object_no: u64) -> String {
+        let plain = format!("rbd_data.{}.{object_no:016x}", self.name);
+        let shards = self.cluster.shard_count();
+        if shards <= 1 {
+            return plain;
+        }
+        let target = (object_no % shards as u64) as usize;
+        if self.cluster.placement_shard(&plain) == target {
+            return plain;
+        }
+        // Expected tries ≈ shard count; 64 attempts miss with
+        // probability (1 - 1/shards)^64 — negligible for any sane
+        // shard count. The fallback keeps the name valid regardless.
+        for salt in 0u32..64 {
+            let candidate = format!("{plain}.{salt:02x}");
+            if self.cluster.placement_shard(&candidate) == target {
+                return candidate;
+            }
+        }
+        plain
     }
 
     /// Creates an image with the default 4 MB object size.
@@ -82,6 +129,7 @@ impl Image {
             name: name.to_string(),
             size,
             striper: Striper::new(object_size),
+            object_names: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -120,6 +168,7 @@ impl Image {
             name: name.to_string(),
             size,
             striper: Striper::new(object_size),
+            object_names: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -129,6 +178,10 @@ impl Image {
     ///
     /// Returns [`RbdError::ImageNotFound`] if it does not exist.
     pub fn remove(cluster: &Cluster, name: &str) -> Result<()> {
+        // Drain the shard work queues first: an in-flight queued write
+        // could otherwise create a data object after the listing below
+        // and survive the removal.
+        cluster.flush();
         let header = Self::header_object(name);
         if !cluster.object_exists(&header) {
             return Err(RbdError::ImageNotFound(name.to_string()));
@@ -194,7 +247,7 @@ impl Image {
         })
     }
 
-    fn check_bounds(&self, offset: u64, len: u64) -> Result<()> {
+    pub(crate) fn check_bounds(&self, offset: u64, len: u64) -> Result<()> {
         let end = offset.checked_add(len).ok_or(RbdError::OutOfBounds {
             offset: u64::MAX,
             size: self.size,
@@ -209,32 +262,70 @@ impl Image {
     }
 
     /// Writes raw bytes (no encryption) and returns the IO's cost
-    /// plan. The request is striped up front and dispatched as **one
-    /// batch**: every touched object's transaction is in flight
-    /// concurrently (`Plan::par`), not executed extent-by-extent.
+    /// plan: a borrowing convenience wrapper that copies `data` once
+    /// into an owned buffer and delegates to [`Image::write_owned`].
+    /// Hot paths that can hand over the buffer should prefer
+    /// `write_owned` (zero-copy) or a [`crate::IoQueue`].
     ///
     /// # Errors
     ///
     /// Returns [`RbdError::OutOfBounds`] if the write exceeds the image.
     pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<Plan> {
-        self.check_bounds(offset, data.len() as u64)?;
+        self.write_owned(offset, data.to_vec())
+    }
+
+    /// Writes an owned buffer and returns the IO's cost plan —
+    /// submit-then-wait over the cluster's shard work queues (idle
+    /// shards are served inline). The request is striped up front and
+    /// every touched object's transaction receives a **slice view of
+    /// the submitted buffer** (one shared allocation, zero copies),
+    /// dispatched as one batch (`Plan::par`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbdError::OutOfBounds`] if the write exceeds the image.
+    pub fn write_owned(&self, offset: u64, data: Vec<u8>) -> Result<Plan> {
         if data.is_empty() {
+            self.check_bounds(offset, 0)?;
             return Ok(Plan::Noop);
         }
-        let txs: Vec<Transaction> = self
+        let txs = self.write_txs(offset, data)?;
+        Ok(self.cluster.execute_batch(txs)?)
+    }
+
+    /// Submits an owned-buffer write to the shard work queues and
+    /// returns its ticket without waiting — the raw asynchronous write
+    /// primitive behind [`crate::IoQueue`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbdError::OutOfBounds`] if the write exceeds the image.
+    pub fn submit_write(&self, offset: u64, data: Vec<u8>) -> Result<ApplyTicket> {
+        let txs = self.write_txs(offset, data)?;
+        Ok(self.cluster.submit_batch(txs)?)
+    }
+
+    /// Builds the striped transactions of an owned-buffer write: one
+    /// per touched object, each holding a slice view of the one shared
+    /// request allocation.
+    fn write_txs(&self, offset: u64, data: Vec<u8>) -> Result<Vec<Transaction>> {
+        self.check_bounds(offset, data.len() as u64)?;
+        let shared = SharedBuf::from_vec(data);
+        Ok(self
             .striper
-            .map(offset, data.len() as u64)
+            .map(offset, shared.len() as u64)
             .into_iter()
             .map(|extent| {
                 let mut tx = Transaction::new(self.object_name(extent.object_no));
-                let slice = data
-                    [extent.buf_offset as usize..(extent.buf_offset + extent.len) as usize]
-                    .to_vec();
-                tx.write(extent.offset, slice);
+                tx.write(
+                    extent.offset,
+                    shared.slice(
+                        extent.buf_offset as usize..(extent.buf_offset + extent.len) as usize,
+                    ),
+                );
                 tx
             })
-            .collect();
-        Ok(self.cluster.execute_batch(txs)?)
+            .collect())
     }
 
     /// Reads raw bytes from the image head into `buf`; unwritten space
@@ -257,13 +348,36 @@ impl Image {
     }
 
     fn read_common(&self, snap: Option<SnapId>, offset: u64, buf: &mut [u8]) -> Result<Plan> {
-        self.check_bounds(offset, buf.len() as u64)?;
-        if buf.is_empty() {
-            return Ok(Plan::Noop);
-        }
-        // Map the whole request up front, then fetch every extent in
-        // one vectored round trip.
-        let extents = self.striper.map(offset, buf.len() as u64);
+        let (requests, extents) = self.read_requests(offset, buf.len() as u64)?;
+        let (results, plan) = self.cluster.read_batch(snap, requests)?;
+        Self::assemble_read(&extents, &results, buf);
+        Ok(plan)
+    }
+
+    /// Submits a vectored read of `[offset, offset + len)` and returns
+    /// its ticket plus the extent map needed to reassemble the payload
+    /// (see [`Image::assemble_read`]) — the raw asynchronous read
+    /// primitive behind [`crate::IoQueue`]. The whole request is
+    /// mapped up front; every extent rides one batched submission.
+    pub(crate) fn submit_read(
+        &self,
+        snap: Option<SnapId>,
+        offset: u64,
+        len: u64,
+    ) -> Result<(ReadTicket, Vec<ObjectExtent>)> {
+        let (requests, extents) = self.read_requests(offset, len)?;
+        Ok((self.cluster.submit_read_batch(snap, requests), extents))
+    }
+
+    /// Maps a read onto its per-object requests and extent plan.
+    #[allow(clippy::type_complexity)]
+    fn read_requests(
+        &self,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Vec<ObjectReads>, Vec<ObjectExtent>)> {
+        self.check_bounds(offset, len)?;
+        let extents = self.striper.map(offset, len);
         let requests: Vec<ObjectReads> = extents
             .iter()
             .map(|extent| {
@@ -276,18 +390,25 @@ impl Image {
                 )
             })
             .collect();
-        let (results, plan) = self.cluster.read_batch(snap, &requests)?;
-        for (extent, result) in extents.iter().zip(&results) {
+        Ok((requests, extents))
+    }
+
+    /// Scatters one completed read submission's per-extent results
+    /// into the request buffer, zero-filling sparse holes (absent
+    /// objects answer from the OSD index without disk IO).
+    pub(crate) fn assemble_read(
+        extents: &[ObjectExtent],
+        results: &[Option<Vec<vdisk_rados::ReadResult>>],
+        buf: &mut [u8],
+    ) {
+        for (extent, result) in extents.iter().zip(results) {
             let out =
                 &mut buf[extent.buf_offset as usize..(extent.buf_offset + extent.len) as usize];
             match result {
                 Some(results) => out.copy_from_slice(results[0].as_data()),
-                // Sparse hole: zero-fill, negligible cost (the OSD
-                // answers from its object index without disk IO).
                 None => out.fill(0),
             }
         }
-        Ok(plan)
     }
 
     /// Takes a named image snapshot. All data objects written after
@@ -435,6 +556,21 @@ mod tests {
         ));
         // Exactly at the end is fine.
         image.write_at(size - 2, &[1, 2]).unwrap();
+    }
+
+    #[test]
+    fn empty_writes_are_noops() {
+        let (cluster, image) = setup();
+        let before = cluster.exec_stats();
+        assert_eq!(image.write_at(0, &[]).unwrap(), Plan::Noop);
+        assert_eq!(image.write_owned(10, Vec::new()).unwrap(), Plan::Noop);
+        assert_eq!(
+            cluster.exec_stats(),
+            before,
+            "an empty write must not reach the cluster"
+        );
+        // But bounds still apply.
+        assert!(image.write_owned(image.size() + 1, Vec::new()).is_err());
     }
 
     #[test]

@@ -28,10 +28,20 @@
 #![warn(missing_docs)]
 
 mod image;
+mod queue;
 mod striping;
 
 pub use image::{Image, ImageStat, SnapshotInfo};
+pub use queue::{Completion, IoOp, IoPayload, IoQueue, IoResult};
 pub use striping::{ObjectExtent, Striper};
+
+/// Internal plumbing for queues layered over this crate's (the
+/// encrypted queue in `vdisk-core`): the shared submission-tracking /
+/// reap engine. Not part of the supported API surface.
+#[doc(hidden)]
+pub mod queue_engine {
+    pub use crate::queue::ReapQueue;
+}
 
 use std::error::Error as StdError;
 use std::fmt;

@@ -1,0 +1,663 @@
+//! The aio-style submission-queue IO API (librbd/io_uring-shaped).
+//!
+//! An [`IoQueue`] wraps an [`Image`] and accepts **owned-buffer**
+//! operations: [`IoOp::Write`] hands its `Vec<u8>` straight down the
+//! stack (each touched object's transaction receives a slice view of
+//! the submitted allocation — no request copy), [`IoOp::Read`] returns
+//! its payload in the completion. Submissions return immediately with
+//! a [`Completion`] token; results are reaped with [`IoQueue::poll`]
+//! (non-blocking), [`IoQueue::wait`] (blocks for at least one
+//! completion) or [`IoQueue::fence`] (full barrier).
+//!
+//! Keeping many operations in flight is the point: the paper's
+//! bandwidth argument (fio at queue depth 32, §3.3) depends on the
+//! client overlapping IOs against the distributed store, and the
+//! cluster's per-shard work queues let ops from different submissions
+//! interleave on the shard workers.
+//!
+//! **Ordering**: operations touching the same object are applied in
+//! submission order (per-shard FIFO, single consumer); operations on
+//! disjoint objects may complete in any order. A
+//! [`fence`](IoQueue::fence) orders everything before it against
+//! everything after it.
+//!
+//! # Example
+//!
+//! ```
+//! use vdisk_rados::Cluster;
+//! use vdisk_rbd::{Image, IoOp, IoQueue};
+//!
+//! # fn main() -> Result<(), vdisk_rbd::RbdError> {
+//! let cluster = Cluster::builder().build();
+//! let image = Image::create(&cluster, "vm-aio", 64 << 20)?;
+//! let mut queue = IoQueue::new(&image);
+//!
+//! queue.submit(IoOp::Write { offset: 0, data: b"hello".to_vec() })?;
+//! let read = queue.submit(IoOp::Read { offset: 0, len: 5 })?;
+//! let done = queue.fence()?; // barrier: both ops complete
+//! assert_eq!(done.len(), 2);
+//! assert_eq!(done[1].completion, read);
+//! assert_eq!(done[1].payload.data(), b"hello");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::image::Image;
+use crate::striping::ObjectExtent;
+use crate::Result;
+use std::collections::{BTreeMap, VecDeque};
+use vdisk_rados::{ApplyTicket, ExecStats, ReadTicket, SharedBuf, Transaction};
+use vdisk_sim::Plan;
+
+/// One submitted operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoOp {
+    /// Write an owned buffer at `offset` (zero-copy: transactions
+    /// receive slice views of this allocation).
+    Write {
+        /// Byte offset within the image.
+        offset: u64,
+        /// The buffer to write; ownership moves into the submission.
+        data: Vec<u8>,
+    },
+    /// Gather-write: the buffers are written back to back starting at
+    /// `offset`, each handed down zero-copy.
+    Writev {
+        /// Byte offset within the image.
+        offset: u64,
+        /// Buffers written consecutively.
+        buffers: Vec<Vec<u8>>,
+    },
+    /// Read `len` bytes at `offset`; the completion carries the
+    /// payload.
+    Read {
+        /// Byte offset within the image.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// Scatter-read: reads `lens.iter().sum()` contiguous bytes at
+    /// `offset` and returns them as one segment per requested length.
+    Readv {
+        /// Byte offset within the image.
+        offset: u64,
+        /// Segment lengths, read consecutively.
+        lens: Vec<u64>,
+    },
+}
+
+/// Token identifying a submitted operation; returned again in its
+/// [`IoResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Completion(u64);
+
+impl Completion {
+    /// The submission's sequence number (monotonic per queue).
+    #[must_use]
+    pub fn id(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a token from a sequence number — for queue
+    /// implementations layering over this one (e.g. the encrypted
+    /// queue in `vdisk-core`); tokens carry no authority.
+    #[must_use]
+    pub fn from_id(id: u64) -> Completion {
+        Completion(id)
+    }
+}
+
+/// Payload carried by a completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoPayload {
+    /// Writes complete without payload.
+    None,
+    /// A [`IoOp::Read`]'s bytes.
+    Data(Vec<u8>),
+    /// A [`IoOp::Readv`]'s segments, one per requested length.
+    Segments(Vec<Vec<u8>>),
+}
+
+impl IoPayload {
+    /// Unwraps a read payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion carries no single data payload.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        match self {
+            IoPayload::Data(d) => d,
+            other => panic!("expected data payload, got {other:?}"),
+        }
+    }
+
+    /// Packs a completed contiguous read: the whole buffer for a
+    /// plain read, or one segment per requested length for a scatter
+    /// read. Shared by this queue and the encrypted queue in
+    /// `vdisk-core` so the split logic lives in one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment lengths exceed the buffer.
+    #[must_use]
+    pub fn from_read(data: Vec<u8>, split: Option<Vec<u64>>) -> IoPayload {
+        match split {
+            None => IoPayload::Data(data),
+            Some(lens) => {
+                let mut segments = Vec::with_capacity(lens.len());
+                let mut cursor = 0usize;
+                for len in lens {
+                    segments.push(data[cursor..cursor + len as usize].to_vec());
+                    cursor += len as usize;
+                }
+                IoPayload::Segments(segments)
+            }
+        }
+    }
+
+    /// Unwraps scatter-read segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion carries no segments.
+    #[must_use]
+    pub fn segments(&self) -> &[Vec<u8>] {
+        match self {
+            IoPayload::Segments(s) => s,
+            other => panic!("expected segments payload, got {other:?}"),
+        }
+    }
+}
+
+/// One reaped completion: the op's cost plan, its payload (for reads),
+/// and the exact [`ExecStats`] delta it contributed.
+#[derive(Debug)]
+pub struct IoResult {
+    /// The token returned at submission.
+    pub completion: Completion,
+    /// The IO's cost plan (same shape the synchronous API returns).
+    pub plan: Plan,
+    /// Read payload, if any.
+    pub payload: IoPayload,
+    /// Exact per-op operation counts (transactions, batches, read ops,
+    /// this submission's shard fanout). Cluster-wide high-water marks
+    /// are not per-op quantities and stay zero here.
+    pub stats: ExecStats,
+}
+
+/// The submission-tracking/reap engine shared by this queue and the
+/// encrypted queue in `vdisk-core`, generic over the per-op pending
+/// state: completion-id allotment, the poll/wait/fence scan order, and
+/// the error-retention rule (a failed finalize consumes exactly one
+/// op; completions already finalized stay staged and are delivered by
+/// the next reap call) live in exactly one place.
+#[doc(hidden)]
+pub struct ReapQueue<P> {
+    pending: VecDeque<(u64, P)>,
+    /// Finalized results not yet delivered (see the module docs on
+    /// reap errors).
+    completed: Vec<IoResult>,
+    next_id: u64,
+}
+
+impl<P> Default for ReapQueue<P> {
+    fn default() -> Self {
+        ReapQueue {
+            pending: VecDeque::new(),
+            completed: Vec::new(),
+            next_id: 0,
+        }
+    }
+}
+
+impl<P> ReapQueue<P> {
+    /// Ops submitted and not yet reaped.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Tracks a newly submitted op, returning its completion token.
+    pub fn push(&mut self, state: P) -> Completion {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push_back((id, state));
+        Completion(id)
+    }
+
+    /// Reaps every op `is_complete` deems finished, without blocking,
+    /// in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first finalize error; that op is consumed with
+    /// it, while completions already finalized stay staged for the
+    /// next reap call.
+    pub fn poll<E>(
+        &mut self,
+        is_complete: impl Fn(&P) -> bool,
+        finalize: &mut impl FnMut(Completion, P) -> std::result::Result<IoResult, E>,
+    ) -> std::result::Result<Vec<IoResult>, E> {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if is_complete(&self.pending[i].1) {
+                let (id, state) = self.pending.remove(i).expect("index in range");
+                let result = finalize(Completion(id), state)?;
+                self.completed.push(result);
+            } else {
+                i += 1;
+            }
+        }
+        Ok(std::mem::take(&mut self.completed))
+    }
+
+    /// Finalizes the oldest outstanding op (blocking in its finalize),
+    /// then reaps everything else finished. Empty when idle.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReapQueue::poll`].
+    pub fn wait<E>(
+        &mut self,
+        is_complete: impl Fn(&P) -> bool,
+        finalize: &mut impl FnMut(Completion, P) -> std::result::Result<IoResult, E>,
+    ) -> std::result::Result<Vec<IoResult>, E> {
+        if let Some((id, state)) = self.pending.pop_front() {
+            let result = finalize(Completion(id), state)?;
+            self.completed.push(result);
+        }
+        self.poll(is_complete, finalize)
+    }
+
+    /// Finalizes every outstanding op in submission order — the full
+    /// barrier.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReapQueue::poll`].
+    pub fn fence<E>(
+        &mut self,
+        finalize: &mut impl FnMut(Completion, P) -> std::result::Result<IoResult, E>,
+    ) -> std::result::Result<Vec<IoResult>, E> {
+        while let Some((id, state)) = self.pending.pop_front() {
+            let result = finalize(Completion(id), state)?;
+            self.completed.push(result);
+        }
+        Ok(std::mem::take(&mut self.completed))
+    }
+}
+
+enum PendingState {
+    Write(ApplyTicket),
+    Read {
+        ticket: ReadTicket,
+        extents: Vec<ObjectExtent>,
+        len: u64,
+        /// `Some` for scatter reads: the requested segment lengths.
+        split: Option<Vec<u64>>,
+    },
+}
+
+impl PendingState {
+    fn is_complete(&self) -> bool {
+        match self {
+            PendingState::Write(ticket) => ticket.is_complete(),
+            PendingState::Read { ticket, .. } => ticket.is_complete(),
+        }
+    }
+}
+
+/// An aio-style submission queue over one [`Image`]: owned buffers,
+/// many IOs in flight, completions reaped by `poll`/`wait`/`fence`.
+pub struct IoQueue {
+    image: Image,
+    reap: ReapQueue<PendingState>,
+}
+
+impl IoQueue {
+    /// Opens a queue over `image` (cheap: the image handle is shared).
+    #[must_use]
+    pub fn new(image: &Image) -> IoQueue {
+        IoQueue {
+            image: image.clone(),
+            reap: ReapQueue::default(),
+        }
+    }
+
+    /// The image this queue drives.
+    #[must_use]
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    /// Operations submitted and not yet reaped.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.reap.in_flight()
+    }
+
+    /// Submits one operation; returns its completion token
+    /// immediately, with the work in flight on the shard queues.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RbdError::OutOfBounds`] if the op exceeds the
+    /// image; nothing has been submitted then.
+    pub fn submit(&mut self, op: IoOp) -> Result<Completion> {
+        let state = match op {
+            IoOp::Write { offset, data } => {
+                PendingState::Write(self.image.submit_write(offset, data)?)
+            }
+            IoOp::Writev { offset, buffers } => {
+                PendingState::Write(self.submit_writev(offset, buffers)?)
+            }
+            IoOp::Read { offset, len } => {
+                let (ticket, extents) = self.image.submit_read(None, offset, len)?;
+                PendingState::Read {
+                    ticket,
+                    extents,
+                    len,
+                    split: None,
+                }
+            }
+            IoOp::Readv { offset, lens } => {
+                let len = lens.iter().sum();
+                let (ticket, extents) = self.image.submit_read(None, offset, len)?;
+                PendingState::Read {
+                    ticket,
+                    extents,
+                    len,
+                    split: Some(lens),
+                }
+            }
+        };
+        Ok(self.reap.push(state))
+    }
+
+    /// Gather-write: one batch whose transactions view slices of every
+    /// source buffer in place — an object spanning two buffers gets
+    /// two write ops in its (single, atomic) transaction.
+    fn submit_writev(&self, offset: u64, buffers: Vec<Vec<u8>>) -> Result<ApplyTicket> {
+        let total: u64 = buffers.iter().map(|b| b.len() as u64).sum();
+        self.image.check_bounds(offset, total)?;
+        let striper = self.image.striper();
+        let mut writes: BTreeMap<u64, Vec<(u64, SharedBuf)>> = BTreeMap::new();
+        let mut cursor = offset;
+        for buffer in buffers {
+            let shared = SharedBuf::from_vec(buffer);
+            for extent in striper.map(cursor, shared.len() as u64) {
+                writes.entry(extent.object_no).or_default().push((
+                    extent.offset,
+                    shared.slice(
+                        extent.buf_offset as usize..(extent.buf_offset + extent.len) as usize,
+                    ),
+                ));
+            }
+            cursor += shared.len() as u64;
+        }
+        let txs: Vec<Transaction> = writes
+            .into_iter()
+            .map(|(object_no, ops)| {
+                let mut tx = Transaction::new(self.image.object_name(object_no));
+                for (object_offset, slice) in ops {
+                    tx.write(object_offset, slice);
+                }
+                tx
+            })
+            .collect();
+        Ok(self.image.cluster().submit_batch(txs)?)
+    }
+
+    /// Reaps every already-finished operation without blocking, in
+    /// submission order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors surfaced by completed reads. The failed
+    /// op's result is consumed with the error; completions already
+    /// finalized (in this pass or an earlier failed one) are retained
+    /// and delivered by the next reap call.
+    pub fn poll(&mut self) -> Result<Vec<IoResult>> {
+        self.reap
+            .poll(PendingState::is_complete, &mut Self::finalize)
+    }
+
+    /// Blocks until at least one operation completes (the oldest
+    /// outstanding one), then reaps everything finished. Returns an
+    /// empty vector when nothing is in flight.
+    ///
+    /// # Errors
+    ///
+    /// As [`IoQueue::poll`].
+    pub fn wait(&mut self) -> Result<Vec<IoResult>> {
+        self.reap
+            .wait(PendingState::is_complete, &mut Self::finalize)
+    }
+
+    /// Full barrier: blocks until **every** submitted operation has
+    /// completed and returns their results in submission order.
+    /// Everything submitted afterwards is ordered after everything
+    /// reaped here.
+    ///
+    /// # Errors
+    ///
+    /// As [`IoQueue::poll`].
+    pub fn fence(&mut self) -> Result<Vec<IoResult>> {
+        self.reap.fence(&mut Self::finalize)
+    }
+
+    fn finalize(completion: Completion, state: PendingState) -> Result<IoResult> {
+        match state {
+            PendingState::Write(ticket) => {
+                let stats = ticket.stats_delta();
+                Ok(IoResult {
+                    completion,
+                    plan: ticket.wait(),
+                    payload: IoPayload::None,
+                    stats,
+                })
+            }
+            PendingState::Read {
+                ticket,
+                extents,
+                len,
+                split,
+            } => {
+                let stats = ticket.stats_delta();
+                let (results, plan) = ticket.wait()?;
+                let mut buf = vec![0u8; len as usize];
+                Image::assemble_read(&extents, &results, &mut buf);
+                let payload = IoPayload::from_read(buf, split);
+                Ok(IoResult {
+                    completion,
+                    plan,
+                    payload,
+                    stats,
+                })
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for IoQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "IoQueue({}, {} in flight)",
+            self.image.name(),
+            self.reap.in_flight()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdisk_rados::Cluster;
+
+    fn queue() -> IoQueue {
+        let cluster = Cluster::builder().concurrent_apply(true).build();
+        let image = Image::create(&cluster, "aio", 64 << 20).unwrap();
+        IoQueue::new(&image)
+    }
+
+    #[test]
+    fn write_then_read_round_trips_through_the_queue() {
+        let mut q = queue();
+        let w = q
+            .submit(IoOp::Write {
+                offset: 4096,
+                data: vec![0xAB; 8192],
+            })
+            .unwrap();
+        let r = q
+            .submit(IoOp::Read {
+                offset: 4096,
+                len: 8192,
+            })
+            .unwrap();
+        assert_eq!(q.in_flight(), 2);
+        let done = q.fence().unwrap();
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].completion, w);
+        assert_eq!(done[0].payload, IoPayload::None);
+        assert!(done[0].plan.op_count() > 0);
+        assert_eq!(done[0].stats.transactions, 1);
+        assert_eq!(done[1].completion, r);
+        assert_eq!(done[1].payload.data(), &[0xAB; 8192][..]);
+        assert_eq!(done[1].stats.read_ops, 1);
+    }
+
+    #[test]
+    fn deep_queue_of_overlapping_writes_applies_in_order() {
+        let mut q = queue();
+        for round in 0..24u8 {
+            q.submit(IoOp::Write {
+                offset: 0,
+                data: vec![round; 4096],
+            })
+            .unwrap();
+        }
+        let r = q.submit(IoOp::Read {
+            offset: 0,
+            len: 4096,
+        });
+        let done = q.fence().unwrap();
+        assert_eq!(done.last().unwrap().completion, r.unwrap());
+        assert!(
+            done.last().unwrap().payload.data().iter().all(|&b| b == 23),
+            "the queued read must observe the last queued write"
+        );
+    }
+
+    #[test]
+    fn writev_is_zero_copy_per_buffer_and_readv_splits() {
+        let mut q = queue();
+        // Spans the object 0 / object 1 boundary of a 4 MB object.
+        let offset = (4 << 20) - 4096;
+        q.submit(IoOp::Writev {
+            offset,
+            buffers: vec![vec![1u8; 4096], vec![2u8; 8192]],
+        })
+        .unwrap();
+        q.submit(IoOp::Readv {
+            offset,
+            lens: vec![4096, 4096, 4096],
+        })
+        .unwrap();
+        let done = q.fence().unwrap();
+        let segments = done[1].payload.segments();
+        assert_eq!(segments.len(), 3);
+        assert!(segments[0].iter().all(|&b| b == 1));
+        assert!(segments[1].iter().all(|&b| b == 2));
+        assert!(segments[2].iter().all(|&b| b == 2));
+        // The gather touched two objects: one batch, two transactions.
+        assert_eq!(done[0].stats.transactions, 2);
+        assert_eq!(done[0].stats.batches, 1);
+    }
+
+    #[test]
+    fn poll_reaps_only_completed_ops() {
+        let mut q = queue();
+        q.submit(IoOp::Write {
+            offset: 0,
+            data: vec![7; 512],
+        })
+        .unwrap();
+        // Everything completes eventually; poll in a bounded loop.
+        let mut reaped = Vec::new();
+        for _ in 0..10_000 {
+            reaped.extend(q.poll().unwrap());
+            if q.in_flight() == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_submission_fails_synchronously() {
+        let mut q = queue();
+        let size = q.image().size();
+        assert!(q
+            .submit(IoOp::Write {
+                offset: size,
+                data: vec![0; 1],
+            })
+            .is_err());
+        assert!(q
+            .submit(IoOp::Readv {
+                offset: size - 4096,
+                lens: vec![4096, 1],
+            })
+            .is_err());
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn remove_flushes_in_flight_queued_writes() {
+        let cluster = Cluster::builder().concurrent_apply(true).build();
+        let image = Image::create(&cluster, "rm-race", 64 << 20).unwrap();
+        let mut q = IoQueue::new(&image);
+        for i in 0..16u64 {
+            q.submit(IoOp::Write {
+                offset: i * (4 << 20),
+                data: vec![1; 4096],
+            })
+            .unwrap();
+        }
+        // Fire-and-forget: drop the queue without reaping, then remove
+        // the image while writes may still sit on the shard queues.
+        drop(q);
+        Image::remove(&cluster, "rm-race").unwrap();
+        assert!(
+            cluster.list_objects().is_empty(),
+            "remove must not orphan data objects of in-flight writes"
+        );
+    }
+
+    #[test]
+    fn consecutive_objects_fan_out_over_consecutive_shards() {
+        // Shard-aware striping: a write over N consecutive objects must
+        // deterministically span min(N, shard_count) shards.
+        let cluster = Cluster::builder().concurrent_apply(true).build();
+        let image = Image::create_with_object_size(&cluster, "striped", 8 << 20, 1 << 20).unwrap();
+        let mut q = IoQueue::new(&image);
+        q.submit(IoOp::Write {
+            offset: 0,
+            data: vec![0x11; 8 << 20],
+        })
+        .unwrap();
+        let done = q.fence().unwrap();
+        assert_eq!(done[0].stats.transactions, 8);
+        assert_eq!(
+            done[0].stats.shard_fanout_max,
+            cluster.shard_count() as u64,
+            "8 consecutive objects must cover all 8 shards deterministically"
+        );
+    }
+}

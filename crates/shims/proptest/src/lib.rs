@@ -296,7 +296,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](vec()).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
