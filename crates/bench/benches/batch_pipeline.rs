@@ -136,10 +136,74 @@ fn bench_queue_depth(c: &mut Criterion) {
     group.finish();
 }
 
+/// Read-heavy randread through the full pipeline with the client-side
+/// IV/metadata cache on vs off: the cache-on rows skip the per-extent
+/// metadata fetch (object-end's second read extent, OMAP's range
+/// lookup) on every warmed slot, which shows up both in wall-clock
+/// (fewer store ops executed) and in the replayed simulated cost.
+fn bench_meta_cache_reads(c: &mut Criterion) {
+    const IMAGE_SMALL: u64 = 8 << 20;
+    const IO_SIZE: u64 = 64 << 10;
+    const OPS: u64 = 48;
+    let spec = JobSpec {
+        pattern: IoPattern::RandRead,
+        io_size: IO_SIZE,
+        queue_depth: 8,
+        ops: OPS,
+        seed: 29,
+    };
+    for (label, config) in [
+        (
+            "object-end",
+            EncryptionConfig::random_iv(MetaLayout::ObjectEnd),
+        ),
+        ("omap", EncryptionConfig::random_iv(MetaLayout::Omap)),
+    ] {
+        let mut group = c.benchmark_group(format!("meta-cache/randread-64k/{label}"));
+        group.throughput(Throughput::Bytes(IO_SIZE * OPS));
+        let mut disk = testbed::cached_bench_disk(&config, IMAGE_SMALL, 31);
+        fio::precondition(&mut disk).expect("precondition");
+        fio::run_job(&mut disk, &spec).expect("warmup fills the cache");
+        group.bench_function("cache-on", |b| {
+            b.iter(|| fio::run_job(&mut disk, &spec).expect("cached job"));
+        });
+        let mut disk = testbed::uncached_bench_disk(&config, IMAGE_SMALL, 31);
+        fio::precondition(&mut disk).expect("precondition");
+        group.bench_function("cache-off", |b| {
+            b.iter(|| fio::run_job(&mut disk, &spec).expect("uncached job"));
+        });
+        group.finish();
+    }
+}
+
+/// The realistic-churn row: 70/30 randrw at QD 8 on a cached disk,
+/// exercising the invalidation path (reads fill, interleaved
+/// overwrites purge) rather than a pure warm working set.
+fn bench_meta_cache_churn(c: &mut Criterion) {
+    const IMAGE_SMALL: u64 = 8 << 20;
+    let spec = fio::CHURN_70_30_QD8;
+    let config = EncryptionConfig::random_iv(MetaLayout::ObjectEnd);
+    let mut group = c.benchmark_group("meta-cache/randrw70-16k/object-end");
+    group.throughput(Throughput::Bytes(spec.io_size * spec.ops));
+    let mut disk = testbed::cached_bench_disk(&config, IMAGE_SMALL, 41);
+    fio::precondition(&mut disk).expect("precondition");
+    group.bench_function("cache-on", |b| {
+        b.iter(|| fio::run_job(&mut disk, &spec).expect("churn job"));
+    });
+    let mut disk = testbed::uncached_bench_disk(&config, IMAGE_SMALL, 41);
+    fio::precondition(&mut disk).expect("precondition");
+    group.bench_function("cache-off", |b| {
+        b.iter(|| fio::run_job(&mut disk, &spec).expect("churn job"));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_write_dispatch,
     bench_shard_scaling,
-    bench_queue_depth
+    bench_queue_depth,
+    bench_meta_cache_reads,
+    bench_meta_cache_churn
 );
 criterion_main!(benches);

@@ -59,8 +59,15 @@ pub fn paper_variants() -> Vec<Variant> {
 /// discarded: identical cost plans, bounded memory). Both cluster
 /// flavours derive from this builder so calibration changes apply to
 /// all benchmark rows at once.
+///
+/// The client-side IV/metadata cache is **off** here: the paper's
+/// figures measure the layouts' *inherent* per-sector metadata costs,
+/// which the cache exists to hide. Cache ablations opt back in via
+/// [`cached_bench_disk`].
 fn bench_builder() -> vdisk_rados::ClusterBuilder {
-    Cluster::builder().payload_mode(PayloadMode::Discarded)
+    Cluster::builder()
+        .payload_mode(PayloadMode::Discarded)
+        .meta_cache_bytes(0)
 }
 
 /// A fresh paper-calibrated cluster for benchmarking.
@@ -98,6 +105,43 @@ pub fn bench_disk(config: &EncryptionConfig, size: u64, seed: u64) -> EncryptedI
 pub fn queued_bench_disk(config: &EncryptionConfig, size: u64, seed: u64) -> EncryptedImage {
     disk_on(
         bench_builder().concurrent_apply(true).build(),
+        config,
+        size,
+        seed,
+    )
+}
+
+/// Builds an encrypted disk with the client-side IV/metadata cache
+/// **enabled** at its default 4 MiB budget, on an inline-mode bench
+/// cluster (submissions apply at submit, so the reap-time cache fills
+/// happen at deterministic points — identical cost plans to the
+/// worker-thread mode, but hit patterns and therefore simulated
+/// results are exactly reproducible across hosts; the bench gate
+/// depends on that).
+///
+/// # Panics
+///
+/// Panics if image creation or formatting fails (benchmark setup).
+#[must_use]
+pub fn cached_bench_disk(config: &EncryptionConfig, size: u64, seed: u64) -> EncryptedImage {
+    disk_on(
+        bench_builder()
+            .meta_cache_bytes(vdisk_rados::DEFAULT_META_CACHE_BYTES)
+            .concurrent_apply(false)
+            .build(),
+        config,
+        size,
+        seed,
+    )
+}
+
+/// The cache-off twin of [`cached_bench_disk`]: identical cluster mode
+/// (inline apply) so cache-on/cache-off comparisons differ in exactly
+/// one variable.
+#[must_use]
+pub fn uncached_bench_disk(config: &EncryptionConfig, size: u64, seed: u64) -> EncryptedImage {
+    disk_on(
+        bench_builder().concurrent_apply(false).build(),
         config,
         size,
         seed,

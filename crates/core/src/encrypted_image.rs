@@ -5,8 +5,10 @@ use crate::batch::{IoBatch, SectorExtent};
 use crate::config::{EncryptionConfig, MetaLayout};
 use crate::layout::Geometry;
 use crate::luks::{DerivedKeys, LuksHeader};
+use crate::meta_cache::MetaCache;
 use crate::sector::SectorCodec;
 use crate::{CryptError, Result};
+use std::borrow::Cow;
 use vdisk_crypto::rng::{IvSource, OsIvSource};
 use vdisk_rados::{ObjectReads, ReadOp, ReadResult, ReadTicket, SharedBuf, SnapId, Transaction};
 use vdisk_rbd::{Image, RbdError};
@@ -15,7 +17,11 @@ use vdisk_sim::Plan;
 /// An encrypted virtual disk: every write encrypts client-side and
 /// persists per-sector metadata (when configured) in the same atomic
 /// RADOS transaction as the data; every read fetches data + metadata
-/// and decrypts client-side.
+/// and decrypts client-side — unless the sector's metadata is resident
+/// in the image's client-side IV/metadata cache, in which case the
+/// metadata round trip is skipped entirely (size the cache with
+/// [`vdisk_rados::ClusterBuilder::meta_cache_bytes`]; see the crate
+/// docs for the invalidation contract).
 ///
 /// See the [crate docs](crate) for an end-to-end example.
 pub struct EncryptedImage {
@@ -24,6 +30,10 @@ pub struct EncryptedImage {
     codec: SectorCodec,
     iv_source: Box<dyn IvSource>,
     geometry: Geometry,
+    /// Client-side cache of persisted per-sector metadata entries for
+    /// head reads. Interior-mutable: reads fill and hit it through
+    /// `&self`, writes invalidate through `&mut self`.
+    meta_cache: MetaCache,
 }
 
 impl std::fmt::Debug for EncryptedImage {
@@ -33,6 +43,78 @@ impl std::fmt::Debug for EncryptedImage {
             .field("config", self.header.config())
             .finish_non_exhaustive()
     }
+}
+
+/// An asynchronously submitted write: everything
+/// [`crate::EncryptedIoQueue`] needs to finalize it at reap time.
+pub(crate) struct SubmittedWrite {
+    pub(crate) ticket: vdisk_rados::ApplyTicket,
+    /// Client-side encryption cost, sequenced before the dispatch.
+    pub(crate) crypto: Plan,
+    /// Boundary-sector RMW reads of an unaligned write (already
+    /// performed at submit), sequenced before the crypto.
+    pub(crate) rmw: Option<Plan>,
+    /// Cached IV/metadata sectors this write invalidated at submit.
+    pub(crate) invalidated: u64,
+    /// Cache hits/misses of the RMW boundary reads, so per-op
+    /// `IoResult` deltas reconcile with the cluster-wide counters.
+    pub(crate) rmw_hits: u64,
+    pub(crate) rmw_misses: u64,
+}
+
+/// How one extent of a read span obtains its per-sector metadata.
+pub(crate) enum ExtentMeta {
+    /// No separate metadata fetch exists for this layout: the baseline
+    /// stores none, the unaligned layout interleaves it into the data
+    /// extent. Nothing to cache, nothing to save.
+    Inline,
+    /// Every sector's entry was resident in the IV/metadata cache at
+    /// submit: the metadata op was skipped and these packed bytes
+    /// decrypt the extent at reap.
+    Cached(Vec<u8>),
+    /// The metadata is fetched from the store alongside the data.
+    /// `fill` is `Some((shard, epoch))` when the fetched entries are
+    /// eligible to enter the cache at reap — a head read with the
+    /// cache enabled — carrying the extent's shard index and its
+    /// write-submission epoch captured **before** the read was
+    /// submitted. The fill happens only if the epoch is unchanged at
+    /// reap (see [`vdisk_rados::Cluster::shard_write_seq`]).
+    Fetched { fill: Option<(usize, u64)> },
+}
+
+/// Accumulates an unaligned write's boundary-sector reads: their cost
+/// plans and the cache hit/miss deltas they recorded.
+#[derive(Default)]
+pub(crate) struct RmwReads {
+    pub(crate) plans: Vec<Plan>,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+impl RmwReads {
+    fn read(&mut self, disk: &EncryptedImage, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let (plan, hits, misses) = disk.read_common(None, offset, buf)?;
+        self.plans.push(plan);
+        self.hits += hits;
+        self.misses += misses;
+        Ok(())
+    }
+}
+
+/// A read's aligned-span plan: the extent mapping plus the per-extent
+/// metadata sourcing and cache accounting decided at submit time.
+pub(crate) struct ReadSpan {
+    pub(crate) batch: IoBatch,
+    /// Parallel to `batch.extents`.
+    pub(crate) meta: Vec<ExtentMeta>,
+    /// IV/metadata cache generation at submit; fills re-validate
+    /// against it so they never span a snapshot's wholesale
+    /// invalidation.
+    pub(crate) generation: u64,
+    /// Sectors whose metadata round trip the cache absorbed.
+    pub(crate) hits: u64,
+    /// Sectors that had to fetch metadata despite the cache.
+    pub(crate) misses: u64,
 }
 
 impl EncryptedImage {
@@ -87,12 +169,14 @@ impl EncryptedImage {
             u64::from(config.sector_size),
             u64::from(config.meta_entry_len()),
         );
+        let meta_cache = Self::build_meta_cache(&image, config);
         Ok(EncryptedImage {
             image,
             header,
             codec,
             iv_source,
             geometry,
+            meta_cache,
         })
     }
 
@@ -140,13 +224,32 @@ impl EncryptedImage {
             u64::from(config.sector_size),
             u64::from(config.meta_entry_len()),
         );
+        let meta_cache = Self::build_meta_cache(&image, &config);
         Ok(EncryptedImage {
             image,
             header,
             codec,
             iv_source,
             geometry,
+            meta_cache,
         })
+    }
+
+    /// Builds the image's IV/metadata cache from the cluster's budget.
+    /// Only layouts whose metadata costs a **separate** fetch benefit:
+    /// object-end adds a second read extent, OMAP a key-value lookup.
+    /// The baseline stores nothing and the unaligned layout interleaves
+    /// metadata into the data extent, so the cache stays disabled
+    /// there (no round trip to save).
+    fn build_meta_cache(image: &Image, config: &EncryptionConfig) -> MetaCache {
+        MetaCache::new(
+            image.cluster().meta_cache_bytes(),
+            config.meta_entry_len() as usize,
+            matches!(
+                config.layout,
+                Some(MetaLayout::ObjectEnd | MetaLayout::Omap)
+            ),
+        )
     }
 
     /// Adds a new passphrase (authorized by an existing one) and
@@ -192,13 +295,34 @@ impl EncryptedImage {
         self.geometry.sector_size
     }
 
-    /// Takes an image snapshot (see [`Image::snap_create`]).
+    /// Takes an image snapshot (see [`Image::snap_create`]) and drops
+    /// the whole IV/metadata cache: the snapshot also bumps every
+    /// shard's write-submission epoch, so cache fills whose
+    /// submit→reap window spans the snapshot are abandoned too.
     ///
     /// # Errors
     ///
     /// As [`Image::snap_create`].
     pub fn snap_create(&self, name: &str) -> Result<SnapId> {
-        Ok(self.image.snap_create(name)?)
+        let snap = self.image.snap_create(name)?;
+        let invalidated = self.meta_cache.invalidate_all();
+        self.image.cluster().record_meta_cache(0, 0, invalidated);
+        Ok(snap)
+    }
+
+    /// Sectors of IV/metadata currently resident in this image's
+    /// client-side cache. Always 0 when the cache is disabled
+    /// ([`vdisk_rados::ClusterBuilder::meta_cache_bytes`] set to 0) or
+    /// the layout has no separately-fetched metadata.
+    #[must_use]
+    pub fn meta_cache_resident_sectors(&self) -> usize {
+        self.meta_cache.resident_sectors()
+    }
+
+    /// Capacity of the IV/metadata cache in sectors (0 = disabled).
+    #[must_use]
+    pub fn meta_cache_capacity_sectors(&self) -> usize {
+        self.meta_cache.capacity_sectors()
     }
 
     /// Encryption operates on whole sectors, so an image whose size is
@@ -285,17 +409,18 @@ impl EncryptedImage {
     /// The unaligned write tail shared by both write entry points:
     /// RMW the boundary sectors, then write the aligned span.
     fn write_unaligned(&mut self, offset: u64, data: &[u8]) -> Result<Plan> {
-        let (aligned_off, span, read_plans) = self.rmw_span(offset, data)?;
+        let (aligned_off, span, rmw) = self.rmw_span(offset, data)?;
         let write_plan = self.write_aligned_owned(aligned_off, span)?;
-        Ok(Plan::seq([Plan::par(read_plans), write_plan]))
+        Ok(Plan::seq([Plan::par(rmw.plans), write_plan]))
     }
 
     /// Client-side RMW for an unaligned write: fetches only the
     /// boundary sectors the write partially covers, splices the new
     /// bytes over them, and returns the aligned span to write (plus
-    /// the boundary-read cost plans). (`check_sector_multiple`
-    /// guarantees the span cannot round past the image end.)
-    fn rmw_span(&mut self, offset: u64, data: &[u8]) -> Result<(u64, Vec<u8>, Vec<Plan>)> {
+    /// the boundary reads' cost plans and cache accounting).
+    /// (`check_sector_multiple` guarantees the span cannot round past
+    /// the image end.)
+    fn rmw_span(&mut self, offset: u64, data: &[u8]) -> Result<(u64, Vec<u8>, RmwReads)> {
         let ss = self.geometry.sector_size;
         let first_sector = offset / ss;
         let end = offset + data.len() as u64;
@@ -305,31 +430,27 @@ impl EncryptedImage {
         let mut span = vec![0u8; aligned_len];
         let head_len = (offset - aligned_off) as usize;
         let tail_partial = !end.is_multiple_of(ss);
-        let mut read_plans = Vec::with_capacity(2);
+        let mut rmw = RmwReads::default();
         if end_sector - first_sector == 1 {
             // Single sector, partial at one or both ends.
-            read_plans.push(self.read_common(None, aligned_off, &mut span[..ss as usize])?);
+            rmw.read(self, aligned_off, &mut span[..ss as usize])?;
         } else {
             if head_len > 0 {
-                read_plans.push(self.read_common(None, aligned_off, &mut span[..ss as usize])?);
+                rmw.read(self, aligned_off, &mut span[..ss as usize])?;
             }
             if tail_partial {
                 let tail_off = (end_sector - 1) * ss;
-                read_plans.push(self.read_common(
-                    None,
-                    tail_off,
-                    &mut span[aligned_len - ss as usize..],
-                )?);
+                rmw.read(self, tail_off, &mut span[aligned_len - ss as usize..])?;
             }
         }
         span[head_len..head_len + data.len()].copy_from_slice(data);
-        Ok((aligned_off, span, read_plans))
+        Ok((aligned_off, span, rmw))
     }
 
     /// The synchronous aligned write over
     /// [`EncryptedImage::encrypt_batch`] (idle shards served inline).
     fn write_aligned_owned(&mut self, offset: u64, data: Vec<u8>) -> Result<Plan> {
-        let (txs, len) = self.encrypt_batch(offset, data)?;
+        let (txs, len, _) = self.encrypt_batch(offset, data)?;
         let dispatch = self.image.cluster().execute_batch(txs)?;
         // Client-side encryption cost precedes the dispatch.
         let crypto = self.image.cluster().crypto_plan(len as u64);
@@ -345,21 +466,32 @@ impl EncryptedImage {
     /// unaligned layout is the exception — interleaving ciphertext and
     /// metadata into one on-disk extent inherently materializes a new
     /// run; OMAP entries are per-sector key-value pairs by contract.)
-    /// Returns the transactions and the request length.
+    /// This is also the write path's cache hook: every cached
+    /// IV/metadata entry the write overwrites is invalidated here, at
+    /// submit time — before the write's transactions can dispatch, so
+    /// no later read can hit a stale entry. Returns the transactions,
+    /// the request length, and the invalidated-sector count.
     fn encrypt_batch(
         &mut self,
         offset: u64,
         mut data: Vec<u8>,
-    ) -> Result<(Vec<Transaction>, usize)> {
+    ) -> Result<(Vec<Transaction>, usize, u64)> {
         let ss = self.geometry.sector_size as usize;
         let me = self.geometry.meta_entry as usize;
         let layout = self.config().layout;
         let write_seq = self.image.cluster().snap_seq().0;
         let len = data.len();
         if len == 0 {
-            return Ok((Vec::new(), 0));
+            return Ok((Vec::new(), 0, 0));
         }
         let batch = IoBatch::plan(self.image.striper(), &self.geometry, offset, len as u64);
+        let mut invalidated = 0;
+        for extent in &batch.extents {
+            invalidated += self
+                .meta_cache
+                .invalidate_range(extent.base_lba, extent.sector_count);
+        }
+        self.image.cluster().record_meta_cache(0, 0, invalidated);
 
         // Encrypt the whole request in the submitted buffer: one
         // metadata run packed in sector order alongside.
@@ -418,36 +550,51 @@ impl EncryptedImage {
             }
             txs.push(tx);
         }
-        Ok((txs, len))
+        Ok((txs, len, invalidated))
     }
 
     /// The asynchronous write primitive behind
     /// [`crate::EncryptedIoQueue`]: encrypts on ingest (in the
     /// submitted buffer), submits the batch to the shard work queues,
     /// and returns without waiting. Yields the ticket, the client-side
-    /// crypto cost plan, and — for unaligned writes, which RMW their
-    /// boundary sectors synchronously before dispatch — the boundary
-    /// read plan.
+    /// crypto cost plan, the boundary read plan of an unaligned write
+    /// (which RMWs its partially-covered boundary sectors synchronously
+    /// before dispatch), and the number of cached IV/metadata sectors
+    /// the write invalidated at submit.
     pub(crate) fn submit_write_owned(
         &mut self,
         offset: u64,
         data: Vec<u8>,
-    ) -> Result<(vdisk_rados::ApplyTicket, Plan, Option<Plan>)> {
+    ) -> Result<SubmittedWrite> {
         self.check_bounds(offset, data.len() as u64)?;
         let aligned = self.is_sector_aligned(offset, data.len() as u64);
         let (aligned_off, owned, rmw) = if aligned || data.is_empty() {
             (offset, data, None)
         } else {
-            let (aligned_off, span, read_plans) = self.rmw_span(offset, &data)?;
-            (aligned_off, span, Some(Plan::par(read_plans)))
+            let (aligned_off, span, rmw) = self.rmw_span(offset, &data)?;
+            (aligned_off, span, Some(rmw))
         };
-        let (txs, len) = self.encrypt_batch(aligned_off, owned)?;
+        let (rmw_plan, rmw_hits, rmw_misses) = match rmw {
+            Some(rmw) => (Some(Plan::par(rmw.plans)), rmw.hits, rmw.misses),
+            None => (None, 0, 0),
+        };
+        let (txs, len, invalidated) = self.encrypt_batch(aligned_off, owned)?;
         let ticket = self.image.cluster().submit_batch(txs)?;
         let crypto = self.image.cluster().crypto_plan(len as u64);
-        Ok((ticket, crypto, rmw))
+        Ok(SubmittedWrite {
+            ticket,
+            crypto,
+            rmw: rmw_plan,
+            invalidated,
+            rmw_hits,
+            rmw_misses,
+        })
     }
 
-    /// Reads and decrypts into `buf` from the image head.
+    /// Reads and decrypts into `buf` from the image head. Sectors
+    /// whose IV/metadata is resident in the client-side cache skip the
+    /// metadata half of the store round trip (visible in the returned
+    /// [`Plan`] and in `ExecStats::meta_cache_hits`).
     ///
     /// # Errors
     ///
@@ -455,7 +602,7 @@ impl EncryptedImage {
     /// [`CryptError::ReplayDetected`] per the configuration, or
     /// [`CryptError::Rbd`] for out-of-bounds IO.
     pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<Plan> {
-        self.read_common(None, offset, buf)
+        Ok(self.read_common(None, offset, buf)?.0)
     }
 
     /// Reads and decrypts as of a snapshot.
@@ -464,7 +611,7 @@ impl EncryptedImage {
     ///
     /// As [`EncryptedImage::read`].
     pub fn read_at_snap(&self, snap: SnapId, offset: u64, buf: &mut [u8]) -> Result<Plan> {
-        self.read_common(Some(snap), offset, buf)
+        Ok(self.read_common(Some(snap), offset, buf)?.0)
     }
 
     /// The batched read pipeline. The striper maps the whole (sector-
@@ -472,61 +619,84 @@ impl EncryptedImage {
     /// data+metadata ops go out in one vectored submission, and each
     /// extent decrypts **in place in the destination buffer** (no
     /// per-sector allocations). Submit-then-wait over
-    /// [`EncryptedImage::submit_read_span`].
-    fn read_common(&self, snap: Option<SnapId>, offset: u64, buf: &mut [u8]) -> Result<Plan> {
+    /// [`EncryptedImage::submit_read_span`]. Returns the cost plan
+    /// plus the cache hit/miss deltas, so callers embedding this read
+    /// in a larger op (the unaligned-write RMW) can account it.
+    fn read_common(
+        &self,
+        snap: Option<SnapId>,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(Plan, u64, u64)> {
         self.check_bounds(offset, buf.len() as u64)?;
         if buf.is_empty() {
-            return Ok(Plan::Noop);
+            return Ok((Plan::Noop, 0, 0));
         }
-        let (requests, batch) = self.span_requests(offset, buf.len() as u64)?;
+        let (requests, span) = self.span_requests(snap, offset, buf.len() as u64)?;
         let (results, dispatch) = self.image.cluster().read_batch(snap, requests)?;
         let seq_limit = snap.map(|s| s.0);
-        if batch.offset == offset && batch.len == buf.len() as u64 {
-            self.complete_read_span(&batch, &results, seq_limit, buf)?;
+        if span.batch.offset == offset && span.batch.len == buf.len() as u64 {
+            self.complete_read_span(&span, &results, seq_limit, buf)?;
         } else {
             // Unaligned request: decrypt the aligned span, then slice.
             // (`check_sector_multiple` guarantees the span cannot
             // round past the image end.)
-            let mut span = vec![0u8; batch.len as usize];
-            self.complete_read_span(&batch, &results, seq_limit, &mut span)?;
-            let start = (offset - batch.offset) as usize;
-            buf.copy_from_slice(&span[start..start + buf.len()]);
+            let mut aligned = vec![0u8; span.batch.len as usize];
+            self.complete_read_span(&span, &results, seq_limit, &mut aligned)?;
+            let start = (offset - span.batch.offset) as usize;
+            buf.copy_from_slice(&aligned[start..start + buf.len()]);
         }
-        let crypto = self.image.cluster().crypto_plan(batch.len);
-        Ok(Plan::seq([dispatch, crypto]))
+        let crypto = self.image.cluster().crypto_plan(span.batch.len);
+        Ok((Plan::seq([dispatch, crypto]), span.hits, span.misses))
     }
 
     /// The asynchronous read primitive behind
     /// [`crate::EncryptedIoQueue`]: maps the request's aligned span,
-    /// submits every extent's data+metadata reads to the shard work
-    /// queues, and returns the ticket plus the extent plan needed to
-    /// decrypt at completion ([`EncryptedImage::complete_read_span`]).
+    /// submits every extent's data (and, on cache misses, metadata)
+    /// reads to the shard work queues, and returns the ticket plus the
+    /// span plan needed to decrypt — and fill the IV/metadata cache —
+    /// at completion ([`EncryptedImage::complete_read_span`]).
     pub(crate) fn submit_read_span(
         &self,
         snap: Option<SnapId>,
         offset: u64,
         len: u64,
-    ) -> Result<(ReadTicket, IoBatch)> {
-        let (requests, batch) = self.span_requests(offset, len)?;
-        Ok((
-            self.image.cluster().submit_read_batch(snap, requests),
-            batch,
-        ))
+    ) -> Result<(ReadTicket, ReadSpan)> {
+        let (requests, span) = self.span_requests(snap, offset, len)?;
+        Ok((self.image.cluster().submit_read_batch(snap, requests), span))
     }
 
-    /// Maps a read's sector-aligned span onto its per-object
-    /// data+metadata requests and extent plan.
-    fn span_requests(&self, offset: u64, len: u64) -> Result<(Vec<ObjectReads>, IoBatch)> {
+    /// Maps a read's sector-aligned span onto its per-object requests
+    /// and span plan. This is where the IV/metadata cache is
+    /// consulted: a head-read extent whose sectors are all resident
+    /// skips its metadata op entirely — the round-trip saving the
+    /// cache exists for — while a miss captures the extent's shard
+    /// write-submission epoch so the fetched entries can be filled at
+    /// reap time if (and only if) no overwrite or snapshot was
+    /// submitted in between. Snapshot reads bypass the cache in both
+    /// directions: entries describe the head, not the snapshot.
+    fn span_requests(
+        &self,
+        snap: Option<SnapId>,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Vec<ObjectReads>, ReadSpan)> {
         self.check_bounds(offset, len)?;
         if len == 0 {
             // Match the synchronous path's no-op: no sector is fetched
             // or decrypted, and the op charges nothing.
             return Ok((
                 Vec::new(),
-                IoBatch {
-                    offset,
-                    len: 0,
-                    extents: Vec::new(),
+                ReadSpan {
+                    batch: IoBatch {
+                        offset,
+                        len: 0,
+                        extents: Vec::new(),
+                    },
+                    meta: Vec::new(),
+                    generation: 0,
+                    hits: 0,
+                    misses: 0,
                 },
             ));
         }
@@ -540,48 +710,150 @@ impl EncryptedImage {
             (end_sector - first_sector) * ss,
         );
         let layout = self.config().layout;
+        let cacheable = snap.is_none() && self.meta_cache.enabled();
+        let mut meta = Vec::with_capacity(batch.extents.len());
+        let mut hits = 0;
+        let mut misses = 0;
         let requests: Vec<ObjectReads> = batch
             .extents
             .iter()
             .map(|extent| {
-                ObjectReads::new(
-                    self.image.object_name(extent.object_no),
-                    self.extent_read_ops(layout, extent),
-                )
+                let object = self.image.object_name(extent.object_no);
+                let separate_meta =
+                    matches!(layout, Some(MetaLayout::ObjectEnd | MetaLayout::Omap));
+                let (ops, source) = if !separate_meta {
+                    (
+                        self.extent_read_ops(layout, extent, false),
+                        ExtentMeta::Inline,
+                    )
+                } else if let Some(packed) = cacheable
+                    .then(|| {
+                        self.meta_cache
+                            .lookup_extent(extent.base_lba, extent.sector_count)
+                    })
+                    .flatten()
+                {
+                    hits += extent.sector_count;
+                    (
+                        self.extent_read_ops(layout, extent, true),
+                        ExtentMeta::Cached(packed),
+                    )
+                } else {
+                    let fill = cacheable.then(|| {
+                        let shard = self.image.cluster().placement_shard(&object);
+                        (shard, self.image.cluster().shard_write_seq(shard))
+                    });
+                    if cacheable {
+                        misses += extent.sector_count;
+                    }
+                    (
+                        self.extent_read_ops(layout, extent, false),
+                        ExtentMeta::Fetched { fill },
+                    )
+                };
+                meta.push(source);
+                ObjectReads::new(object, ops)
             })
             .collect();
-        Ok((requests, batch))
+        self.image.cluster().record_meta_cache(hits, misses, 0);
+        Ok((
+            requests,
+            ReadSpan {
+                batch,
+                meta,
+                generation: self.meta_cache.generation(),
+                hits,
+                misses,
+            },
+        ))
     }
 
-    /// Decrypts one completed span submission into `span` (which must
-    /// cover exactly `batch`'s bytes): each extent in place in its
+    /// Decrypts one completed span submission into `out` (which must
+    /// cover exactly the span's bytes): each extent in place in its
     /// slice of the destination, sparse holes (objects absent, or born
-    /// after the snapshot) zero-filled.
+    /// after the snapshot) zero-filled. Extents that fetched their
+    /// metadata fill the IV/metadata cache here — at reap time — after
+    /// a successful decrypt, provided their shard's write-submission
+    /// epoch (captured at submit) and the cache generation are both
+    /// unchanged: per-shard FIFO then guarantees no overwrite or
+    /// snapshot was even submitted inside the submit→reap window.
     pub(crate) fn complete_read_span(
         &self,
-        batch: &IoBatch,
+        span: &ReadSpan,
         results: &[Option<Vec<ReadResult>>],
         seq_limit: Option<u64>,
-        span: &mut [u8],
+        out: &mut [u8],
     ) -> Result<()> {
         let layout = self.config().layout;
-        for (extent, result) in batch.extents.iter().zip(results) {
-            let out = &mut span[extent.buf_start..extent.buf_end];
-            match result {
-                Some(results) => self.decrypt_extent(layout, results, extent, seq_limit, out)?,
-                None => out.fill(0),
+        for ((extent, source), result) in span.batch.extents.iter().zip(&span.meta).zip(results) {
+            let dest = &mut out[extent.buf_start..extent.buf_end];
+            let Some(results) = result else {
+                dest.fill(0);
+                continue;
+            };
+            let base_lba = extent.base_lba;
+            match source {
+                ExtentMeta::Inline => match layout {
+                    None => {
+                        dest.copy_from_slice(results[0].as_data());
+                        self.codec.decrypt_sectors(base_lba, seq_limit, dest, &[])?;
+                    }
+                    Some(MetaLayout::Unaligned) => {
+                        let metas = self
+                            .geometry
+                            .deinterleave_unaligned_run(results[0].as_data(), dest);
+                        self.codec
+                            .decrypt_sectors(base_lba, seq_limit, dest, &metas)?;
+                    }
+                    Some(MetaLayout::ObjectEnd | MetaLayout::Omap) => {
+                        unreachable!("separate-metadata layouts are never planned as inline")
+                    }
+                },
+                ExtentMeta::Cached(packed) => {
+                    dest.copy_from_slice(results[0].as_data());
+                    self.codec
+                        .decrypt_sectors(base_lba, seq_limit, dest, packed)?;
+                }
+                ExtentMeta::Fetched { fill } => {
+                    dest.copy_from_slice(results[0].as_data());
+                    let packed: Cow<'_, [u8]> = match layout {
+                        Some(MetaLayout::ObjectEnd) => Cow::Borrowed(results[1].as_data()),
+                        Some(MetaLayout::Omap) => {
+                            Cow::Owned(self.pack_omap_metas(extent, results)?)
+                        }
+                        None | Some(MetaLayout::Unaligned) => {
+                            unreachable!("inline layouts are never planned as fetched")
+                        }
+                    };
+                    self.codec
+                        .decrypt_sectors(base_lba, seq_limit, dest, &packed)?;
+                    if let Some((shard, epoch)) = fill {
+                        if self.image.cluster().shard_write_seq(*shard) == *epoch {
+                            self.meta_cache.fill(base_lba, &packed, span.generation);
+                        }
+                    }
+                }
             }
         }
         Ok(())
     }
 
     /// The read operations fetching one extent's ciphertext and
-    /// (depending on the layout) its metadata.
-    fn extent_read_ops(&self, layout: Option<MetaLayout>, extent: &SectorExtent) -> Vec<ReadOp> {
+    /// (unless served from the cache) its metadata.
+    fn extent_read_ops(
+        &self,
+        layout: Option<MetaLayout>,
+        extent: &SectorExtent,
+        meta_cached: bool,
+    ) -> Vec<ReadOp> {
         let first = extent.first_sector;
         let count = extent.sector_count;
         let (off, len) = self.geometry.data_extent(layout, first, count);
         let data_op = ReadOp::Read { offset: off, len };
+        if meta_cached {
+            // The saved round trip: ciphertext only, no metadata op.
+            return vec![data_op];
+        }
         match layout {
             // Baseline has no metadata; unaligned carries it inside
             // the data extent.
@@ -609,64 +881,31 @@ impl EncryptedImage {
         }
     }
 
-    /// Decrypts one fetched extent in place in `out` (the extent's
-    /// slice of the request buffer).
-    fn decrypt_extent(
-        &self,
-        layout: Option<MetaLayout>,
-        results: &[ReadResult],
-        extent: &SectorExtent,
-        seq_limit: Option<u64>,
-        out: &mut [u8],
-    ) -> Result<()> {
+    /// Packs one extent's fetched OMAP entries into a contiguous run
+    /// in sector order; absent keys stay all-zero, which the codec
+    /// reads as "never written" and zero-fills.
+    fn pack_omap_metas(&self, extent: &SectorExtent, results: &[ReadResult]) -> Result<Vec<u8>> {
         let me = self.geometry.meta_entry as usize;
-        let base_lba = extent.base_lba;
-        match layout {
-            None => {
-                out.copy_from_slice(results[0].as_data());
-                self.codec.decrypt_sectors(base_lba, seq_limit, out, &[])?;
+        let first = extent.first_sector;
+        let count = extent.sector_count as usize;
+        let mut metas = vec![0u8; count * me];
+        for (key, value) in results[1].as_omap() {
+            let Some(sector) = Geometry::sector_from_omap_key(key) else {
+                continue;
+            };
+            if sector < first || sector >= first + count as u64 {
+                continue;
             }
-            Some(MetaLayout::Unaligned) => {
-                let metas = self
-                    .geometry
-                    .deinterleave_unaligned_run(results[0].as_data(), out);
-                self.codec
-                    .decrypt_sectors(base_lba, seq_limit, out, &metas)?;
+            if value.len() != me {
+                return Err(CryptError::HeaderCorrupt(format!(
+                    "metadata entry is {} bytes, expected {me}",
+                    value.len()
+                )));
             }
-            Some(MetaLayout::ObjectEnd) => {
-                out.copy_from_slice(results[0].as_data());
-                self.codec
-                    .decrypt_sectors(base_lba, seq_limit, out, results[1].as_data())?;
-            }
-            Some(MetaLayout::Omap) => {
-                out.copy_from_slice(results[0].as_data());
-                // Pack the returned entries into a contiguous run in
-                // sector order; absent keys stay all-zero, which the
-                // codec reads as "never written" and zero-fills.
-                let first = extent.first_sector;
-                let count = extent.sector_count as usize;
-                let mut metas = vec![0u8; count * me];
-                for (key, value) in results[1].as_omap() {
-                    let Some(sector) = Geometry::sector_from_omap_key(key) else {
-                        continue;
-                    };
-                    if sector < first || sector >= first + count as u64 {
-                        continue;
-                    }
-                    if value.len() != me {
-                        return Err(CryptError::HeaderCorrupt(format!(
-                            "metadata entry is {} bytes, expected {me}",
-                            value.len()
-                        )));
-                    }
-                    let idx = (sector - first) as usize;
-                    metas[idx * me..(idx + 1) * me].copy_from_slice(value);
-                }
-                self.codec
-                    .decrypt_sectors(base_lba, seq_limit, out, &metas)?;
-            }
+            let idx = (sector - first) as usize;
+            metas[idx * me..(idx + 1) * me].copy_from_slice(value);
         }
-        Ok(())
+        Ok(metas)
     }
 
     /// The adversary's view of one sector: raw ciphertext and raw
@@ -773,7 +1012,7 @@ mod tests {
             let mut disk = zc_disk(&config);
             let data = vec![0x42u8; 64 << 10];
             let base = data.as_ptr();
-            let (txs, len) = disk.encrypt_batch(0, data).unwrap();
+            let (txs, len, _) = disk.encrypt_batch(0, data).unwrap();
             assert_eq!(len, 64 << 10);
             assert_eq!(txs.len(), 1, "single object");
             assert_eq!(
@@ -796,7 +1035,7 @@ mod tests {
         let offset = object - 8192;
         let data = vec![0x5Au8; 16384];
         let base = data.as_ptr();
-        let (txs, _) = disk.encrypt_batch(offset, data).unwrap();
+        let (txs, _, _) = disk.encrypt_batch(offset, data).unwrap();
         assert_eq!(txs.len(), 2, "write spans two objects");
 
         // Data slices: extent 0 at the buffer head, extent 1 exactly
@@ -809,6 +1048,126 @@ mod tests {
         let meta0 = write_ptr(&txs[0], 1);
         let meta1 = write_ptr(&txs[1], 1);
         assert_eq!(meta1, meta0.wrapping_add(2 * me));
+    }
+
+    /// A second read of the same sectors must hit the IV cache, skip
+    /// the metadata op, and cost strictly less — the paper's
+    /// "metadata round trip" measurably gone from the Plan.
+    #[test]
+    fn repeated_reads_hit_the_cache_and_drop_the_meta_round_trip() {
+        for config in [
+            EncryptionConfig::random_iv(MetaLayout::ObjectEnd),
+            EncryptionConfig::random_iv(MetaLayout::Omap),
+        ] {
+            let mut disk = zc_disk(&config);
+            disk.write(0, &vec![0x5Au8; 64 << 10]).unwrap();
+            let mut buf = vec![0u8; 64 << 10];
+            let cold = disk.read(0, &mut buf).unwrap();
+            let stats = disk.image().cluster().exec_stats();
+            assert_eq!(stats.meta_cache_hits, 0, "{config:?}: first read is cold");
+            assert_eq!(stats.meta_cache_misses, 16);
+            assert_eq!(disk.meta_cache_resident_sectors(), 16);
+
+            let warm = disk.read(0, &mut buf).unwrap();
+            assert_eq!(buf, vec![0x5Au8; 64 << 10]);
+            let stats = disk.image().cluster().exec_stats();
+            assert_eq!(stats.meta_cache_hits, 16, "{config:?}");
+            assert!(
+                warm.op_count() < cold.op_count(),
+                "{config:?}: cache hit must drop ops ({} -> {})",
+                cold.op_count(),
+                warm.op_count()
+            );
+            assert!(warm.total_op_bytes() < cold.total_op_bytes(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn overwrites_invalidate_exactly_the_cached_sectors_they_touch() {
+        let config = EncryptionConfig::random_iv(MetaLayout::ObjectEnd);
+        let mut disk = zc_disk(&config);
+        disk.write(0, &vec![1u8; 32 << 10]).unwrap();
+        let mut buf = vec![0u8; 32 << 10];
+        disk.read(0, &mut buf).unwrap(); // fills 8 sectors
+        assert_eq!(disk.meta_cache_resident_sectors(), 8);
+
+        // Overwrite 3 of the 8 cached sectors (plus one uncached one).
+        disk.write(5 * 4096, &vec![2u8; 4 * 4096]).unwrap();
+        let stats = disk.image().cluster().exec_stats();
+        assert_eq!(
+            stats.meta_cache_invalidations, 3,
+            "every overwritten cached sector is accounted, absent ones are not"
+        );
+        assert_eq!(disk.meta_cache_resident_sectors(), 5);
+
+        // The next read re-fetches the overwritten sectors' fresh IVs
+        // and decrypts the new data correctly.
+        disk.read(0, &mut buf).unwrap();
+        assert_eq!(&buf[..5 * 4096], &vec![1u8; 5 * 4096][..]);
+        assert_eq!(&buf[5 * 4096..], &vec![2u8; 3 * 4096][..]);
+    }
+
+    #[test]
+    fn snapshots_wipe_the_cache_and_snapshot_reads_bypass_it() {
+        let config = EncryptionConfig::random_iv(MetaLayout::ObjectEnd);
+        let mut disk = zc_disk(&config);
+        disk.write(0, &vec![7u8; 16 << 10]).unwrap();
+        let mut buf = vec![0u8; 16 << 10];
+        disk.read(0, &mut buf).unwrap();
+        assert_eq!(disk.meta_cache_resident_sectors(), 4);
+
+        let snap = disk.snap_create("s1").unwrap();
+        assert_eq!(disk.meta_cache_resident_sectors(), 0, "snapshot wipes");
+        assert_eq!(
+            disk.image().cluster().exec_stats().meta_cache_invalidations,
+            4
+        );
+
+        disk.write(0, &vec![8u8; 16 << 10]).unwrap();
+        disk.read(0, &mut buf).unwrap(); // refill from the new head
+        let hits_before = disk.image().cluster().exec_stats().meta_cache_hits;
+        disk.read_at_snap(snap, 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![7u8; 16 << 10], "snapshot content preserved");
+        assert_eq!(
+            disk.image().cluster().exec_stats().meta_cache_hits,
+            hits_before,
+            "snapshot reads must not consult head-state cache entries"
+        );
+    }
+
+    #[test]
+    fn disabled_or_inline_layouts_never_cache() {
+        // Layouts with no separate metadata round trip: cache is off.
+        for config in [
+            EncryptionConfig::luks2_baseline(),
+            EncryptionConfig::random_iv(MetaLayout::Unaligned),
+        ] {
+            let mut disk = zc_disk(&config);
+            assert_eq!(disk.meta_cache_capacity_sectors(), 0, "{config:?}");
+            disk.write(0, &vec![1u8; 8192]).unwrap();
+            let mut buf = vec![0u8; 8192];
+            disk.read(0, &mut buf).unwrap();
+            disk.read(0, &mut buf).unwrap();
+            let stats = disk.image().cluster().exec_stats();
+            assert_eq!(stats.meta_cache_hits + stats.meta_cache_misses, 0);
+        }
+        // Explicitly disabled via the builder knob.
+        let cluster = Cluster::builder().meta_cache_bytes(0).build();
+        let image = Image::create(&cluster, "nocache", 16 << 20).unwrap();
+        let mut disk = EncryptedImage::format_with_iv_source(
+            image,
+            &EncryptionConfig::random_iv(MetaLayout::ObjectEnd),
+            b"zero-copy",
+            Box::new(SeededIvSource::new(7)),
+        )
+        .unwrap();
+        assert_eq!(disk.meta_cache_capacity_sectors(), 0);
+        disk.write(0, &vec![1u8; 8192]).unwrap();
+        let mut buf = vec![0u8; 8192];
+        disk.read(0, &mut buf).unwrap();
+        disk.read(0, &mut buf).unwrap();
+        let stats = cluster.exec_stats();
+        assert_eq!(stats.meta_cache_hits + stats.meta_cache_misses, 0);
     }
 
     #[test]

@@ -22,7 +22,15 @@
 //! - [`layout`]: the exact byte arithmetic of each metadata placement.
 //! - [`EncryptedImage`]: the client-side encrypting IO path — every
 //!   data+metadata update rides a single atomic RADOS transaction, as
-//!   in §3.1.
+//!   in §3.1 — with a client-side **IV/metadata cache** that skips the
+//!   per-sector metadata fetch on read hits. The cache fills at reap
+//!   time, validated against per-shard write-submission epochs
+//!   ([`vdisk_rados::Cluster::shard_write_seq`]) so queued overwrites
+//!   and snapshots landing between a read's submit and reap can never
+//!   leave stale entries; size or disable it with
+//!   [`vdisk_rados::ClusterBuilder::meta_cache_bytes`], observe it via
+//!   `ExecStats::{meta_cache_hits, meta_cache_misses,
+//!   meta_cache_invalidations}`.
 //! - [`audit`]: the adversary's view — raw ciphertext observation and
 //!   sub-block diffing — used to *demonstrate* the leaks the paper
 //!   describes and their elimination.
@@ -56,6 +64,7 @@ mod config;
 mod encrypted_image;
 pub mod layout;
 pub mod luks;
+mod meta_cache;
 mod queue;
 mod sector;
 

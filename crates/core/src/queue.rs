@@ -40,27 +40,21 @@
 //! # }
 //! ```
 
-use crate::batch::IoBatch;
-use crate::encrypted_image::EncryptedImage;
+use crate::encrypted_image::{EncryptedImage, ReadSpan, SubmittedWrite};
 use crate::{CryptError, Result};
-use vdisk_rados::{ApplyTicket, ReadTicket};
+use vdisk_rados::ReadTicket;
 use vdisk_rbd::queue_engine::ReapQueue;
 use vdisk_rbd::{Completion, IoOp, IoPayload, IoResult};
 use vdisk_sim::Plan;
 
 enum PendingState {
-    Write {
-        ticket: ApplyTicket,
-        /// Client-side encryption cost, sequenced before the dispatch.
-        crypto: Plan,
-        /// Boundary-sector RMW reads of an unaligned write (already
-        /// performed at submit), sequenced before the crypto.
-        rmw: Option<Plan>,
-    },
+    Write(SubmittedWrite),
     Read {
         ticket: ReadTicket,
-        /// Extent plan of the aligned span, for decryption at reap.
-        batch: IoBatch,
+        /// Span plan of the aligned span: extents, per-extent metadata
+        /// sourcing (cache hit vs fetch), for decryption — and cache
+        /// fills — at reap.
+        span: ReadSpan,
         /// The originally requested range (a sub-range of the span for
         /// unaligned requests).
         offset: u64,
@@ -73,7 +67,7 @@ enum PendingState {
 impl PendingState {
     fn is_complete(&self) -> bool {
         match self {
-            PendingState::Write { ticket, .. } => ticket.is_complete(),
+            PendingState::Write(write) => write.ticket.is_complete(),
             PendingState::Read { ticket, .. } => ticket.is_complete(),
         }
     }
@@ -129,30 +123,20 @@ impl<'d> EncryptedIoQueue<'d> {
     pub fn submit(&mut self, op: IoOp) -> Result<Completion> {
         let state = match op {
             IoOp::Write { offset, data } => {
-                let (ticket, crypto, rmw) = self.disk.submit_write_owned(offset, data)?;
-                PendingState::Write {
-                    ticket,
-                    crypto,
-                    rmw,
-                }
+                PendingState::Write(self.disk.submit_write_owned(offset, data)?)
             }
             IoOp::Writev { offset, buffers } => {
                 let mut gathered = Vec::with_capacity(buffers.iter().map(Vec::len).sum());
                 for buffer in buffers {
                     gathered.extend_from_slice(&buffer);
                 }
-                let (ticket, crypto, rmw) = self.disk.submit_write_owned(offset, gathered)?;
-                PendingState::Write {
-                    ticket,
-                    crypto,
-                    rmw,
-                }
+                PendingState::Write(self.disk.submit_write_owned(offset, gathered)?)
             }
             IoOp::Read { offset, len } => {
-                let (ticket, batch) = self.disk.submit_read_span(None, offset, len)?;
+                let (ticket, span) = self.disk.submit_read_span(None, offset, len)?;
                 PendingState::Read {
                     ticket,
-                    batch,
+                    span,
                     offset,
                     len,
                     split: None,
@@ -160,10 +144,10 @@ impl<'d> EncryptedIoQueue<'d> {
             }
             IoOp::Readv { offset, lens } => {
                 let len = lens.iter().sum();
-                let (ticket, batch) = self.disk.submit_read_span(None, offset, len)?;
+                let (ticket, span) = self.disk.submit_read_span(None, offset, len)?;
                 PendingState::Read {
                     ticket,
-                    batch,
+                    span,
                     offset,
                     len,
                     split: Some(lens),
@@ -229,42 +213,46 @@ fn finalize(
     state: PendingState,
 ) -> std::result::Result<IoResult, CryptError> {
     match state {
-        PendingState::Write {
-            ticket,
-            crypto,
-            rmw,
-        } => {
-            let stats = ticket.stats_delta();
-            let dispatch = ticket.wait();
+        PendingState::Write(write) => {
+            let mut stats = write.ticket.stats_delta();
+            stats.meta_cache_invalidations = write.invalidated;
+            // Boundary RMW reads of an unaligned write consulted the
+            // cache at submit; their deltas belong to this op so
+            // per-op stats sum to the cluster-wide counters.
+            stats.meta_cache_hits = write.rmw_hits;
+            stats.meta_cache_misses = write.rmw_misses;
+            let dispatch = write.ticket.wait();
             Ok(IoResult {
                 completion,
-                plan: Plan::seq([rmw.unwrap_or(Plan::Noop), crypto, dispatch]),
+                plan: Plan::seq([write.rmw.unwrap_or(Plan::Noop), write.crypto, dispatch]),
                 payload: IoPayload::None,
                 stats,
             })
         }
         PendingState::Read {
             ticket,
-            batch,
+            span,
             offset,
             len,
             split,
         } => {
-            let stats = ticket.stats_delta();
+            let mut stats = ticket.stats_delta();
+            stats.meta_cache_hits = span.hits;
+            stats.meta_cache_misses = span.misses;
             let (results, dispatch) = ticket.wait()?;
-            let mut span = vec![0u8; batch.len as usize];
-            disk.complete_read_span(&batch, &results, None, &mut span)?;
-            let start = (offset - batch.offset) as usize;
-            let data = if start == 0 && len == batch.len {
-                span
+            let mut buf = vec![0u8; span.batch.len as usize];
+            disk.complete_read_span(&span, &results, None, &mut buf)?;
+            let start = (offset - span.batch.offset) as usize;
+            let data = if start == 0 && len == span.batch.len {
+                buf
             } else {
-                span[start..start + len as usize].to_vec()
+                buf[start..start + len as usize].to_vec()
             };
             let payload = IoPayload::from_read(data, split);
-            let crypto = if batch.len == 0 {
+            let crypto = if span.batch.len == 0 {
                 Plan::Noop
             } else {
-                disk.image().cluster().crypto_plan(batch.len)
+                disk.image().cluster().crypto_plan(span.batch.len)
             };
             Ok(IoResult {
                 completion,

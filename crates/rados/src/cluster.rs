@@ -104,7 +104,24 @@ pub struct ExecStats {
     /// N threads of sync IO register a depth up to N, so depths above
     /// 1 mean async use *or* multi-threaded sync use.
     pub queue_depth_peak: u64,
+    /// Sectors whose IV/metadata round trip was skipped because a
+    /// client-side metadata cache held their entry (reported via
+    /// [`Cluster::record_meta_cache`] by the encryption layer's cache;
+    /// always zero when no cache is layered above).
+    pub meta_cache_hits: u64,
+    /// Sectors whose IV/metadata had to be fetched from the store
+    /// despite a client-side metadata cache being enabled.
+    pub meta_cache_misses: u64,
+    /// Cached sector entries dropped because a queued overwrite or a
+    /// snapshot made them unusable. Every overwritten cached sector is
+    /// accounted here exactly once.
+    pub meta_cache_invalidations: u64,
 }
+
+/// Default client-side metadata cache budget: 4 MiB of sector
+/// metadata (256 Ki cached IV entries at 16 bytes each — enough for
+/// 1 GiB of hot data at a 4 KiB sector size).
+pub const DEFAULT_META_CACHE_BYTES: u64 = 4 << 20;
 
 /// Configures and builds a [`Cluster`].
 #[derive(Debug, Clone)]
@@ -117,6 +134,7 @@ pub struct ClusterBuilder {
     payload: PayloadMode,
     testbed: TestbedProfile,
     kv_cost: CostProfile,
+    meta_cache_bytes: u64,
 }
 
 impl Default for ClusterBuilder {
@@ -130,6 +148,7 @@ impl Default for ClusterBuilder {
             payload: PayloadMode::Stored,
             testbed: TestbedProfile::default(),
             kv_cost: CostProfile::default(),
+            meta_cache_bytes: DEFAULT_META_CACHE_BYTES,
         }
     }
 }
@@ -199,6 +218,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Budget (in bytes of sector metadata) for the client-side
+    /// IV/metadata cache layered above this cluster — the knob behind
+    /// `vdisk-core`'s read cache. `0` disables the cache. Defaults to
+    /// [`DEFAULT_META_CACHE_BYTES`] (4 MiB). Advisory: the store
+    /// itself never caches; upper layers read it via
+    /// [`Cluster::meta_cache_bytes`] when opening an image.
+    #[must_use]
+    pub fn meta_cache_bytes(mut self, bytes: u64) -> Self {
+        self.meta_cache_bytes = bytes;
+        self
+    }
+
     /// Builds the cluster.
     ///
     /// # Panics
@@ -224,6 +255,7 @@ impl ClusterBuilder {
             self.payload,
             self.shard_count,
             workers,
+            self.meta_cache_bytes,
         ));
         let runtime = if workers {
             WorkerRuntime::spawn(&control, &shards)
@@ -373,6 +405,17 @@ impl Cluster {
         }
         cp.stats.record_transactions(txs.len() as u64);
         let shard_keys: Vec<usize> = txs.iter().map(|tx| cp.shard_of(&tx.object)).collect();
+        // Advance every touched shard's write-submission epoch while
+        // the submission is accepted — strictly before any job can
+        // apply — so client-side caches comparing epochs across a
+        // read's submit→reap window never miss an overwrite.
+        let mut touched = vec![false; self.shards.len()];
+        for &shard in &shard_keys {
+            if !touched[shard] {
+                touched[shard] = true;
+                cp.bump_shard_write_seq(shard);
+            }
+        }
         let tx_count = txs.len() as u64;
         let shared = Arc::new(ApplyShared {
             default_seq: cp.snap_seq(),
@@ -603,9 +646,46 @@ impl Cluster {
     }
 
     /// Takes a cluster-wide self-managed snapshot; subsequent writes
-    /// copy-on-write any object they touch.
+    /// copy-on-write any object they touch. Also advances **every**
+    /// shard's write-submission epoch, so metadata-cache fills whose
+    /// submit→reap window spans the snapshot are abandoned.
     pub fn create_snap(&self) -> SnapId {
+        self.control.bump_all_write_seqs();
         SnapId(self.control.advance_snap_seq())
+    }
+
+    /// The write-submission epoch of state shard `shard`: a monotone
+    /// counter advanced whenever a write submission touching the shard
+    /// is accepted (before any of it applies) and on every snapshot.
+    /// Client-side metadata caches capture it before submitting a read
+    /// and fill only if it is unchanged after reaping: per-shard FIFO
+    /// makes submission order the apply order, so an unchanged epoch
+    /// proves no overwrite or snapshot landed in the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    #[must_use]
+    pub fn shard_write_seq(&self, shard: usize) -> u64 {
+        self.control.shard_write_seq(shard)
+    }
+
+    /// The advisory client-side metadata-cache budget configured via
+    /// [`ClusterBuilder::meta_cache_bytes`].
+    #[must_use]
+    pub fn meta_cache_bytes(&self) -> u64 {
+        self.control.meta_cache_bytes
+    }
+
+    /// Observability hook for client-side metadata caches layered
+    /// above the store (the encryption layer's IV cache): accumulates
+    /// the given deltas into [`ExecStats::meta_cache_hits`] /
+    /// [`ExecStats::meta_cache_misses`] /
+    /// [`ExecStats::meta_cache_invalidations`].
+    pub fn record_meta_cache(&self, hits: u64, misses: u64, invalidations: u64) {
+        self.control
+            .stats
+            .record_meta_cache(hits, misses, invalidations);
     }
 
     /// The current snapshot sequence.
@@ -1387,6 +1467,92 @@ mod tests {
         c.flush();
         // Direct state inspection is safe after the barrier.
         assert_eq!(c.list_objects().len(), 16);
+    }
+
+    #[test]
+    fn write_submissions_bump_touched_shard_epochs() {
+        let c = cluster();
+        let before: Vec<u64> = (0..c.shard_count()).map(|s| c.shard_write_seq(s)).collect();
+        let mut tx = Transaction::new("epoch-obj");
+        tx.write(0, vec![1u8; 512]);
+        let shard = c.placement_shard("epoch-obj");
+        c.execute(tx).unwrap();
+        assert_eq!(
+            c.shard_write_seq(shard),
+            before[shard] + 1,
+            "the touched shard's epoch advances exactly once per submission"
+        );
+        for (s, &seq) in before.iter().enumerate() {
+            if s != shard {
+                assert_eq!(c.shard_write_seq(s), seq, "untouched shard {s} moved");
+            }
+        }
+        // Reads leave every epoch alone.
+        c.read("epoch-obj", None, &[ReadOp::Stat]).unwrap();
+        assert_eq!(c.shard_write_seq(shard), before[shard] + 1);
+    }
+
+    #[test]
+    fn multi_shard_batch_bumps_each_touched_shard_once() {
+        let c = cluster();
+        let txs: Vec<Transaction> = (0..16)
+            .map(|i| {
+                let mut tx = Transaction::new(format!("epoch{i}"));
+                tx.write(0, vec![1u8; 64]);
+                tx
+            })
+            .collect();
+        let mut expected = vec![0u64; c.shard_count()];
+        for tx in &txs {
+            expected[c.placement_shard(&tx.object)] = 1;
+        }
+        c.execute_batch(txs).unwrap();
+        for (s, &bump) in expected.iter().enumerate() {
+            assert_eq!(
+                c.shard_write_seq(s),
+                bump,
+                "shard {s}: one bump per touched shard, none otherwise"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_bumps_before_a_concurrent_submissions_jobs_apply() {
+        // The contract client caches rely on: once a submission's
+        // ticket exists, every touched shard's epoch has advanced —
+        // even while the jobs are still queued behind workers.
+        let c = Cluster::builder().concurrent_apply(true).build();
+        let mut tx = Transaction::new("inflight");
+        tx.write(0, vec![9u8; 1 << 20]);
+        let shard = c.placement_shard("inflight");
+        let ticket = c.submit_batch(vec![tx]).unwrap();
+        assert_eq!(c.shard_write_seq(shard), 1);
+        let _ = ticket.wait();
+        assert_eq!(c.shard_write_seq(shard), 1, "apply itself adds nothing");
+    }
+
+    #[test]
+    fn snapshots_bump_every_shard_epoch() {
+        let c = cluster();
+        let before: Vec<u64> = (0..c.shard_count()).map(|s| c.shard_write_seq(s)).collect();
+        c.create_snap();
+        for (s, &seq) in before.iter().enumerate() {
+            assert_eq!(c.shard_write_seq(s), seq + 1, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn meta_cache_counters_accumulate_via_the_hook() {
+        let c = cluster();
+        assert_eq!(c.meta_cache_bytes(), DEFAULT_META_CACHE_BYTES);
+        c.record_meta_cache(3, 2, 1);
+        c.record_meta_cache(0, 0, 0);
+        let stats = c.exec_stats();
+        assert_eq!(stats.meta_cache_hits, 3);
+        assert_eq!(stats.meta_cache_misses, 2);
+        assert_eq!(stats.meta_cache_invalidations, 1);
+        let off = Cluster::builder().meta_cache_bytes(0).build();
+        assert_eq!(off.meta_cache_bytes(), 0);
     }
 
     #[test]

@@ -63,7 +63,9 @@ mod shard;
 mod state;
 pub mod transaction;
 
-pub use cluster::{Cluster, ClusterBuilder, ExecStats, PayloadMode, ScrubReport};
+pub use cluster::{
+    Cluster, ClusterBuilder, ExecStats, PayloadMode, ScrubReport, DEFAULT_META_CACHE_BYTES,
+};
 pub use cost::{ResourceHandles, TestbedProfile};
 pub use object::{ObjectStat, PHYS_BLOCK};
 pub use placement::{OsdId, PlacementMap};

@@ -28,12 +28,29 @@ pub(crate) struct ControlPlane {
     /// build time — see [`crate::ClusterBuilder::concurrent_apply`]).
     /// When false, submissions apply inline in the submitting thread.
     pub(crate) workers: bool,
+    /// Suggested client-side metadata cache size in bytes (see
+    /// [`crate::ClusterBuilder::meta_cache_bytes`]); advisory for upper
+    /// layers, unused inside the store.
+    pub(crate) meta_cache_bytes: u64,
     /// Cluster-wide self-managed snapshot sequence.
     snap_seq: AtomicU64,
+    /// Per-shard write-submission epochs: `write_seqs[s]` advances
+    /// every time a write submission touching shard `s` is accepted
+    /// (before any of its jobs can apply) and on every snapshot. A
+    /// client that captures a shard's epoch before submitting a read
+    /// and sees it unchanged after reaping knows **no overwrite or
+    /// snapshot was even submitted** to that shard in between — the
+    /// validity window client-side metadata caches need, keyed by
+    /// submission order rather than wall clock (per-shard FIFO makes
+    /// submission order the apply order).
+    write_seqs: Vec<AtomicU64>,
     pub(crate) stats: StatCounters,
 }
 
 impl ControlPlane {
+    // One parameter per builder field; a config struct would only
+    // mirror `ClusterBuilder` without the defaults.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         placement: PlacementMap,
         handles: ResourceHandles,
@@ -42,6 +59,7 @@ impl ControlPlane {
         payload: PayloadMode,
         shard_count: usize,
         workers: bool,
+        meta_cache_bytes: u64,
     ) -> Self {
         ControlPlane {
             placement,
@@ -51,7 +69,9 @@ impl ControlPlane {
             payload,
             shard_count,
             workers,
+            meta_cache_bytes,
             snap_seq: AtomicU64::new(0),
+            write_seqs: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
             stats: StatCounters::default(),
         }
     }
@@ -70,6 +90,28 @@ impl ControlPlane {
     pub(crate) fn advance_snap_seq(&self) -> u64 {
         self.snap_seq.fetch_add(1, Ordering::AcqRel) + 1
     }
+
+    /// The write-submission epoch of one shard.
+    pub(crate) fn shard_write_seq(&self, shard: usize) -> u64 {
+        self.write_seqs[shard].load(Ordering::Acquire)
+    }
+
+    /// Advances one shard's write-submission epoch. Called while the
+    /// submission is being accepted, strictly before any of its jobs
+    /// is enqueued, so a reader that still observes the old epoch
+    /// afterwards is ordered (per-shard FIFO) before the write.
+    pub(crate) fn bump_shard_write_seq(&self, shard: usize) {
+        self.write_seqs[shard].fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Advances every shard's epoch — the snapshot case: a snapshot
+    /// changes what every subsequent write means (copy-on-write
+    /// context), so in-flight cache fills anywhere must be abandoned.
+    pub(crate) fn bump_all_write_seqs(&self) {
+        for seq in &self.write_seqs {
+            seq.fetch_add(1, Ordering::AcqRel);
+        }
+    }
 }
 
 /// Atomic operation counters behind [`ExecStats`]. Incremented without
@@ -85,6 +127,9 @@ pub(crate) struct StatCounters {
     in_flight_shards: AtomicU64,
     queue_depth_peak: AtomicU64,
     open_submissions: AtomicU64,
+    meta_cache_hits: AtomicU64,
+    meta_cache_misses: AtomicU64,
+    meta_cache_invalidations: AtomicU64,
 }
 
 impl StatCounters {
@@ -129,6 +174,21 @@ impl StatCounters {
         self.open_submissions.fetch_sub(1, Ordering::SeqCst);
     }
 
+    /// Accumulates client-side metadata-cache observations (see
+    /// [`crate::Cluster::record_meta_cache`]).
+    pub(crate) fn record_meta_cache(&self, hits: u64, misses: u64, invalidations: u64) {
+        if hits > 0 {
+            self.meta_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.meta_cache_misses.fetch_add(misses, Ordering::Relaxed);
+        }
+        if invalidations > 0 {
+            self.meta_cache_invalidations
+                .fetch_add(invalidations, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> ExecStats {
         ExecStats {
             transactions: self.transactions.load(Ordering::Relaxed),
@@ -137,6 +197,9 @@ impl StatCounters {
             shard_fanout_max: self.shard_fanout_max.load(Ordering::Relaxed),
             shard_concurrency_peak: self.shard_concurrency_peak.load(Ordering::SeqCst),
             queue_depth_peak: self.queue_depth_peak.load(Ordering::SeqCst),
+            meta_cache_hits: self.meta_cache_hits.load(Ordering::Relaxed),
+            meta_cache_misses: self.meta_cache_misses.load(Ordering::Relaxed),
+            meta_cache_invalidations: self.meta_cache_invalidations.load(Ordering::Relaxed),
         }
     }
 }
