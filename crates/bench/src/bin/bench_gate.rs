@@ -54,15 +54,26 @@ fn record(results: &mut BTreeMap<String, u64>, group: String, ns: f64) {
 
 /// The acceptance check for the cache, asserted at the Plan level
 /// where it cannot be diluted by whatever resource happens to bound
-/// the closed loop: a warmed re-read of the same sectors must issue
-/// strictly fewer store ops and move strictly fewer op bytes than the
-/// cold read that filled the cache.
+/// the closed loop. With write-through fills, even the **first** read
+/// after a write is warm: it must issue strictly fewer store ops and
+/// move strictly fewer op bytes than the same read on an uncached
+/// twin.
 fn assert_plan_drops_meta_round_trip(label: &str, config: &EncryptionConfig) {
-    let mut disk = testbed::cached_bench_disk(config, 1 << 20, 13);
-    disk.write(0, &vec![0xA5u8; 64 << 10]).expect("seed write");
+    let mut cached = testbed::cached_bench_disk(config, 1 << 20, 13);
+    cached
+        .write(0, &vec![0xA5u8; 64 << 10])
+        .expect("seed write");
     let mut buf = vec![0u8; 64 << 10];
-    let cold = disk.read(0, &mut buf).expect("cold read");
-    let warm = disk.read(0, &mut buf).expect("warm read");
+    let warm = cached.read(0, &mut buf).expect("warm read");
+    assert!(
+        cached.image().cluster().exec_stats().meta_cache_write_fills > 0,
+        "{label}: the seed write must fill its own entries"
+    );
+    let mut uncached = testbed::uncached_bench_disk(config, 1 << 20, 13);
+    uncached
+        .write(0, &vec![0xA5u8; 64 << 10])
+        .expect("seed write");
+    let cold = uncached.read(0, &mut buf).expect("cold read");
     assert!(
         warm.op_count() < cold.op_count() && warm.total_op_bytes() < cold.total_op_bytes(),
         "{label}: a cache hit must drop the metadata op from the Plan \
@@ -155,6 +166,47 @@ fn run_groups() -> BTreeMap<String, u64> {
         &mut results,
         "randrw70-qd8-16k/object-end/cache-on".to_string(),
         ns,
+    );
+
+    // Rekey churn: the same 70/30 mix while a background online rekey
+    // drains the image between job slices — the key-lifecycle hot
+    // path, regression-gated from day one. Deterministic: inline-mode
+    // cluster, seeded offsets, fixed driver window; the metric is the
+    // client IO's simulated ns/op under migration pressure (driver
+    // IO contends for the same shards and churns the cache).
+    let mut disk = testbed::cached_bench_disk(&object_end, IMAGE, 29);
+    fio::precondition(&mut disk).expect("precondition");
+    let mut driver = disk
+        .rekey_begin_with_iterations(b"bench-passphrase", b"bench-passphrase-2", 25)
+        .expect("rekey begin")
+        .with_chunk_sectors(32)
+        .with_queue_depth(8);
+    let mut total_ns = 0.0;
+    let mut total_ops = 0u64;
+    let mut slice = 0u64;
+    loop {
+        let progress = driver.step(&mut disk).expect("rekey step");
+        let spec = JobSpec {
+            pattern: IoPattern::RANDRW_70_30,
+            io_size: 16 << 10,
+            queue_depth: 8,
+            ops: 24,
+            seed: 100 + slice,
+        };
+        let stats = fio::run_job(&mut disk, &spec).expect("churn slice");
+        total_ns += stats.makespan.as_secs_f64() * 1e9;
+        total_ops += stats.ops;
+        slice += 1;
+        if progress.is_complete() {
+            break;
+        }
+    }
+    driver.finish(&mut disk).expect("rekey finish");
+    assert!(slice >= 4, "the migration must span several windows");
+    record(
+        &mut results,
+        "rekey-churn-qd8-16k/object-end/cache-on".to_string(),
+        total_ns / total_ops as f64,
     );
 
     results

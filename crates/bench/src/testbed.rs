@@ -178,7 +178,8 @@ mod tests {
         assert_eq!(v[0].label, "LUKS2");
         assert_eq!(v[0].config.meta_entry_len(), 0);
         for variant in &v[1..] {
-            assert_eq!(variant.config.meta_entry_len(), 16);
+            // 16-byte IV + the 4-byte key-epoch tag.
+            assert_eq!(variant.config.meta_entry_len(), 20);
             variant.config.validate().unwrap();
         }
     }

@@ -2,6 +2,15 @@
 
 use crate::{CryptError, Result};
 
+/// Bytes of the key-epoch tag appended to every persisted metadata
+/// entry (little-endian `u32`). The tag names the key epoch a sector
+/// was encrypted under, so reads select the right master key while an
+/// online rekey is migrating the image — and after it completes,
+/// snapshot reads still reach retired epochs. The baseline layout
+/// stores no metadata at all; it tracks epochs with the rekey
+/// watermark instead (see `EncryptedImage::rekey_begin`).
+pub const KEY_EPOCH_TAG_LEN: u32 = 4;
+
 /// Where per-sector metadata lives — the paper's three alternatives
 /// (Fig. 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -209,13 +218,16 @@ impl EncryptionConfig {
         self
     }
 
-    /// Bytes of metadata stored per sector.
+    /// Bytes of metadata stored per sector. Every layout entry ends
+    /// with the 4-byte key-epoch tag ([`KEY_EPOCH_TAG_LEN`]) naming
+    /// the master-key epoch the sector was encrypted under.
     ///
     /// - XTS/EME2 random IV: 16 (+16 with MAC, +8 with snapshot
-    ///   binding);
-    /// - GCM: 12-byte nonce + 16-byte tag, padded to 32 (+8 binding);
-    /// - deterministic IV with MAC: 16 (+8 binding);
-    /// - baseline: 0.
+    ///   binding) + 4;
+    /// - GCM: 12-byte nonce + 16-byte tag, padded to 32 (+8 binding)
+    ///   + 4;
+    /// - deterministic IV with MAC: 16 (+8 binding) + 4;
+    /// - baseline: 0 (epochs tracked by the rekey watermark instead).
     #[must_use]
     pub fn meta_entry_len(&self) -> u32 {
         if self.layout.is_none() {
@@ -236,7 +248,7 @@ impl EncryptionConfig {
         if self.snapshot_binding {
             len += 8;
         }
-        len
+        len + KEY_EPOCH_TAG_LEN
     }
 
     /// Checks cross-field consistency.
@@ -289,7 +301,7 @@ impl EncryptionConfig {
                 "snapshot binding needs metadata space: pick a layout".into(),
             ));
         }
-        if self.layout.is_some() && self.meta_entry_len() == 0 {
+        if self.layout.is_some() && self.meta_entry_len() == KEY_EPOCH_TAG_LEN {
             return Err(CryptError::UnsupportedConfig(
                 "a metadata layout without anything to store; enable \
                  random_iv and/or mac, or drop the layout"
@@ -326,7 +338,7 @@ mod tests {
         for layout in MetaLayout::ALL {
             let c = EncryptionConfig::random_iv(layout);
             c.validate().unwrap();
-            assert_eq!(c.meta_entry_len(), 16);
+            assert_eq!(c.meta_entry_len(), 16 + KEY_EPOCH_TAG_LEN);
             assert_eq!(c.label(), layout.label());
         }
     }
@@ -335,17 +347,17 @@ mod tests {
     fn mac_and_binding_extend_the_entry() {
         let c = EncryptionConfig::random_iv(MetaLayout::ObjectEnd).with_mac();
         c.validate().unwrap();
-        assert_eq!(c.meta_entry_len(), 32);
+        assert_eq!(c.meta_entry_len(), 32 + KEY_EPOCH_TAG_LEN);
         let c = c.with_snapshot_binding();
         c.validate().unwrap();
-        assert_eq!(c.meta_entry_len(), 40);
+        assert_eq!(c.meta_entry_len(), 40 + KEY_EPOCH_TAG_LEN);
     }
 
     #[test]
-    fn gcm_entry_is_32_bytes() {
+    fn gcm_entry_is_32_bytes_plus_epoch_tag() {
         let c = EncryptionConfig::random_iv(MetaLayout::Omap).with_cipher(Cipher::Aes256Gcm);
         c.validate().unwrap();
-        assert_eq!(c.meta_entry_len(), 32);
+        assert_eq!(c.meta_entry_len(), 32 + KEY_EPOCH_TAG_LEN);
     }
 
     #[test]
@@ -378,7 +390,7 @@ mod tests {
         c.layout = Some(MetaLayout::ObjectEnd);
         c.mac = true;
         c.validate().unwrap();
-        assert_eq!(c.meta_entry_len(), 16);
+        assert_eq!(c.meta_entry_len(), 16 + KEY_EPOCH_TAG_LEN);
     }
 
     #[test]

@@ -3,16 +3,32 @@
 use crate::audit::SectorObservation;
 use crate::batch::{IoBatch, SectorExtent};
 use crate::config::{EncryptionConfig, MetaLayout};
+use crate::keychain::{EpochMap, KeyChain};
 use crate::layout::Geometry;
-use crate::luks::{DerivedKeys, LuksHeader};
+use crate::luks::{DerivedKeys, LuksHeader, RekeyState};
 use crate::meta_cache::MetaCache;
+use crate::rekey::RekeyDriver;
 use crate::sector::SectorCodec;
 use crate::{CryptError, Result};
 use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+use vdisk_crypto::mem::SecretBytes;
 use vdisk_crypto::rng::{IvSource, OsIvSource};
-use vdisk_rados::{ObjectReads, ReadOp, ReadResult, ReadTicket, SharedBuf, SnapId, Transaction};
+use vdisk_rados::{
+    ObjectReads, RadosError, ReadOp, ReadResult, ReadTicket, SharedBuf, SnapId, Transaction,
+};
 use vdisk_rbd::{Image, RbdError};
 use vdisk_sim::Plan;
+
+/// Xattr on the crypt-header object carrying the header generation —
+/// the CAS token serializing concurrent header updates.
+const GEN_XATTR: &str = "luks.gen";
+
+/// OMAP key prefix (on the crypt-header object) recording each
+/// snapshot's epoch map — how baseline-layout snapshot reads know
+/// which sectors carried which key epoch when the snapshot froze.
+const SNAP_EPOCH_PREFIX: &str = "snapepoch.";
 
 /// An encrypted virtual disk: every write encrypts client-side and
 /// persists per-sector metadata (when configured) in the same atomic
@@ -27,13 +43,22 @@ use vdisk_sim::Plan;
 pub struct EncryptedImage {
     image: Image,
     header: LuksHeader,
-    codec: SectorCodec,
+    /// Every loaded key epoch's codec (current, the retiring epoch of
+    /// an in-flight rekey, and retired epochs for snapshot reads).
+    chain: KeyChain,
+    /// Master keys by epoch — needed to wrap the outgoing key into the
+    /// retired chain at rekey completion. Zeroized on drop.
+    masters: BTreeMap<u32, SecretBytes>,
     iv_source: Box<dyn IvSource>,
     geometry: Geometry,
     /// Client-side cache of persisted per-sector metadata entries for
     /// head reads. Interior-mutable: reads fill and hit it through
     /// `&self`, writes invalidate through `&mut self`.
     meta_cache: MetaCache,
+    /// Baseline-layout snapshots' epoch maps (snap id → map at
+    /// creation), mirrored from the crypt-header object's OMAP.
+    /// Interior-mutable: `snap_create` records through `&self`.
+    snap_epochs: Mutex<BTreeMap<u64, EpochMap>>,
 }
 
 impl std::fmt::Debug for EncryptedImage {
@@ -60,6 +85,25 @@ pub(crate) struct SubmittedWrite {
     /// `IoResult` deltas reconcile with the cluster-wide counters.
     pub(crate) rmw_hits: u64,
     pub(crate) rmw_misses: u64,
+    /// Write-through cache fills: the metadata entries this write
+    /// persisted, installable at reap time if the extent's shard
+    /// epoch is unchanged (see [`EncryptedImage::apply_write_fills`]).
+    pub(crate) fills: Vec<WriteFill>,
+}
+
+/// One extent's write-through cache fill, captured at submit: the
+/// entries the write persisted plus the validity token (shard
+/// write-submission epoch taken **after** this write's own submission
+/// bump, cache generation at submit). At reap, an unchanged epoch
+/// proves no later overwrite or snapshot was submitted for the shard,
+/// so the entries are current and may enter the cache — the same rule
+/// read fills follow.
+pub(crate) struct WriteFill {
+    pub(crate) base_lba: u64,
+    pub(crate) metas: SharedBuf,
+    pub(crate) shard: usize,
+    pub(crate) epoch: u64,
+    pub(crate) generation: u64,
 }
 
 /// How one extent of a read span obtains its per-sector metadata.
@@ -111,6 +155,12 @@ pub(crate) struct ReadSpan {
     /// against it so they never span a snapshot's wholesale
     /// invalidation.
     pub(crate) generation: u64,
+    /// Key-epoch map captured at submit (the baseline layout's only
+    /// epoch source; tagged layouts route by entry). Per-shard FIFO
+    /// pins the fetched data to the same submission point, so the
+    /// captured map matches the fetched ciphertext even while the
+    /// rekey driver advances the watermark in between.
+    pub(crate) epochs: EpochMap,
     /// Sectors whose metadata round trip the cache absorbed.
     pub(crate) hits: u64,
     /// Sectors that had to fetch metadata despite the cache.
@@ -157,26 +207,42 @@ impl EncryptedImage {
             ));
         }
         Self::check_sector_multiple(&image, u64::from(config.sector_size))?;
-        let (header, master) = LuksHeader::format(config, passphrase, iv_source.as_mut())?;
-        let mut tx = Transaction::new(Self::crypt_header_object(image.name()));
-        tx.write(0, header.encode());
-        image.cluster().execute(tx)?;
-
+        let (mut header, master) = LuksHeader::format(config, passphrase, iv_source.as_mut())?;
         let keys = DerivedKeys::derive(&master, config.cipher);
-        let codec = SectorCodec::new(config, &keys)?;
+        let codec = SectorCodec::new(config, &keys, 0)?;
         let geometry = Geometry::new(
             image.object_size(),
             u64::from(config.sector_size),
             u64::from(config.meta_entry_len()),
         );
         let meta_cache = Self::build_meta_cache(&image, config);
+
+        // First persist: the generation xattr must not exist yet, so
+        // two concurrent formats cannot both win.
+        let generation = header.bump_generation();
+        let mut tx = Transaction::new(Self::crypt_header_object(image.name()));
+        tx.compare_xattr(GEN_XATTR, None);
+        let bytes = header.encode();
+        let len = bytes.len() as u64;
+        tx.write(0, bytes);
+        tx.truncate(len);
+        tx.set_xattr(GEN_XATTR, generation.to_le_bytes().to_vec());
+        image
+            .cluster()
+            .execute(tx)
+            .map_err(Self::map_header_contention)?;
+
+        let mut masters = BTreeMap::new();
+        masters.insert(0, master);
         Ok(EncryptedImage {
             image,
             header,
-            codec,
+            chain: KeyChain::new(0, codec),
+            masters,
             iv_source,
             geometry,
             meta_cache,
+            snap_epochs: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -208,17 +274,66 @@ impl EncryptedImage {
         let (results, _) = cluster.read(
             &header_object,
             None,
-            &[ReadOp::Read {
-                offset: 0,
-                len: stat.size,
-            }],
+            &[
+                ReadOp::Read {
+                    offset: 0,
+                    len: stat.size,
+                },
+                ReadOp::OmapGetRange {
+                    start: SNAP_EPOCH_PREFIX.as_bytes().to_vec(),
+                    end: format!("{SNAP_EPOCH_PREFIX}\u{ff}").into_bytes(),
+                },
+            ],
         )?;
         let header = LuksHeader::decode(results[0].as_data())?;
-        let master = header.unlock(passphrase)?;
         let config = header.config().clone();
         Self::check_sector_multiple(&image, u64::from(config.sector_size))?;
-        let keys = DerivedKeys::derive(&master, config.cipher);
-        let codec = SectorCodec::new(&config, &keys)?;
+
+        // Unlock every epoch this passphrase reaches: the current one
+        // (mandatory), the retiring one mid-rekey (through the bridge
+        // slot), and every retired epoch through the wrap chain.
+        let unlocked = header.unlock_all(passphrase);
+        let current = header.current_epoch();
+        let current_master = unlocked
+            .iter()
+            .find_map(|(epoch, master)| (*epoch == current).then(|| master.clone()))
+            .ok_or(CryptError::WrongPassphrase)?;
+        let mut masters: BTreeMap<u32, SecretBytes> = unlocked.into_iter().collect();
+        for (epoch, master) in header.unwrap_retired(&current_master) {
+            masters.entry(epoch).or_insert(master);
+        }
+        if let Some(state) = header.rekey() {
+            if !masters.contains_key(&state.from) {
+                return Err(CryptError::HeaderCorrupt(
+                    "rekey in flight but the retiring epoch is locked".into(),
+                ));
+            }
+        }
+
+        let mut chain: Option<KeyChain> = None;
+        for (&epoch, master) in &masters {
+            let keys = DerivedKeys::derive(master, config.cipher);
+            let codec = SectorCodec::new(&config, &keys, epoch)?;
+            match chain.as_mut() {
+                None => chain = Some(KeyChain::new(epoch, codec)),
+                Some(chain) => chain.install(epoch, codec),
+            }
+        }
+        let mut chain = chain.expect("current epoch always unlocked");
+        chain.set_current(current);
+
+        let snap_epochs = results[1]
+            .as_omap()
+            .iter()
+            .filter_map(|(key, value)| {
+                let snap = std::str::from_utf8(&key[SNAP_EPOCH_PREFIX.len()..])
+                    .ok()?
+                    .parse()
+                    .ok()?;
+                Some((snap, decode_epoch_map(value)?))
+            })
+            .collect();
+
         let geometry = Geometry::new(
             image.object_size(),
             u64::from(config.sector_size),
@@ -228,11 +343,54 @@ impl EncryptedImage {
         Ok(EncryptedImage {
             image,
             header,
-            codec,
+            chain,
+            masters,
             iv_source,
             geometry,
             meta_cache,
+            snap_epochs: Mutex::new(snap_epochs),
         })
+    }
+
+    /// Persists the in-memory header, CASed on the generation it last
+    /// read: concurrent updates from other handles lose with
+    /// [`CryptError::HeaderContended`] instead of tearing the header.
+    /// On success the in-memory generation has advanced; on contention
+    /// this handle's header view is stale — reopen the image.
+    fn persist_header(&mut self) -> Result<()> {
+        let old = self.header.generation();
+        let new = self.header.bump_generation();
+        let mut tx = Transaction::new(Self::crypt_header_object(self.image.name()));
+        tx.compare_xattr(GEN_XATTR, Some(old.to_le_bytes().to_vec()));
+        let bytes = self.header.encode();
+        let len = bytes.len() as u64;
+        tx.write(0, bytes);
+        tx.truncate(len);
+        tx.set_xattr(GEN_XATTR, new.to_le_bytes().to_vec());
+        self.image
+            .cluster()
+            .execute(tx)
+            .map_err(Self::map_header_contention)?;
+        Ok(())
+    }
+
+    fn map_header_contention(e: RadosError) -> CryptError {
+        match e {
+            RadosError::CompareFailed { .. } => CryptError::HeaderContended,
+            other => other.into(),
+        }
+    }
+
+    /// Persists the header; on failure restores `saved`, so the
+    /// in-memory view never drifts ahead of the store on a lost CAS.
+    fn persist_header_or_restore(&mut self, saved: LuksHeader) -> Result<()> {
+        match self.persist_header() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.header = saved;
+                Err(e)
+            }
+        }
     }
 
     /// Builds the image's IV/metadata cache from the cluster's budget.
@@ -258,17 +416,171 @@ impl EncryptedImage {
     /// # Errors
     ///
     /// Returns [`CryptError::WrongPassphrase`] if `existing` unlocks no
-    /// keyslot, or [`CryptError::NoFreeKeyslot`] when all 8 slots are
-    /// taken.
+    /// keyslot, [`CryptError::NoFreeKeyslot`] when all 8 slots are
+    /// taken, or [`CryptError::HeaderContended`] if another handle
+    /// updated the header concurrently.
     pub fn add_passphrase(&mut self, existing: &[u8], new: &[u8]) -> Result<usize> {
+        let saved = self.header.clone();
         let master = self.header.unlock(existing)?;
         let idx = self
             .header
             .add_keyslot(new, &master, self.iv_source.as_mut())?;
-        let mut tx = Transaction::new(Self::crypt_header_object(self.image.name()));
-        tx.write(0, self.header.encode());
-        self.image.cluster().execute(tx)?;
+        self.persist_header_or_restore(saved)?;
         Ok(idx)
+    }
+
+    /// Rotates a passphrase: every keyslot `existing` unlocks is
+    /// re-wrapped under `new` in place — a pure header update (one
+    /// small CASed write), no data IO, no key change. Returns the
+    /// number of slots rotated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptError::WrongPassphrase`] if `existing` unlocks
+    /// nothing, or [`CryptError::HeaderContended`] on a concurrent
+    /// header update.
+    pub fn rotate_passphrase(&mut self, existing: &[u8], new: &[u8]) -> Result<usize> {
+        let saved = self.header.clone();
+        let rotated = self
+            .header
+            .rotate_passphrase(existing, new, self.iv_source.as_mut())?;
+        self.persist_header_or_restore(saved)?;
+        Ok(rotated.len())
+    }
+
+    /// Starts an **online rekey**: installs a fresh master key as the
+    /// next key epoch (authorized by `existing`, unlocked by
+    /// `new_pass` from here on), persists the updated header, and
+    /// returns the [`RekeyDriver`] that migrates every sector's
+    /// ciphertext to the new key — through the image's own
+    /// [`crate::EncryptedIoQueue`], at a bounded queue depth, while
+    /// reads and writes keep flowing:
+    ///
+    /// - layouts with per-sector metadata stamp each sector's epoch
+    ///   into its stored entry, so mixed-epoch states are self-routing;
+    /// - the baseline layout uses the driver's sequential watermark
+    ///   (sectors below it are new-epoch);
+    /// - the old passphrase stops unlocking immediately; `new_pass`
+    ///   bridges both epochs until the migration completes.
+    ///
+    /// Drive it with [`RekeyDriver::step`] (interleaving your own IO
+    /// between steps) or [`RekeyDriver::drive_to_completion`].
+    ///
+    /// # Errors
+    ///
+    /// [`CryptError::RekeyInProgress`] if a rekey is already
+    /// migrating, [`CryptError::WrongPassphrase`] if `existing` does
+    /// not unlock the current epoch, [`CryptError::HeaderContended`]
+    /// on a concurrent header update.
+    pub fn rekey_begin(&mut self, existing: &[u8], new_pass: &[u8]) -> Result<RekeyDriver> {
+        self.rekey_begin_with_iterations(existing, new_pass, crate::luks::DEFAULT_ITERATIONS)
+    }
+
+    /// [`EncryptedImage::rekey_begin`] with an explicit PBKDF2 cost
+    /// for the new keyslots (tests and benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// As [`EncryptedImage::rekey_begin`].
+    pub fn rekey_begin_with_iterations(
+        &mut self,
+        existing: &[u8],
+        new_pass: &[u8],
+        iterations: u32,
+    ) -> Result<RekeyDriver> {
+        // Stage everything against a saved header so a lost CAS leaves
+        // this handle exactly as it was: without the rollback, a
+        // contended handle would keep encrypting new writes under an
+        // epoch the store never recorded — permanently unreadable the
+        // moment this handle closes.
+        let saved = self.header.clone();
+        let old_epoch = self.chain.current();
+        let (from_master, to_master) =
+            self.header
+                .begin_rekey(existing, new_pass, iterations, self.iv_source.as_mut())?;
+        let state = self.header.rekey().expect("just begun");
+        let config = self.config().clone();
+        let keys = DerivedKeys::derive(&to_master, config.cipher);
+        let codec = SectorCodec::new(&config, &keys, state.to)?;
+        self.chain.install(state.to, codec);
+        self.chain.set_current(state.to);
+        self.masters.insert(state.from, from_master);
+        self.masters.insert(state.to, to_master);
+        if let Err(e) = self.persist_header() {
+            self.header = saved;
+            self.chain.set_current(old_epoch);
+            self.chain.uninstall(state.to);
+            self.masters.remove(&state.to);
+            return Err(e);
+        }
+        Ok(RekeyDriver::new(state.from, state.to))
+    }
+
+    /// Resumes driving an already-started rekey (e.g. after reopening
+    /// an image another handle left mid-migration); `None` when no
+    /// rekey is in flight.
+    #[must_use]
+    pub fn rekey_resume(&self) -> Option<RekeyDriver> {
+        self.header
+            .rekey()
+            .map(|state| RekeyDriver::new(state.from, state.to))
+    }
+
+    /// The in-flight rekey state (epochs and watermark), if any.
+    #[must_use]
+    pub fn rekey_status(&self) -> Option<RekeyState> {
+        self.header.rekey()
+    }
+
+    /// Completes a rekey once the driver has migrated every sector:
+    /// retires the old epoch's master key into the header's wrap chain
+    /// (snapshot reads still reach it through the new passphrase),
+    /// drops the bridge keyslots, and persists the header. Called by
+    /// [`RekeyDriver::finish`].
+    pub(crate) fn rekey_finish(&mut self, from: u32, to: u32) -> Result<()> {
+        let state = self.header.rekey().ok_or(CryptError::NoRekeyInProgress)?;
+        if state.from != from || state.to != to {
+            return Err(CryptError::UnsupportedConfig(
+                "rekey driver does not match the in-flight rekey".into(),
+            ));
+        }
+        if state.watermark < self.total_sectors() {
+            return Err(CryptError::RekeyInProgress);
+        }
+        let from_master = self.masters[&from].clone();
+        let to_master = self.masters[&to].clone();
+        let saved = self.header.clone();
+        self.header.finish_rekey(&from_master, &to_master)?;
+        self.persist_header_or_restore(saved)
+    }
+
+    /// **Crypto-shreds** the image: zeroizes every keyslot, epoch
+    /// digest, and retired-key wrap in memory
+    /// ([`LuksHeader::shred`]), overwrites the stored header object
+    /// with zeros, and deletes it — one atomic transaction. The data
+    /// objects are left in place *by design*: without any wrapped
+    /// master key they are undecryptable noise, which is the paper's
+    /// secure-deletion story (destroy the key, not the data). Every
+    /// subsequent [`EncryptedImage::open`] fails; handles already
+    /// open retain their in-memory keys until dropped (zeroized then).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptError::Rbd`] on store failures; the in-memory
+    /// key material is shredded regardless.
+    pub fn secure_erase(mut self) -> Result<()> {
+        let object = Self::crypt_header_object(self.image.name());
+        let stat = self.image.cluster().stat(&object)?;
+        self.header.shred();
+        let mut tx = Transaction::new(object);
+        // Overwrite-then-delete: the scrub pass models clearing the
+        // physical extents before dropping the object, so even the
+        // (already key-less) wrapped blobs are gone from the store.
+        tx.write(0, vec![0u8; stat.size as usize]);
+        tx.delete();
+        self.image.cluster().execute(tx)?;
+        // `self` drops here: SecretBytes masters zeroize themselves.
+        Ok(())
     }
 
     /// The underlying image.
@@ -295,6 +607,68 @@ impl EncryptedImage {
         self.geometry.sector_size
     }
 
+    /// Logical sectors in the image.
+    #[must_use]
+    pub fn total_sectors(&self) -> u64 {
+        self.image.size() / self.geometry.sector_size
+    }
+
+    /// The key epoch new head writes encrypt under.
+    #[must_use]
+    pub fn current_key_epoch(&self) -> u32 {
+        self.header.current_epoch()
+    }
+
+    /// The head's epoch map right now: current epoch, plus the
+    /// watermark split while a rekey is migrating.
+    pub(crate) fn head_epoch_map(&self) -> EpochMap {
+        EpochMap {
+            current: self.header.current_epoch(),
+            pending: self.header.rekey().map(|s| (s.from, s.watermark)),
+        }
+    }
+
+    /// Whether the layout tags each sector's entry with its epoch
+    /// (every layout with stored metadata does; the baseline cannot).
+    fn tagged_layout(&self) -> bool {
+        self.config().layout.is_some()
+    }
+
+    /// Driver-only: advances the in-memory rekey watermark so the
+    /// window the driver is rewriting encrypts under the new epoch.
+    /// Persist with [`EncryptedImage::persist_rekey_watermark`] after
+    /// the window's writes complete.
+    pub(crate) fn advance_rekey_boundary(&mut self, watermark: u64) {
+        self.header.set_rekey_watermark(watermark);
+    }
+
+    /// Driver-only: rolls the in-memory watermark back to `watermark`
+    /// (the last fully-migrated prefix) after a window failed
+    /// mid-flight, so a retried step re-migrates the window instead of
+    /// skipping it.
+    pub(crate) fn rollback_rekey_boundary(&mut self, watermark: u64) {
+        self.header.rollback_rekey_watermark(watermark);
+    }
+
+    /// Driver-only: persists the advanced watermark (CASed like every
+    /// header update).
+    pub(crate) fn persist_rekey_watermark(&mut self) -> Result<()> {
+        self.persist_header()
+    }
+
+    /// The epoch map governing a snapshot's ciphertext (recorded at
+    /// [`EncryptedImage::snap_create`]); falls back to the head map
+    /// for snapshots taken outside this API.
+    fn snap_epoch_map(&self, snap: SnapId) -> EpochMap {
+        let recorded = self
+            .snap_epochs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&snap.0)
+            .copied();
+        recorded.unwrap_or_else(|| self.head_epoch_map())
+    }
+
     /// Takes an image snapshot (see [`Image::snap_create`]) and drops
     /// the whole IV/metadata cache: the snapshot also bumps every
     /// shard's write-submission epoch, so cache fills whose
@@ -307,6 +681,24 @@ impl EncryptedImage {
         let snap = self.image.snap_create(name)?;
         let invalidated = self.meta_cache.invalidate_all();
         self.image.cluster().record_meta_cache(0, 0, invalidated);
+        if !self.tagged_layout() {
+            // The baseline layout has no per-sector epoch tags, so a
+            // snapshot must remember which sectors carried which key
+            // when it froze (the head's map keeps moving as rekeys
+            // migrate). Persisted next to the header, mirrored in
+            // memory.
+            let map = self.head_epoch_map();
+            let mut tx = Transaction::new(Self::crypt_header_object(self.image.name()));
+            tx.omap_set(vec![(
+                format!("{SNAP_EPOCH_PREFIX}{}", snap.0).into_bytes(),
+                encode_epoch_map(map),
+            )]);
+            self.image.cluster().execute(tx)?;
+            self.snap_epochs
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(snap.0, map);
+        }
         Ok(snap)
     }
 
@@ -450,11 +842,62 @@ impl EncryptedImage {
     /// The synchronous aligned write over
     /// [`EncryptedImage::encrypt_batch`] (idle shards served inline).
     fn write_aligned_owned(&mut self, offset: u64, data: Vec<u8>) -> Result<Plan> {
-        let (txs, len, _) = self.encrypt_batch(offset, data)?;
+        let (txs, len, _, fills) = self.encrypt_batch(offset, data)?;
+        let fills = self.capture_fill_epochs(fills);
         let dispatch = self.image.cluster().execute_batch(txs)?;
+        // The synchronous path completes here, which is its reap point:
+        // install the write-through fills under the same epoch rule as
+        // the queued path.
+        self.apply_write_fills(&fills);
         // Client-side encryption cost precedes the dispatch.
         let crypto = self.image.cluster().crypto_plan(len as u64);
         Ok(Plan::seq([crypto, dispatch]))
+    }
+
+    /// Stamps each pending fill with the shard write-submission epoch
+    /// it expects to observe at reap: the value read **immediately
+    /// before this write submits, plus one** (the submission itself
+    /// advances every touched shard exactly once). Seeing exactly that
+    /// value at reap proves no other write or snapshot was submitted
+    /// to the shard between this write's submission and its reap —
+    /// any concurrent submission, whether it slipped in before or
+    /// after ours, leaves the epoch past the expectation and the fill
+    /// conservatively yields.
+    fn capture_fill_epochs(&self, fills: Vec<(u64, SharedBuf, usize)>) -> Vec<WriteFill> {
+        let generation = self.meta_cache.generation();
+        fills
+            .into_iter()
+            .map(|(base_lba, metas, shard)| WriteFill {
+                base_lba,
+                metas,
+                shard,
+                epoch: self.image.cluster().shard_write_seq(shard) + 1,
+                generation,
+            })
+            .collect()
+    }
+
+    /// Installs a completed write's metadata entries into the
+    /// IV/metadata cache (write-through fill): each extent fills only
+    /// if its shard's write-submission epoch is unchanged since this
+    /// write submitted — per-shard FIFO then proves no later overwrite
+    /// or snapshot intervened — and the cache generation still
+    /// matches. The first read after a write then hits without ever
+    /// paying a miss.
+    pub(crate) fn apply_write_fills(&self, fills: &[WriteFill]) -> u64 {
+        let mut filled = 0;
+        for fill in fills {
+            if self.image.cluster().shard_write_seq(fill.shard) != fill.epoch {
+                continue;
+            }
+            filled += self
+                .meta_cache
+                .fill(fill.base_lba, &fill.metas, fill.generation);
+        }
+        if filled > 0 {
+            self.image.cluster().record_meta_cache_write_fills(filled);
+        }
+        filled
     }
 
     /// The zero-copy encrypt-on-ingest pipeline. The striper maps the
@@ -471,18 +914,21 @@ impl EncryptedImage {
     /// submit time — before the write's transactions can dispatch, so
     /// no later read can hit a stale entry. Returns the transactions,
     /// the request length, and the invalidated-sector count.
+    #[allow(clippy::type_complexity)]
     fn encrypt_batch(
         &mut self,
         offset: u64,
         mut data: Vec<u8>,
-    ) -> Result<(Vec<Transaction>, usize, u64)> {
+    ) -> Result<(Vec<Transaction>, usize, u64, Vec<(u64, SharedBuf, usize)>)> {
         let ss = self.geometry.sector_size as usize;
         let me = self.geometry.meta_entry as usize;
         let layout = self.config().layout;
         let write_seq = self.image.cluster().snap_seq().0;
+        let epochs = self.head_epoch_map();
+        let tagged = self.tagged_layout();
         let len = data.len();
         if len == 0 {
-            return Ok((Vec::new(), 0, 0));
+            return Ok((Vec::new(), 0, 0, Vec::new()));
         }
         let batch = IoBatch::plan(self.image.striper(), &self.geometry, offset, len as u64);
         let mut invalidated = 0;
@@ -494,30 +940,48 @@ impl EncryptedImage {
         self.image.cluster().record_meta_cache(0, 0, invalidated);
 
         // Encrypt the whole request in the submitted buffer: one
-        // metadata run packed in sector order alongside.
+        // metadata run packed in sector order alongside. The epoch map
+        // picks the key per sector (tagged layouts always write the
+        // current epoch; the baseline splits at the rekey watermark).
         let mut metas = Vec::with_capacity(batch.sector_count() as usize * me);
         for extent in &batch.extents {
-            self.codec.encrypt_sectors(
+            self.chain.encrypt_sectors(
                 extent.base_lba,
                 write_seq,
                 &mut data[extent.buf_start..extent.buf_end],
                 &mut metas,
                 self.iv_source.as_mut(),
+                epochs,
+                tagged,
             )?;
         }
         let cipher = SharedBuf::from_vec(data);
         let metas = SharedBuf::from_vec(metas);
+        // Write-through fill candidates: this write knows exactly the
+        // entries it is persisting; remember them (plus their shard,
+        // for the reap-time epoch check) so they can enter the cache
+        // when the write completes.
+        let fillable = self.meta_cache.enabled();
 
         // One transaction per object extent, built from buffer views.
         let mut txs = Vec::with_capacity(batch.object_count());
+        let mut fills = Vec::new();
         for extent in &batch.extents {
             let first = extent.first_sector;
             let count = extent.sector_count;
             let sectors = cipher.slice(extent.buf_start..extent.buf_end);
             let meta_start = extent.buf_start / ss * me;
             let extent_metas = metas.slice(meta_start..meta_start + count as usize * me);
+            let object = self.image.object_name(extent.object_no);
+            if fillable {
+                fills.push((
+                    extent.base_lba,
+                    extent_metas.clone(),
+                    self.image.cluster().placement_shard(&object),
+                ));
+            }
 
-            let mut tx = Transaction::new(self.image.object_name(extent.object_no));
+            let mut tx = Transaction::new(object);
             let (off, _) = self.geometry.data_extent(layout, first, count);
             match layout {
                 None => {
@@ -550,7 +1014,7 @@ impl EncryptedImage {
             }
             txs.push(tx);
         }
-        Ok((txs, len, invalidated))
+        Ok((txs, len, invalidated, fills))
     }
 
     /// The asynchronous write primitive behind
@@ -578,7 +1042,8 @@ impl EncryptedImage {
             Some(rmw) => (Some(Plan::par(rmw.plans)), rmw.hits, rmw.misses),
             None => (None, 0, 0),
         };
-        let (txs, len, invalidated) = self.encrypt_batch(aligned_off, owned)?;
+        let (txs, len, invalidated, fills) = self.encrypt_batch(aligned_off, owned)?;
+        let fills = self.capture_fill_epochs(fills);
         let ticket = self.image.cluster().submit_batch(txs)?;
         let crypto = self.image.cluster().crypto_plan(len as u64);
         Ok(SubmittedWrite {
@@ -588,6 +1053,7 @@ impl EncryptedImage {
             invalidated,
             rmw_hits,
             rmw_misses,
+            fills,
         })
     }
 
@@ -682,6 +1148,16 @@ impl EncryptedImage {
         len: u64,
     ) -> Result<(Vec<ObjectReads>, ReadSpan)> {
         self.check_bounds(offset, len)?;
+        // Capture the epoch map governing the data this read will
+        // fetch: per-shard FIFO orders the fetch after every write
+        // submitted before now and before any submitted later, so the
+        // submit-time map (head, or the snapshot's frozen map) is
+        // exactly right at reap — however far the rekey watermark has
+        // moved in between.
+        let epochs = match snap {
+            None => self.head_epoch_map(),
+            Some(snap) => self.snap_epoch_map(snap),
+        };
         if len == 0 {
             // Match the synchronous path's no-op: no sector is fetched
             // or decrypted, and the op charges nothing.
@@ -695,6 +1171,7 @@ impl EncryptedImage {
                     },
                     meta: Vec::new(),
                     generation: 0,
+                    epochs,
                     hits: 0,
                     misses: 0,
                 },
@@ -762,6 +1239,7 @@ impl EncryptedImage {
                 batch,
                 meta,
                 generation: self.meta_cache.generation(),
+                epochs,
                 hits,
                 misses,
             },
@@ -796,14 +1274,20 @@ impl EncryptedImage {
                 ExtentMeta::Inline => match layout {
                     None => {
                         dest.copy_from_slice(results[0].as_data());
-                        self.codec.decrypt_sectors(base_lba, seq_limit, dest, &[])?;
+                        self.chain
+                            .decrypt_sectors(base_lba, seq_limit, dest, &[], span.epochs)?;
                     }
                     Some(MetaLayout::Unaligned) => {
                         let metas = self
                             .geometry
                             .deinterleave_unaligned_run(results[0].as_data(), dest);
-                        self.codec
-                            .decrypt_sectors(base_lba, seq_limit, dest, &metas)?;
+                        self.chain.decrypt_sectors(
+                            base_lba,
+                            seq_limit,
+                            dest,
+                            &metas,
+                            span.epochs,
+                        )?;
                     }
                     Some(MetaLayout::ObjectEnd | MetaLayout::Omap) => {
                         unreachable!("separate-metadata layouts are never planned as inline")
@@ -811,8 +1295,8 @@ impl EncryptedImage {
                 },
                 ExtentMeta::Cached(packed) => {
                     dest.copy_from_slice(results[0].as_data());
-                    self.codec
-                        .decrypt_sectors(base_lba, seq_limit, dest, packed)?;
+                    self.chain
+                        .decrypt_sectors(base_lba, seq_limit, dest, packed, span.epochs)?;
                 }
                 ExtentMeta::Fetched { fill } => {
                     dest.copy_from_slice(results[0].as_data());
@@ -825,8 +1309,8 @@ impl EncryptedImage {
                             unreachable!("inline layouts are never planned as fetched")
                         }
                     };
-                    self.codec
-                        .decrypt_sectors(base_lba, seq_limit, dest, &packed)?;
+                    self.chain
+                        .decrypt_sectors(base_lba, seq_limit, dest, &packed, span.epochs)?;
                     if let Some((shard, epoch)) = fill {
                         if self.image.cluster().shard_write_seq(*shard) == *epoch {
                             self.meta_cache.fill(base_lba, &packed, span.generation);
@@ -973,6 +1457,46 @@ impl EncryptedImage {
     }
 }
 
+impl Drop for EncryptedImage {
+    fn drop(&mut self) {
+        // Defense in depth: the master keys (SecretBytes) wipe
+        // themselves, and the header's wrapped blobs are zeroized too
+        // so no passphrase-derivable material lingers on the heap.
+        self.header.shred();
+    }
+}
+
+/// Wire form of an [`EpochMap`] (the `snapepoch.*` OMAP values):
+/// `current u32 ‖ pending flag u8 ‖ from u32 ‖ watermark u64`, LE.
+fn encode_epoch_map(map: EpochMap) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17);
+    out.extend_from_slice(&map.current.to_le_bytes());
+    match map.pending {
+        None => out.extend_from_slice(&[0u8; 13]),
+        Some((from, watermark)) => {
+            out.push(1);
+            out.extend_from_slice(&from.to_le_bytes());
+            out.extend_from_slice(&watermark.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_epoch_map(bytes: &[u8]) -> Option<EpochMap> {
+    if bytes.len() != 17 {
+        return None;
+    }
+    let current = u32::from_le_bytes(bytes[..4].try_into().ok()?);
+    let pending = match bytes[4] {
+        0 => None,
+        _ => Some((
+            u32::from_le_bytes(bytes[5..9].try_into().ok()?),
+            u64::from_le_bytes(bytes[9..17].try_into().ok()?),
+        )),
+    };
+    Some(EpochMap { current, pending })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1012,7 +1536,7 @@ mod tests {
             let mut disk = zc_disk(&config);
             let data = vec![0x42u8; 64 << 10];
             let base = data.as_ptr();
-            let (txs, len, _) = disk.encrypt_batch(0, data).unwrap();
+            let (txs, len, _, _) = disk.encrypt_batch(0, data).unwrap();
             assert_eq!(len, 64 << 10);
             assert_eq!(txs.len(), 1, "single object");
             assert_eq!(
@@ -1035,7 +1559,7 @@ mod tests {
         let offset = object - 8192;
         let data = vec![0x5Au8; 16384];
         let base = data.as_ptr();
-        let (txs, _, _) = disk.encrypt_batch(offset, data).unwrap();
+        let (txs, _, _, _) = disk.encrypt_batch(offset, data).unwrap();
         assert_eq!(txs.len(), 2, "write spans two objects");
 
         // Data slices: extent 0 at the buffer head, extent 1 exactly
@@ -1050,28 +1574,53 @@ mod tests {
         assert_eq!(meta1, meta0.wrapping_add(2 * me));
     }
 
-    /// A second read of the same sectors must hit the IV cache, skip
-    /// the metadata op, and cost strictly less — the paper's
-    /// "metadata round trip" measurably gone from the Plan.
+    /// A write fills the cache with the entries it just persisted
+    /// (write-through), so even the **first** read of freshly written
+    /// sectors skips the metadata op and costs strictly less than on
+    /// an uncached twin — the paper's "metadata round trip" measurably
+    /// gone from the Plan without ever paying a cold miss.
     #[test]
-    fn repeated_reads_hit_the_cache_and_drop_the_meta_round_trip() {
+    fn write_through_fills_make_first_reads_hit_and_drop_the_meta_round_trip() {
         for config in [
             EncryptionConfig::random_iv(MetaLayout::ObjectEnd),
             EncryptionConfig::random_iv(MetaLayout::Omap),
         ] {
             let mut disk = zc_disk(&config);
             disk.write(0, &vec![0x5Au8; 64 << 10]).unwrap();
-            let mut buf = vec![0u8; 64 << 10];
-            let cold = disk.read(0, &mut buf).unwrap();
             let stats = disk.image().cluster().exec_stats();
-            assert_eq!(stats.meta_cache_hits, 0, "{config:?}: first read is cold");
-            assert_eq!(stats.meta_cache_misses, 16);
-            assert_eq!(disk.meta_cache_resident_sectors(), 16);
+            assert_eq!(
+                stats.meta_cache_write_fills, 16,
+                "{config:?}: the write installs its own entries"
+            );
+            assert_eq!(
+                disk.meta_cache_resident_sectors(),
+                16,
+                "{config:?}: resident before any read"
+            );
 
+            let mut buf = vec![0u8; 64 << 10];
             let warm = disk.read(0, &mut buf).unwrap();
             assert_eq!(buf, vec![0x5Au8; 64 << 10]);
             let stats = disk.image().cluster().exec_stats();
-            assert_eq!(stats.meta_cache_hits, 16, "{config:?}");
+            assert_eq!(
+                stats.meta_cache_hits, 16,
+                "{config:?}: the first read hits write-filled entries"
+            );
+            assert_eq!(stats.meta_cache_misses, 0, "{config:?}: no miss was paid");
+
+            // The round trip really is gone: the uncached twin's read
+            // issues more ops and moves more bytes.
+            let cluster = Cluster::builder().meta_cache_bytes(0).build();
+            let image = Image::create(&cluster, "zc-off", 16 << 20).unwrap();
+            let mut uncached = EncryptedImage::format_with_iv_source(
+                image,
+                &config,
+                b"zero-copy",
+                Box::new(SeededIvSource::new(7)),
+            )
+            .unwrap();
+            uncached.write(0, &vec![0x5Au8; 64 << 10]).unwrap();
+            let cold = uncached.read(0, &mut buf).unwrap();
             assert!(
                 warm.op_count() < cold.op_count(),
                 "{config:?}: cache hit must drop ops ({} -> {})",
@@ -1086,22 +1635,27 @@ mod tests {
     fn overwrites_invalidate_exactly_the_cached_sectors_they_touch() {
         let config = EncryptionConfig::random_iv(MetaLayout::ObjectEnd);
         let mut disk = zc_disk(&config);
-        disk.write(0, &vec![1u8; 32 << 10]).unwrap();
-        let mut buf = vec![0u8; 32 << 10];
-        disk.read(0, &mut buf).unwrap(); // fills 8 sectors
+        disk.write(0, &vec![1u8; 32 << 10]).unwrap(); // write-fills 8 sectors
         assert_eq!(disk.meta_cache_resident_sectors(), 8);
+        let mut buf = vec![0u8; 32 << 10];
+        disk.read(0, &mut buf).unwrap(); // pure hits
 
-        // Overwrite 3 of the 8 cached sectors (plus one uncached one).
+        // Overwrite sectors 5..9: 3 of them resident (plus sector 8,
+        // absent) — invalidated at submit, then write-through refilled
+        // with the fresh entries at completion.
         disk.write(5 * 4096, &vec![2u8; 4 * 4096]).unwrap();
         let stats = disk.image().cluster().exec_stats();
         assert_eq!(
             stats.meta_cache_invalidations, 3,
             "every overwritten cached sector is accounted, absent ones are not"
         );
-        assert_eq!(disk.meta_cache_resident_sectors(), 5);
+        assert_eq!(
+            disk.meta_cache_resident_sectors(),
+            9,
+            "8 original - 3 invalidated + 4 write-through refills"
+        );
 
-        // The next read re-fetches the overwritten sectors' fresh IVs
-        // and decrypts the new data correctly.
+        // The next read decrypts the fresh entries correctly.
         disk.read(0, &mut buf).unwrap();
         assert_eq!(&buf[..5 * 4096], &vec![1u8; 5 * 4096][..]);
         assert_eq!(&buf[5 * 4096..], &vec![2u8; 3 * 4096][..]);

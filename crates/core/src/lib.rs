@@ -17,8 +17,13 @@
 //!   ([`MetaLayout::Unaligned`], [`MetaLayout::ObjectEnd`],
 //!   [`MetaLayout::Omap`] — Fig. 2a/2b/2c), plus the integrity (MAC)
 //!   and snapshot-binding extensions (§2.2, footnote 3).
-//! - [`luks`]: a LUKS2-style on-disk header with PBKDF2 keyslots and a
-//!   wrapped master key, stored as a cluster object.
+//! - [`luks`]: a LUKS2-style on-disk header with PBKDF2 keyslots,
+//!   **versioned master keys (key epochs)**, a retired-key chain, and
+//!   CASed generation-counter updates, stored as a cluster object —
+//!   the substrate of the key-lifecycle API
+//!   ([`EncryptedImage::rekey_begin`] online rekey via [`RekeyDriver`],
+//!   [`EncryptedImage::rotate_passphrase`],
+//!   [`EncryptedImage::secure_erase`] crypto-shredding).
 //! - [`layout`]: the exact byte arithmetic of each metadata placement.
 //! - [`EncryptedImage`]: the client-side encrypting IO path — every
 //!   data+metadata update rides a single atomic RADOS transaction, as
@@ -62,15 +67,19 @@ pub mod audit;
 pub mod batch;
 mod config;
 mod encrypted_image;
+mod keychain;
 pub mod layout;
 pub mod luks;
 mod meta_cache;
 mod queue;
+mod rekey;
 mod sector;
 
-pub use config::{Cipher, EncryptionConfig, MetaLayout};
+pub use config::{Cipher, EncryptionConfig, MetaLayout, KEY_EPOCH_TAG_LEN};
 pub use encrypted_image::EncryptedImage;
+pub use luks::RekeyState;
 pub use queue::EncryptedIoQueue;
+pub use rekey::{RekeyDriver, RekeyProgress, DEFAULT_CHUNK_SECTORS, DEFAULT_QUEUE_DEPTH};
 pub use sector::SectorState;
 // The op/completion vocabulary is shared with the raw queue.
 pub use vdisk_rbd::{Completion, IoOp, IoPayload, IoResult};
@@ -102,6 +111,24 @@ pub enum CryptError {
     /// The configuration is internally inconsistent (e.g. AES-GCM
     /// without a metadata layout to store its nonce and tag).
     UnsupportedConfig(String),
+    /// An online rekey is already migrating this image (or still has
+    /// sectors to migrate, where completion was requested).
+    RekeyInProgress,
+    /// No online rekey is in flight.
+    NoRekeyInProgress,
+    /// A sector's metadata names a key epoch this handle holds no key
+    /// for (corrupt epoch tag, or an image opened without its
+    /// retired-key chain).
+    UnknownKeyEpoch {
+        /// The logical sector.
+        lba: u64,
+        /// The epoch the entry claims.
+        epoch: u32,
+    },
+    /// A concurrent handle updated the encryption header between this
+    /// handle's read and write (the generation CAS lost). The
+    /// in-memory header view is stale; reopen the image and retry.
+    HeaderContended,
     /// An error from the image layer.
     Rbd(vdisk_rbd::RbdError),
     /// An error from a cryptographic primitive.
@@ -121,6 +148,17 @@ impl fmt::Display for CryptError {
                 write!(f, "cross-snapshot replay detected at sector {lba}")
             }
             CryptError::UnsupportedConfig(why) => write!(f, "unsupported configuration: {why}"),
+            CryptError::RekeyInProgress => write!(f, "an online rekey is in progress"),
+            CryptError::NoRekeyInProgress => write!(f, "no online rekey is in progress"),
+            CryptError::UnknownKeyEpoch { lba, epoch } => {
+                write!(f, "sector {lba} names unknown key epoch {epoch}")
+            }
+            CryptError::HeaderContended => {
+                write!(
+                    f,
+                    "encryption header updated concurrently; reopen and retry"
+                )
+            }
             CryptError::Rbd(e) => write!(f, "image layer: {e}"),
             CryptError::Crypto(e) => write!(f, "crypto: {e}"),
         }

@@ -1,26 +1,45 @@
-//! A LUKS2-style encryption header: passphrase keyslots wrapping a
-//! master key, stored as a cluster object next to the image.
+//! A LUKS2-style encryption header with a full key lifecycle:
+//! passphrase keyslots, **versioned master keys (key epochs)**, online
+//! rekey state, and crypto-shredding.
 //!
 //! RBD client-side encryption "follows the LUKS standard" (§2.4); this
-//! is a simplified but faithful analog:
+//! is a simplified but faithful analog, extended the way LUKS2's
+//! online reencryption extends the base format:
 //!
-//! - a 64-byte master key, generated once at format time;
-//! - up to 8 keyslots, each holding the master key XOR-wrapped under a
-//!   PBKDF2-HMAC-SHA256 stream derived from a passphrase and per-slot
-//!   salt (real LUKS2 uses argon2id + AF-splitting; PBKDF2 is its
-//!   supported fallback and needs no new primitives);
-//! - a keyed master-key digest so unlocking can verify a candidate;
-//! - the [`EncryptionConfig`] serialized
-//!   alongside, so `open()` needs only the passphrase.
+//! - **Epochs**: each rekey generates a fresh 64-byte master key; the
+//!   header carries one digest record per *active* epoch (one
+//!   normally, two while a rekey migrates the image) so unlocking can
+//!   verify candidates per epoch.
+//! - **Keyslots**: up to 8, each binding a passphrase to one epoch's
+//!   master key (XOR-wrapped under a PBKDF2-HMAC-SHA256 stream with a
+//!   per-slot salt — PBKDF2 is LUKS2's supported fallback KDF and
+//!   needs no new primitives).
+//! - **Retired chain**: when a rekey completes, the outgoing master
+//!   key is not destroyed — snapshots frozen under it must stay
+//!   readable — but re-wrapped under its successor
+//!   (`master_e XOR HKDF(master_{e+1})`), forming a linear chain the
+//!   current passphrase unlocks end to end. Destroying the header
+//!   (see [`LuksHeader::shred`]) therefore crypto-shreds every epoch
+//!   at once: the paper's secure-deletion story.
+//! - **Rekey state**: the `(from, to, watermark)` triple an in-flight
+//!   rekey persists, so concurrent opens (and resumed drivers) agree
+//!   on which sectors carry which key — per-sector epoch tags cover
+//!   the tagged layouts, the watermark covers the baseline.
+//! - **Generation counter**: every persisted update bumps it, and the
+//!   writer CASes on the previous value (via the store's
+//!   `CompareXattr`), so two handles can never interleave
+//!   read-modify-write header updates into a torn result.
 
 use crate::config::{Cipher, EncryptionConfig, MetaLayout};
 use crate::{CryptError, Result};
-use vdisk_crypto::kdf::{hkdf_expand, pbkdf2_hmac_sha256};
-use vdisk_crypto::mem::{ct_eq, SecretBytes};
+use vdisk_crypto::kdf::{hkdf_expand, hkdf_extract, pbkdf2_hmac_sha256};
+use vdisk_crypto::mem::{ct_eq, xor_in_place, zeroize, SecretBytes};
 use vdisk_crypto::rng::IvSource;
 
-/// Header magic ("VLUKS2" + version byte + NUL).
-pub const MAGIC: [u8; 8] = *b"VLUKS2\x01\x00";
+/// Header magic ("VLUKS2" + version byte + NUL). Version 2 added key
+/// epochs, the retired-key chain, rekey state, and the generation
+/// counter.
+pub const MAGIC: [u8; 8] = *b"VLUKS2\x02\x00";
 /// Number of keyslots, as in LUKS.
 pub const KEYSLOTS: usize = 8;
 /// Master key length: 64 bytes covers AES-256-XTS's two keys.
@@ -30,13 +49,17 @@ pub const MASTER_KEY_LEN: usize = 64;
 /// [`LuksHeader::add_keyslot_with_iterations`].
 pub const DEFAULT_ITERATIONS: u32 = 2000;
 
-const SLOT_SIZE: usize = 1 + 4 + 32 + MASTER_KEY_LEN;
-const HEADER_FIXED: usize = 8 + 1 + 1 + 1 + 4 + 32 + 16;
+const SLOT_SIZE: usize = 1 + 4 + 4 + 32 + MASTER_KEY_LEN;
+const EPOCH_SIZE: usize = 4 + 16 + 32;
+const RETIRED_SIZE: usize = 4 + MASTER_KEY_LEN;
+const FIXED_HEAD: usize = 8 + 1 + 1 + 1 + 4 + 8 + 4 + 1 + 4 + 4 + 8;
 
-/// One passphrase keyslot.
+/// One passphrase keyslot, wrapping one epoch's master key.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Keyslot {
     active: bool,
+    /// The key epoch this slot's passphrase unlocks.
+    epoch: u32,
     iterations: u32,
     salt: [u8; 32],
     wrapped: [u8; MASTER_KEY_LEN],
@@ -46,6 +69,7 @@ impl Keyslot {
     fn empty() -> Self {
         Keyslot {
             active: false,
+            epoch: 0,
             iterations: 0,
             salt: [0; 32],
             wrapped: [0; MASTER_KEY_LEN],
@@ -53,12 +77,44 @@ impl Keyslot {
     }
 }
 
+/// One active epoch's verification record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EpochRecord {
+    epoch: u32,
+    digest_salt: [u8; 16],
+    mk_digest: [u8; 32],
+}
+
+/// One retired epoch's master key, wrapped under its successor
+/// (epoch `e` is always wrapped under epoch `e + 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RetiredKey {
+    epoch: u32,
+    wrapped: [u8; MASTER_KEY_LEN],
+}
+
+/// The persisted state of an in-flight online rekey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RekeyState {
+    /// The epoch being retired.
+    pub from: u32,
+    /// The epoch taking over (always `from + 1`).
+    pub to: u32,
+    /// Sectors `< watermark` have been re-encrypted under `to`;
+    /// sectors `>= watermark` still carry `from`. Advanced only by the
+    /// rekey driver, strictly monotonically.
+    pub watermark: u64,
+}
+
 /// The parsed encryption header.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LuksHeader {
     config: EncryptionConfig,
-    digest_salt: [u8; 16],
-    mk_digest: [u8; 32],
+    generation: u64,
+    current_epoch: u32,
+    rekey: Option<RekeyState>,
+    epochs: Vec<EpochRecord>,
+    retired: Vec<RetiredKey>,
     slots: Vec<Keyslot>,
 }
 
@@ -71,9 +127,25 @@ fn digest_of(master: &[u8], digest_salt: &[u8; 16]) -> [u8; 32] {
     vdisk_crypto::hmac::hmac_sha256(digest_salt, master)
 }
 
+/// The XOR stream wrapping a retired epoch's master key under its
+/// successor's: `HKDF(successor, "vdisk-retire-<epoch>")`.
+fn retire_stream(successor: &SecretBytes, epoch: u32) -> SecretBytes {
+    let prk = hkdf_extract(b"vdisk-retire", successor.expose());
+    let mut info = *b"retire-epoch-\0\0\0\0";
+    info[13..17].copy_from_slice(&epoch.to_le_bytes());
+    hkdf_expand(&prk, &info, MASTER_KEY_LEN)
+}
+
+fn xor_wrap(master: &SecretBytes, stream: &SecretBytes) -> [u8; MASTER_KEY_LEN] {
+    let mut wrapped = [0u8; MASTER_KEY_LEN];
+    wrapped.copy_from_slice(master.expose());
+    xor_in_place(&mut wrapped, stream.expose());
+    wrapped
+}
+
 impl LuksHeader {
-    /// Creates a header for a fresh master key, with the passphrase in
-    /// keyslot 0.
+    /// Creates a header for a fresh master key (epoch 0), with the
+    /// passphrase in keyslot 0.
     ///
     /// # Errors
     ///
@@ -85,18 +157,38 @@ impl LuksHeader {
         iv_source: &mut dyn IvSource,
     ) -> Result<(LuksHeader, SecretBytes)> {
         config.validate()?;
+        let mut header = LuksHeader {
+            config: config.clone(),
+            generation: 0,
+            current_epoch: 0,
+            rekey: None,
+            epochs: Vec::new(),
+            retired: Vec::new(),
+            slots: (0..KEYSLOTS).map(|_| Keyslot::empty()).collect(),
+        };
+        let master = header.install_epoch(0, iv_source);
+        header.add_keyslot_with_iterations(
+            passphrase,
+            0,
+            &master,
+            DEFAULT_ITERATIONS,
+            iv_source,
+        )?;
+        Ok((header, master))
+    }
+
+    /// Generates a fresh master key and registers its epoch record.
+    fn install_epoch(&mut self, epoch: u32, iv_source: &mut dyn IvSource) -> SecretBytes {
         let mut master = SecretBytes::zeroed(MASTER_KEY_LEN);
         iv_source.fill(master.expose_mut());
         let mut digest_salt = [0u8; 16];
         iv_source.fill(&mut digest_salt);
-        let mut header = LuksHeader {
-            config: config.clone(),
+        self.epochs.push(EpochRecord {
+            epoch,
             digest_salt,
             mk_digest: digest_of(master.expose(), &digest_salt),
-            slots: (0..KEYSLOTS).map(|_| Keyslot::empty()).collect(),
-        };
-        header.add_keyslot_with_iterations(passphrase, &master, DEFAULT_ITERATIONS, iv_source)?;
-        Ok((header, master))
+        });
+        master
     }
 
     /// The configuration carried by this header.
@@ -105,13 +197,65 @@ impl LuksHeader {
         &self.config
     }
 
+    /// The header generation (bumped by every persisted update; the
+    /// CAS token of the optimistic-concurrency scheme).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Advances the generation; returns the new value.
+    pub fn bump_generation(&mut self) -> u64 {
+        self.generation += 1;
+        self.generation
+    }
+
+    /// The epoch new writes encrypt under.
+    #[must_use]
+    pub fn current_epoch(&self) -> u32 {
+        self.current_epoch
+    }
+
+    /// The in-flight rekey, if one is migrating the image.
+    #[must_use]
+    pub fn rekey(&self) -> Option<RekeyState> {
+        self.rekey
+    }
+
+    /// Advances the rekey watermark (driver-only; strictly monotonic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rekey is in flight or the watermark would regress.
+    pub fn set_rekey_watermark(&mut self, watermark: u64) {
+        let state = self.rekey.as_mut().expect("no rekey in flight");
+        assert!(watermark >= state.watermark, "watermark may only advance");
+        state.watermark = watermark;
+    }
+
+    /// Driver-internal rollback of a window whose rewrites failed:
+    /// unlike [`LuksHeader::set_rekey_watermark`], this may move the
+    /// watermark backwards (never below what was last persisted — the
+    /// rekey driver enforces that).
+    pub(crate) fn rollback_rekey_watermark(&mut self, watermark: u64) {
+        let state = self.rekey.as_mut().expect("no rekey in flight");
+        state.watermark = watermark;
+    }
+
     /// Number of active keyslots.
     #[must_use]
     pub fn active_keyslots(&self) -> usize {
         self.slots.iter().filter(|s| s.active).count()
     }
 
-    /// Adds a passphrase to the first free keyslot; returns its index.
+    /// Epochs retired into the wrap chain (oldest first).
+    #[must_use]
+    pub fn retired_epochs(&self) -> Vec<u32> {
+        self.retired.iter().map(|r| r.epoch).collect()
+    }
+
+    /// Adds a passphrase for the **current** epoch to the first free
+    /// keyslot; returns its index.
     ///
     /// # Errors
     ///
@@ -122,10 +266,16 @@ impl LuksHeader {
         master: &SecretBytes,
         iv_source: &mut dyn IvSource,
     ) -> Result<usize> {
-        self.add_keyslot_with_iterations(passphrase, master, DEFAULT_ITERATIONS, iv_source)
+        self.add_keyslot_with_iterations(
+            passphrase,
+            self.current_epoch,
+            master,
+            DEFAULT_ITERATIONS,
+            iv_source,
+        )
     }
 
-    /// Adds a passphrase with an explicit PBKDF2 cost.
+    /// Adds a passphrase for `epoch` with an explicit PBKDF2 cost.
     ///
     /// # Errors
     ///
@@ -133,6 +283,7 @@ impl LuksHeader {
     pub fn add_keyslot_with_iterations(
         &mut self,
         passphrase: &[u8],
+        epoch: u32,
         master: &SecretBytes,
         iterations: u32,
         iv_source: &mut dyn IvSource,
@@ -145,20 +296,18 @@ impl LuksHeader {
         let mut salt = [0u8; 32];
         iv_source.fill(&mut salt);
         let stream = wrap_stream(passphrase, &salt, iterations);
-        let mut wrapped = [0u8; MASTER_KEY_LEN];
-        for (i, w) in wrapped.iter_mut().enumerate() {
-            *w = master.expose()[i] ^ stream.expose()[i];
-        }
         self.slots[idx] = Keyslot {
             active: true,
+            epoch,
             iterations,
             salt,
-            wrapped,
+            wrapped: xor_wrap(master, &stream),
         };
         Ok(idx)
     }
 
-    /// Deactivates a keyslot (revoking its passphrase).
+    /// Deactivates a keyslot (revoking its passphrase), zeroizing the
+    /// slot's wrapped key material.
     ///
     /// # Errors
     ///
@@ -169,34 +318,232 @@ impl LuksHeader {
             .slots
             .get_mut(index)
             .ok_or_else(|| CryptError::UnsupportedConfig(format!("keyslot {index}")))?;
+        zeroize(&mut slot.wrapped);
+        zeroize(&mut slot.salt);
         *slot = Keyslot::empty();
         Ok(())
     }
 
-    /// Tries the passphrase against every active keyslot.
+    /// Unwraps one slot with `passphrase` and verifies the candidate
+    /// against the slot's epoch digest.
+    fn try_slot(&self, idx: usize, passphrase: &[u8]) -> Option<SecretBytes> {
+        let slot = &self.slots[idx];
+        if !slot.active {
+            return None;
+        }
+        let record = self.epochs.iter().find(|e| e.epoch == slot.epoch)?;
+        let stream = wrap_stream(passphrase, &slot.salt, slot.iterations);
+        let mut candidate = SecretBytes::from(slot.wrapped.as_slice());
+        xor_in_place(candidate.expose_mut(), stream.expose());
+        let digest = digest_of(candidate.expose(), &record.digest_salt);
+        ct_eq(&digest, &record.mk_digest).then_some(candidate)
+    }
+
+    /// Tries the passphrase against every active keyslot and returns
+    /// the **current** epoch's master key.
     ///
     /// # Errors
     ///
-    /// Returns [`CryptError::WrongPassphrase`] if none unlocks.
+    /// Returns [`CryptError::WrongPassphrase`] if no slot of the
+    /// current epoch unlocks — including for passphrases that only
+    /// unlock a retiring epoch mid-rekey (revoked at `rekey_begin`).
     pub fn unlock(&self, passphrase: &[u8]) -> Result<SecretBytes> {
-        for slot in self.slots.iter().filter(|s| s.active) {
-            let stream = wrap_stream(passphrase, &slot.salt, slot.iterations);
-            let mut candidate = SecretBytes::zeroed(MASTER_KEY_LEN);
-            for (i, c) in candidate.expose_mut().iter_mut().enumerate() {
-                *c = slot.wrapped[i] ^ stream.expose()[i];
+        self.unlock_all(passphrase)
+            .into_iter()
+            .find_map(|(epoch, master)| (epoch == self.current_epoch).then_some(master))
+            .ok_or(CryptError::WrongPassphrase)
+    }
+
+    /// Tries the passphrase against every active keyslot; returns every
+    /// `(epoch, master)` it unlocks (at most one entry per epoch).
+    #[must_use]
+    pub fn unlock_all(&self, passphrase: &[u8]) -> Vec<(u32, SecretBytes)> {
+        let mut unlocked: Vec<(u32, SecretBytes)> = Vec::new();
+        for idx in 0..self.slots.len() {
+            if unlocked.iter().any(|(e, _)| *e == self.slots[idx].epoch) {
+                continue;
             }
-            let digest = digest_of(candidate.expose(), &self.digest_salt);
-            if ct_eq(&digest, &self.mk_digest) {
-                return Ok(candidate);
+            if let Some(master) = self.try_slot(idx, passphrase) {
+                unlocked.push((self.slots[idx].epoch, master));
             }
         }
-        Err(CryptError::WrongPassphrase)
+        unlocked
+    }
+
+    /// Re-wraps every keyslot `existing` unlocks under `new` (fresh
+    /// salt, same epoch) — passphrase rotation without touching any
+    /// data or master key. Returns the rotated slot indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptError::WrongPassphrase`] if `existing` unlocks no
+    /// slot.
+    pub fn rotate_passphrase(
+        &mut self,
+        existing: &[u8],
+        new: &[u8],
+        iv_source: &mut dyn IvSource,
+    ) -> Result<Vec<usize>> {
+        let mut rotated = Vec::new();
+        for idx in 0..self.slots.len() {
+            let Some(master) = self.try_slot(idx, existing) else {
+                continue;
+            };
+            let mut salt = [0u8; 32];
+            iv_source.fill(&mut salt);
+            let iterations = self.slots[idx].iterations;
+            let stream = wrap_stream(new, &salt, iterations);
+            let slot = &mut self.slots[idx];
+            slot.salt = salt;
+            slot.wrapped = xor_wrap(&master, &stream);
+            rotated.push(idx);
+        }
+        if rotated.is_empty() {
+            return Err(CryptError::WrongPassphrase);
+        }
+        Ok(rotated)
+    }
+
+    /// Starts an online rekey: installs epoch `current + 1` with a
+    /// fresh master key, revokes **every** existing keyslot (the old
+    /// passphrases stop unlocking immediately), and binds `new_pass`
+    /// to both the new epoch and — through a bridge slot — the
+    /// retiring one, so a fresh open mid-rekey can read both halves of
+    /// the image. Returns `(retiring master, new master)`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CryptError::RekeyInProgress`] if one is already migrating;
+    /// - [`CryptError::WrongPassphrase`] if `existing` does not unlock
+    ///   the current epoch.
+    pub fn begin_rekey(
+        &mut self,
+        existing: &[u8],
+        new_pass: &[u8],
+        iterations: u32,
+        iv_source: &mut dyn IvSource,
+    ) -> Result<(SecretBytes, SecretBytes)> {
+        if self.rekey.is_some() {
+            return Err(CryptError::RekeyInProgress);
+        }
+        let from = self.current_epoch;
+        let from_master = self.unlock(existing)?;
+        let to = from + 1;
+        let to_master = self.install_epoch(to, iv_source);
+        for idx in 0..self.slots.len() {
+            self.remove_keyslot(idx)?;
+        }
+        self.add_keyslot_with_iterations(new_pass, to, &to_master, iterations, iv_source)?;
+        // The bridge: the new passphrase also unlocks the retiring
+        // epoch until the migration retires it into the wrap chain.
+        self.add_keyslot_with_iterations(new_pass, from, &from_master, iterations, iv_source)?;
+        self.current_epoch = to;
+        self.rekey = Some(RekeyState {
+            from,
+            to,
+            watermark: 0,
+        });
+        Ok((from_master, to_master))
+    }
+
+    /// Completes a rekey: moves the retiring master key into the
+    /// retired chain (wrapped under its successor), drops its epoch
+    /// record and bridge slots, and clears the rekey state. After
+    /// this, only the new passphrase unlocks anything — yet snapshot
+    /// reads still reach the old epoch through the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptError::NoRekeyInProgress`] if no rekey is active.
+    pub fn finish_rekey(
+        &mut self,
+        from_master: &SecretBytes,
+        to_master: &SecretBytes,
+    ) -> Result<()> {
+        if self.retired.len() >= u8::MAX as usize {
+            // The wire format length-prefixes the chain with a u8;
+            // refuse the 256th retirement cleanly instead of panicking
+            // in `encode` mid-update.
+            return Err(CryptError::UnsupportedConfig(
+                "retired-key chain is full (255 completed rekeys)".into(),
+            ));
+        }
+        let state = self.rekey.take().ok_or(CryptError::NoRekeyInProgress)?;
+        let stream = retire_stream(to_master, state.from);
+        self.retired.push(RetiredKey {
+            epoch: state.from,
+            wrapped: xor_wrap(from_master, &stream),
+        });
+        self.retired.sort_by_key(|r| r.epoch);
+        self.epochs.retain(|e| e.epoch != state.from);
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].active && self.slots[idx].epoch == state.from {
+                self.remove_keyslot(idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Unwraps the retired chain starting from the current epoch's
+    /// master key: epoch `e` is wrapped under `e + 1`, so the chain
+    /// unwinds newest-to-oldest. Returns `(epoch, master)` pairs for
+    /// every retired epoch reachable from `current_master`.
+    #[must_use]
+    pub fn unwrap_retired(&self, current_master: &SecretBytes) -> Vec<(u32, SecretBytes)> {
+        let mut out: Vec<(u32, SecretBytes)> = Vec::new();
+        let mut successors: Vec<(u32, SecretBytes)> =
+            vec![(self.current_epoch, current_master.clone())];
+        for retired in self.retired.iter().rev() {
+            let Some((_, successor)) = successors.iter().find(|(e, _)| *e == retired.epoch + 1)
+            else {
+                continue;
+            };
+            let stream = retire_stream(successor, retired.epoch);
+            let mut master = SecretBytes::from(retired.wrapped.as_slice());
+            xor_in_place(master.expose_mut(), stream.expose());
+            successors.push((retired.epoch, master.clone()));
+            out.push((retired.epoch, master));
+        }
+        out.reverse();
+        out
+    }
+
+    /// Crypto-shreds the header in memory: every keyslot, epoch
+    /// digest, and retired-chain wrap is zeroized
+    /// ([`vdisk_crypto::mem::zeroize`]), leaving nothing that could
+    /// recover any epoch's master key. Pair with overwriting and
+    /// deleting the stored header object (see
+    /// `EncryptedImage::secure_erase`) — data objects then hold only
+    /// undecryptable ciphertext, which *is* the deletion.
+    pub fn shred(&mut self) {
+        for slot in &mut self.slots {
+            zeroize(&mut slot.wrapped);
+            zeroize(&mut slot.salt);
+            slot.iterations = 0;
+            slot.epoch = 0;
+            slot.active = false;
+        }
+        for record in &mut self.epochs {
+            zeroize(&mut record.mk_digest);
+            zeroize(&mut record.digest_salt);
+        }
+        for retired in &mut self.retired {
+            zeroize(&mut retired.wrapped);
+        }
+        self.epochs.clear();
+        self.retired.clear();
+        self.rekey = None;
     }
 
     /// Serializes the header to its on-disk byte form.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(HEADER_FIXED + KEYSLOTS * SLOT_SIZE);
+        let mut out = Vec::with_capacity(
+            FIXED_HEAD
+                + self.epochs.len() * EPOCH_SIZE
+                + self.retired.len() * RETIRED_SIZE
+                + KEYSLOTS * SLOT_SIZE,
+        );
         out.extend_from_slice(&MAGIC);
         out.push(self.config.cipher.to_wire());
         out.push(self.config.layout.map_or(0, MetaLayout::to_wire));
@@ -212,10 +559,34 @@ impl LuksHeader {
         }
         out.push(flags);
         out.extend_from_slice(&self.config.sector_size.to_le_bytes());
-        out.extend_from_slice(&self.mk_digest);
-        out.extend_from_slice(&self.digest_salt);
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.current_epoch.to_le_bytes());
+        match self.rekey {
+            None => {
+                out.push(0);
+                out.extend_from_slice(&[0u8; 16]);
+            }
+            Some(state) => {
+                out.push(1);
+                out.extend_from_slice(&state.from.to_le_bytes());
+                out.extend_from_slice(&state.to.to_le_bytes());
+                out.extend_from_slice(&state.watermark.to_le_bytes());
+            }
+        }
+        out.push(u8::try_from(self.epochs.len()).expect("few epochs"));
+        for record in &self.epochs {
+            out.extend_from_slice(&record.epoch.to_le_bytes());
+            out.extend_from_slice(&record.digest_salt);
+            out.extend_from_slice(&record.mk_digest);
+        }
+        out.push(u8::try_from(self.retired.len()).expect("few retired"));
+        for retired in &self.retired {
+            out.extend_from_slice(&retired.epoch.to_le_bytes());
+            out.extend_from_slice(&retired.wrapped);
+        }
         for slot in &self.slots {
             out.push(u8::from(slot.active));
+            out.extend_from_slice(&slot.epoch.to_le_bytes());
             out.extend_from_slice(&slot.iterations.to_le_bytes());
             out.extend_from_slice(&slot.salt);
             out.extend_from_slice(&slot.wrapped);
@@ -223,7 +594,9 @@ impl LuksHeader {
         out
     }
 
-    /// Parses a header from disk.
+    /// Parses a header from disk. Trailing bytes beyond the encoded
+    /// length are ignored (a shrinking header may leave a stale tail
+    /// until the truncate in the same transaction lands).
     ///
     /// # Errors
     ///
@@ -231,20 +604,34 @@ impl LuksHeader {
     /// or unknown field values.
     pub fn decode(bytes: &[u8]) -> Result<LuksHeader> {
         let corrupt = |why: &str| CryptError::HeaderCorrupt(why.to_string());
-        if bytes.len() < HEADER_FIXED + KEYSLOTS * SLOT_SIZE {
-            return Err(corrupt("truncated"));
-        }
-        if bytes[..8] != MAGIC {
+        let mut cursor = Cursor { bytes, at: 0 };
+        if cursor.take(8)? != MAGIC {
             return Err(corrupt("bad magic"));
         }
-        let cipher = Cipher::from_wire(bytes[8]).ok_or_else(|| corrupt("unknown cipher"))?;
-        let layout = MetaLayout::from_wire(bytes[9]).ok_or_else(|| corrupt("unknown layout"))?;
-        let flags = bytes[10];
-        let sector_size = u32::from_le_bytes(bytes[11..15].try_into().expect("4 bytes"));
-        let mut mk_digest = [0u8; 32];
-        mk_digest.copy_from_slice(&bytes[15..47]);
-        let mut digest_salt = [0u8; 16];
-        digest_salt.copy_from_slice(&bytes[47..63]);
+        let cipher = Cipher::from_wire(cursor.u8()?).ok_or_else(|| corrupt("unknown cipher"))?;
+        let layout =
+            MetaLayout::from_wire(cursor.u8()?).ok_or_else(|| corrupt("unknown layout"))?;
+        let flags = cursor.u8()?;
+        let sector_size = cursor.u32()?;
+        let generation = cursor.u64()?;
+        let current_epoch = cursor.u32()?;
+        let rekey = match cursor.u8()? {
+            0 => {
+                cursor.take(16)?;
+                None
+            }
+            1 => {
+                let from = cursor.u32()?;
+                let to = cursor.u32()?;
+                let watermark = cursor.u64()?;
+                Some(RekeyState {
+                    from,
+                    to,
+                    watermark,
+                })
+            }
+            _ => return Err(corrupt("bad rekey flag")),
+        };
 
         let config = EncryptionConfig {
             cipher,
@@ -258,40 +645,96 @@ impl LuksHeader {
             .validate()
             .map_err(|e| CryptError::HeaderCorrupt(format!("invalid config: {e}")))?;
 
+        let epoch_count = cursor.u8()? as usize;
+        let mut epochs = Vec::with_capacity(epoch_count);
+        for _ in 0..epoch_count {
+            let epoch = cursor.u32()?;
+            let mut digest_salt = [0u8; 16];
+            digest_salt.copy_from_slice(cursor.take(16)?);
+            let mut mk_digest = [0u8; 32];
+            mk_digest.copy_from_slice(cursor.take(32)?);
+            epochs.push(EpochRecord {
+                epoch,
+                digest_salt,
+                mk_digest,
+            });
+        }
+        let retired_count = cursor.u8()? as usize;
+        let mut retired = Vec::with_capacity(retired_count);
+        for _ in 0..retired_count {
+            let epoch = cursor.u32()?;
+            let mut wrapped = [0u8; MASTER_KEY_LEN];
+            wrapped.copy_from_slice(cursor.take(MASTER_KEY_LEN)?);
+            retired.push(RetiredKey { epoch, wrapped });
+        }
         let mut slots = Vec::with_capacity(KEYSLOTS);
-        let mut cursor = HEADER_FIXED;
         for _ in 0..KEYSLOTS {
-            let active = match bytes[cursor] {
+            let active = match cursor.u8()? {
                 0 => false,
                 1 => true,
                 _ => return Err(corrupt("bad keyslot flag")),
             };
-            let iterations =
-                u32::from_le_bytes(bytes[cursor + 1..cursor + 5].try_into().expect("4 bytes"));
+            let epoch = cursor.u32()?;
+            let iterations = cursor.u32()?;
             let mut salt = [0u8; 32];
-            salt.copy_from_slice(&bytes[cursor + 5..cursor + 37]);
+            salt.copy_from_slice(cursor.take(32)?);
             let mut wrapped = [0u8; MASTER_KEY_LEN];
-            wrapped.copy_from_slice(&bytes[cursor + 37..cursor + 37 + MASTER_KEY_LEN]);
+            wrapped.copy_from_slice(cursor.take(MASTER_KEY_LEN)?);
             slots.push(Keyslot {
                 active,
+                epoch,
                 iterations,
                 salt,
                 wrapped,
             });
-            cursor += SLOT_SIZE;
+        }
+        if epochs.iter().all(|e| e.epoch != current_epoch) {
+            return Err(corrupt("current epoch has no record"));
         }
         Ok(LuksHeader {
             config,
-            digest_salt,
-            mk_digest,
+            generation,
+            current_epoch,
+            rekey,
+            epochs,
+            retired,
             slots,
         })
     }
 }
 
+/// A bounds-checked byte cursor for [`LuksHeader::decode`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.at + n > self.bytes.len() {
+            return Err(CryptError::HeaderCorrupt("truncated".into()));
+        }
+        let out = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
 /// Derives the per-purpose subkeys the IO path needs from the master
 /// key (HKDF-SHA256 with distinct info strings, so no two uses share
-/// key material).
+/// key material). Each key epoch derives its own independent set.
 #[derive(Debug)]
 pub struct DerivedKeys {
     /// XTS data key (32 or 64 bytes depending on the cipher).
@@ -311,7 +754,7 @@ impl DerivedKeys {
     #[must_use]
     pub fn derive(master: &SecretBytes, cipher: Cipher) -> DerivedKeys {
         let expand = |info: &[u8], len: usize| -> SecretBytes {
-            let prk = vdisk_crypto::kdf::hkdf_extract(b"vdisk-subkeys", master.expose());
+            let prk = hkdf_extract(b"vdisk-subkeys", master.expose());
             hkdf_expand(&prk, info, len)
         };
         let xts_len = match cipher {
@@ -352,6 +795,8 @@ mod tests {
             header.unlock(b"battery staple"),
             Err(CryptError::WrongPassphrase)
         ));
+        assert_eq!(header.current_epoch(), 0);
+        assert!(header.rekey().is_none());
     }
 
     #[test]
@@ -361,6 +806,11 @@ mod tests {
         let decoded = LuksHeader::decode(&bytes).unwrap();
         assert_eq!(decoded, header);
         assert_eq!(decoded.config(), header.config());
+        // Trailing garbage (a stale tail before its truncate lands) is
+        // ignored.
+        let mut padded = bytes;
+        padded.extend_from_slice(&[0xEE; 32]);
+        assert_eq!(LuksHeader::decode(&padded).unwrap(), header);
     }
 
     #[test]
@@ -389,8 +839,10 @@ mod tests {
     fn tampered_wrapped_key_fails_digest() {
         let (header, _) = format_default();
         let mut bytes = header.encode();
-        // Flip a byte inside keyslot 0's wrapped key region.
-        let offset = HEADER_FIXED + 1 + 4 + 32 + 5;
+        // Flip a byte inside keyslot 0's wrapped key region (the slots
+        // are the encoding's tail: KEYSLOTS slots of SLOT_SIZE bytes,
+        // wrapped key last).
+        let offset = bytes.len() - KEYSLOTS * SLOT_SIZE + SLOT_SIZE - 5;
         bytes[offset] ^= 0x01;
         let tampered = LuksHeader::decode(&bytes).unwrap();
         assert!(matches!(
@@ -404,7 +856,7 @@ mod tests {
         let (mut header, master) = format_default();
         let mut rng = SeededIvSource::new(8);
         let idx = header
-            .add_keyslot_with_iterations(b"second pass", &master, 100, &mut rng)
+            .add_keyslot_with_iterations(b"second pass", 0, &master, 100, &mut rng)
             .unwrap();
         assert_eq!(idx, 1);
         assert_eq!(header.active_keyslots(), 2);
@@ -423,13 +875,129 @@ mod tests {
         let mut rng = SeededIvSource::new(9);
         for _ in 1..KEYSLOTS {
             header
-                .add_keyslot_with_iterations(b"p", &master, 10, &mut rng)
+                .add_keyslot_with_iterations(b"p", 0, &master, 10, &mut rng)
                 .unwrap();
         }
         assert!(matches!(
-            header.add_keyslot_with_iterations(b"p", &master, 10, &mut rng),
+            header.add_keyslot_with_iterations(b"p", 0, &master, 10, &mut rng),
             Err(CryptError::NoFreeKeyslot)
         ));
+    }
+
+    #[test]
+    fn rotate_passphrase_rewraps_in_place() {
+        let (mut header, master) = format_default();
+        let mut rng = SeededIvSource::new(12);
+        let rotated = header
+            .rotate_passphrase(b"correct horse", b"fresh steed", &mut rng)
+            .unwrap();
+        assert_eq!(rotated, vec![0]);
+        assert_eq!(header.active_keyslots(), 1, "rotation adds no slot");
+        assert!(header.unlock(b"correct horse").is_err());
+        assert_eq!(
+            header.unlock(b"fresh steed").unwrap().expose(),
+            master.expose()
+        );
+        assert!(matches!(
+            header.rotate_passphrase(b"wrong", b"x", &mut rng),
+            Err(CryptError::WrongPassphrase)
+        ));
+    }
+
+    #[test]
+    fn rekey_lifecycle_epochs_slots_and_chain() {
+        let (mut header, master0) = format_default();
+        let mut rng = SeededIvSource::new(13);
+        let (from_master, to_master) = header
+            .begin_rekey(b"correct horse", b"new pass", 50, &mut rng)
+            .unwrap();
+        assert_eq!(from_master.expose(), master0.expose());
+        assert_eq!(header.current_epoch(), 1);
+        assert_eq!(
+            header.rekey(),
+            Some(RekeyState {
+                from: 0,
+                to: 1,
+                watermark: 0
+            })
+        );
+        // Old passphrase is revoked immediately; the new one unlocks
+        // both epochs through the bridge slot.
+        assert!(header.unlock(b"correct horse").is_err());
+        let unlocked = header.unlock_all(b"new pass");
+        assert_eq!(unlocked.len(), 2);
+        assert!(matches!(
+            header.begin_rekey(b"new pass", b"x", 50, &mut rng),
+            Err(CryptError::RekeyInProgress)
+        ));
+
+        header.set_rekey_watermark(1024);
+        header.finish_rekey(&from_master, &to_master).unwrap();
+        assert!(header.rekey().is_none());
+        assert_eq!(header.retired_epochs(), vec![0]);
+        // Only the new epoch remains unlockable directly...
+        let unlocked = header.unlock_all(b"new pass");
+        assert_eq!(unlocked.len(), 1);
+        assert_eq!(unlocked[0].0, 1);
+        // ...but the retired chain recovers epoch 0 from it.
+        let retired = header.unwrap_retired(&unlocked[0].1);
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].0, 0);
+        assert_eq!(retired[0].1.expose(), master0.expose());
+        assert!(matches!(
+            header.finish_rekey(&from_master, &to_master),
+            Err(CryptError::NoRekeyInProgress)
+        ));
+
+        // Round-trips through the wire form, chain included.
+        let decoded = LuksHeader::decode(&header.encode()).unwrap();
+        assert_eq!(decoded, header);
+    }
+
+    #[test]
+    fn retired_chain_unwinds_across_multiple_rekeys() {
+        let (mut header, master0) = format_default();
+        let mut rng = SeededIvSource::new(14);
+        let (m0, m1) = header
+            .begin_rekey(b"correct horse", b"p1", 50, &mut rng)
+            .unwrap();
+        header.finish_rekey(&m0, &m1).unwrap();
+        let (m1b, m2) = header.begin_rekey(b"p1", b"p2", 50, &mut rng).unwrap();
+        assert_eq!(m1b.expose(), m1.expose());
+        header.finish_rekey(&m1b, &m2).unwrap();
+
+        assert_eq!(header.current_epoch(), 2);
+        assert_eq!(header.retired_epochs(), vec![0, 1]);
+        let retired = header.unwrap_retired(&m2);
+        assert_eq!(retired.len(), 2);
+        assert_eq!(retired[0].0, 0);
+        assert_eq!(retired[0].1.expose(), master0.expose());
+        assert_eq!(retired[1].0, 1);
+        assert_eq!(retired[1].1.expose(), m1.expose());
+    }
+
+    #[test]
+    fn shred_zeroizes_every_secret_bearing_field() {
+        let (mut header, master) = format_default();
+        let mut rng = SeededIvSource::new(15);
+        let (m0, m1) = header
+            .begin_rekey(b"correct horse", b"p1", 50, &mut rng)
+            .unwrap();
+        header.finish_rekey(&m0, &m1).unwrap();
+        drop(master);
+
+        header.shred();
+        assert_eq!(header.active_keyslots(), 0);
+        assert!(header.retired_epochs().is_empty());
+        assert!(header.unlock_all(b"p1").is_empty());
+        // The encoded form carries no key material: beyond the fixed
+        // head, every byte region that held wraps/salts/digests is
+        // zero.
+        let bytes = header.encode();
+        assert!(
+            bytes[FIXED_HEAD..].iter().all(|&b| b == 0),
+            "shredded header must encode to all-zero key regions"
+        );
     }
 
     #[test]
@@ -455,6 +1023,6 @@ mod tests {
         let (header, _) = LuksHeader::format(&config, b"p", &mut rng).unwrap();
         let decoded = LuksHeader::decode(&header.encode()).unwrap();
         assert_eq!(decoded.config(), &config);
-        assert_eq!(decoded.config().meta_entry_len(), 40);
+        assert_eq!(decoded.config().meta_entry_len(), 44);
     }
 }

@@ -162,21 +162,27 @@ impl MetaCache {
     }
 
     /// Fills `count = metas.len() / entry_len` sectors from `base_lba`
-    /// with their fetched entries — called at reap time. The fill is
-    /// abandoned wholesale if `expected_generation` is stale (an
-    /// [`MetaCache::invalidate_all`] landed since the read was
+    /// with their entries — called at reap time, for both read fills
+    /// and write-through fills. The fill is abandoned wholesale if
+    /// `expected_generation` is stale (an
+    /// [`MetaCache::invalidate_all`] landed since the op was
     /// submitted); the caller has already checked the shard epoch.
-    pub(crate) fn fill(&self, base_lba: u64, metas: &[u8], expected_generation: u64) {
+    /// Returns the number of entries installed (0 when abandoned or
+    /// disabled).
+    pub(crate) fn fill(&self, base_lba: u64, metas: &[u8], expected_generation: u64) -> u64 {
         let Some(mut inner) = self.lock() else {
-            return;
+            return 0;
         };
         if inner.generation != expected_generation {
-            return;
+            return 0;
         }
         debug_assert_eq!(metas.len() % self.entry_len, 0, "whole entries only");
+        let mut installed = 0;
         for (i, entry) in metas.chunks_exact(self.entry_len).enumerate() {
             inner.insert(base_lba + i as u64, entry, self.capacity);
+            installed += 1;
         }
+        installed
     }
 
     /// Drops every cached entry in `[base_lba, base_lba + count)` —

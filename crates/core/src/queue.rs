@@ -103,6 +103,13 @@ impl<'d> EncryptedIoQueue<'d> {
         self.disk
     }
 
+    /// Mutable access to the disk for crate-internal drivers (the
+    /// rekey driver advances the watermark between its read and write
+    /// phases while the queue is open).
+    pub(crate) fn disk_mut(&mut self) -> &mut EncryptedImage {
+        self.disk
+    }
+
     /// Operations submitted and not yet reaped.
     #[must_use]
     pub fn in_flight(&self) -> usize {
@@ -190,6 +197,25 @@ impl<'d> EncryptedIoQueue<'d> {
             })
     }
 
+    /// Blocks until **any** in-flight operation has completed — the
+    /// first available, not the oldest — then reaps everything
+    /// finished. The high-QD reap primitive: a slow op at the queue
+    /// head no longer stalls the completions behind it, which is what
+    /// lets [`crate::RekeyDriver`] keep its migration window full
+    /// while client IO shares the queue. Returns an empty vector when
+    /// nothing is in flight.
+    ///
+    /// # Errors
+    ///
+    /// As [`EncryptedIoQueue::poll`].
+    pub fn wait_any(&mut self) -> Result<Vec<IoResult>> {
+        let disk: &EncryptedImage = self.disk;
+        self.reap
+            .wait_any(PendingState::is_complete, &mut |completion, state| {
+                finalize(disk, completion, state)
+            })
+    }
+
     /// Full barrier: blocks until **every** submitted operation has
     /// completed and returns their results in submission order.
     /// Everything submitted afterwards is ordered after everything
@@ -221,7 +247,11 @@ fn finalize(
             // per-op stats sum to the cluster-wide counters.
             stats.meta_cache_hits = write.rmw_hits;
             stats.meta_cache_misses = write.rmw_misses;
-            let dispatch = write.ticket.wait();
+            let dispatch = write.ticket.wait().map_err(vdisk_rbd::RbdError::from)?;
+            // Write-through fill: the entries this write persisted
+            // enter the cache now (reap time), unless a later write or
+            // snapshot was submitted to the extent's shard meanwhile.
+            stats.meta_cache_write_fills = disk.apply_write_fills(&write.fills);
             Ok(IoResult {
                 completion,
                 plan: Plan::seq([write.rmw.unwrap_or(Plan::Noop), write.crypto, dispatch]),

@@ -1,0 +1,237 @@
+//! The online rekey driver: migrates every sector of an
+//! [`EncryptedImage`] from one key epoch to the next, through the
+//! image's own [`crate::EncryptedIoQueue`], while client IO keeps
+//! flowing between steps.
+//!
+//! One [`RekeyDriver::step`] processes a bounded **window** of the
+//! image (`queue_depth × chunk_sectors` sectors past the watermark):
+//!
+//! 1. reads for every chunk in the window are submitted up front —
+//!    each captures the pre-step epoch map, and per-shard FIFO orders
+//!    it after every previously queued client write, so the reaped
+//!    plaintext is exact;
+//! 2. the in-memory watermark advances to the window end, so the
+//!    rewrites encrypt under the new epoch;
+//! 3. completions are reaped with [`crate::EncryptedIoQueue::wait_any`]
+//!    — whichever chunk's read lands first is immediately resubmitted
+//!    as a write, keeping the pipeline full instead of head-of-line
+//!    blocking on the window's slowest chunk;
+//! 4. once the window is quiet, the advanced watermark is persisted
+//!    (a CASed header update), making the progress visible to
+//!    concurrent opens.
+//!
+//! Between steps the driver owns nothing: the caller is free to run
+//! arbitrary queued IO against the image — reads and writes select
+//! keys by sector epoch (entry tags, or the watermark for the
+//! baseline), so any interleaving stays byte-exact. That is the
+//! paper's thesis applied to key management: because the virtual-disk
+//! layer owns per-sector metadata, key rotation becomes an online
+//! background activity instead of a device-level outage.
+
+use crate::encrypted_image::EncryptedImage;
+use crate::{CryptError, IoOp, IoPayload, Result};
+use std::collections::HashMap;
+
+/// Default sectors per migration chunk (64 KiB at 4 KiB sectors).
+pub const DEFAULT_CHUNK_SECTORS: u64 = 16;
+/// Default chunks in flight per step.
+pub const DEFAULT_QUEUE_DEPTH: usize = 8;
+
+/// Progress of an in-flight rekey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RekeyProgress {
+    /// The epoch being retired.
+    pub from: u32,
+    /// The epoch taking over.
+    pub to: u32,
+    /// Sectors migrated so far (the watermark).
+    pub migrated_sectors: u64,
+    /// Total sectors in the image.
+    pub total_sectors: u64,
+}
+
+impl RekeyProgress {
+    /// Whether every sector has been migrated.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.migrated_sectors >= self.total_sectors
+    }
+}
+
+/// Drives one online rekey to completion (see
+/// [`EncryptedImage::rekey_begin`], which documents the migration
+/// protocol).
+#[derive(Debug)]
+pub struct RekeyDriver {
+    from: u32,
+    to: u32,
+    chunk_sectors: u64,
+    queue_depth: usize,
+}
+
+impl RekeyDriver {
+    pub(crate) fn new(from: u32, to: u32) -> RekeyDriver {
+        RekeyDriver {
+            from,
+            to,
+            chunk_sectors: DEFAULT_CHUNK_SECTORS,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+        }
+    }
+
+    /// Overrides the migration chunk size in sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors` is 0.
+    #[must_use]
+    pub fn with_chunk_sectors(mut self, sectors: u64) -> Self {
+        assert!(sectors > 0, "chunk must cover at least one sector");
+        self.chunk_sectors = sectors;
+        self
+    }
+
+    /// Overrides how many chunks each step keeps in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0.
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be at least 1");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// The epoch pair this driver migrates.
+    #[must_use]
+    pub fn epochs(&self) -> (u32, u32) {
+        (self.from, self.to)
+    }
+
+    /// Current progress against `disk`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptError::NoRekeyInProgress`] if the image carries
+    /// no (or a different) in-flight rekey.
+    pub fn progress(&self, disk: &EncryptedImage) -> Result<RekeyProgress> {
+        let state = disk.rekey_status().ok_or(CryptError::NoRekeyInProgress)?;
+        if state.from != self.from || state.to != self.to {
+            return Err(CryptError::NoRekeyInProgress);
+        }
+        Ok(RekeyProgress {
+            from: self.from,
+            to: self.to,
+            migrated_sectors: state.watermark,
+            total_sectors: disk.total_sectors(),
+        })
+    }
+
+    /// Whether the migration has covered the whole image.
+    ///
+    /// # Errors
+    ///
+    /// As [`RekeyDriver::progress`].
+    pub fn is_complete(&self, disk: &EncryptedImage) -> Result<bool> {
+        Ok(self.progress(disk)?.is_complete())
+    }
+
+    /// Migrates one window (up to `queue_depth × chunk_sectors`
+    /// sectors past the watermark) and persists the advanced
+    /// watermark. Returns the new progress; a no-op once complete.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptError::NoRekeyInProgress`] if the image carries no
+    /// matching rekey, plus any IO-path error (nothing of the window
+    /// is considered migrated then — the watermark only advances past
+    /// fully rewritten prefixes).
+    pub fn step(&mut self, disk: &mut EncryptedImage) -> Result<RekeyProgress> {
+        let progress = self.progress(disk)?;
+        if progress.is_complete() {
+            return Ok(progress);
+        }
+        let start = progress.migrated_sectors;
+        let window_end =
+            (start + self.chunk_sectors * self.queue_depth as u64).min(progress.total_sectors);
+
+        // A window that fails mid-flight rolls the in-memory watermark
+        // back to the last fully-migrated prefix, so a retried step
+        // re-migrates it instead of silently skipping it (re-rewriting
+        // already-migrated sectors is safe: tagged layouts route by
+        // entry, and the baseline's only fallible phase-3 paths are
+        // MAC/binding failures, which require a tagged layout).
+        if let Err(e) = self.migrate_window(disk, start, window_end) {
+            disk.rollback_rekey_boundary(start);
+            return Err(e);
+        }
+        // Publish the progress. On a persist failure the rewrites have
+        // already landed, so the in-memory watermark (the truth for
+        // this handle) stays advanced; the error still propagates.
+        disk.persist_rekey_watermark()?;
+        self.progress(disk)
+    }
+
+    /// Phases 1–3 of one [`RekeyDriver::step`] window.
+    fn migrate_window(&self, disk: &mut EncryptedImage, start: u64, window_end: u64) -> Result<()> {
+        let ss = disk.sector_size();
+        let mut queue = disk.io_queue();
+        // Phase 1: submit every chunk's read. Each captures the
+        // pre-advance epoch map; FIFO pins it to the right data.
+        let mut chunk_offsets: HashMap<u64, u64> = HashMap::new();
+        let mut chunk = start;
+        while chunk < window_end {
+            let sectors = self.chunk_sectors.min(window_end - chunk);
+            let completion = queue.submit(IoOp::Read {
+                offset: chunk * ss,
+                len: sectors * ss,
+            })?;
+            chunk_offsets.insert(completion.id(), chunk * ss);
+            chunk += sectors;
+        }
+        // Phase 2: the window's rewrites encrypt under the new epoch.
+        queue.disk_mut().advance_rekey_boundary(window_end);
+        // Phase 3: pipeline — whichever read lands first is rewritten
+        // first; writes drain alongside the remaining reads.
+        while queue.in_flight() > 0 {
+            for result in queue.wait_any()? {
+                let Some(offset) = chunk_offsets.remove(&result.completion.id()) else {
+                    continue; // a rewrite completing
+                };
+                let IoPayload::Data(plaintext) = result.payload else {
+                    unreachable!("chunk reads carry data payloads");
+                };
+                queue.submit(IoOp::Write {
+                    offset,
+                    data: plaintext,
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs [`RekeyDriver::step`] until the whole image is migrated,
+    /// then [`RekeyDriver::finish`]es.
+    ///
+    /// # Errors
+    ///
+    /// As [`RekeyDriver::step`] and [`RekeyDriver::finish`].
+    pub fn drive_to_completion(mut self, disk: &mut EncryptedImage) -> Result<()> {
+        while !self.step(disk)?.is_complete() {}
+        self.finish(disk)
+    }
+
+    /// Completes the rekey: retires the old epoch's key into the
+    /// header's wrap chain and clears the rekey state (see
+    /// [`EncryptedImage::rekey_begin`]). After this the old passphrase
+    /// unlocks nothing and head reads never touch the old key again.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptError::RekeyInProgress`] if sectors remain unmigrated,
+    /// [`CryptError::HeaderContended`] on a concurrent header update.
+    pub fn finish(self, disk: &mut EncryptedImage) -> Result<()> {
+        disk.rekey_finish(self.from, self.to)
+    }
+}

@@ -1,7 +1,7 @@
 //! The per-sector codec: tweak construction, encryption, metadata
 //! entry packing, and verified decryption.
 
-use crate::config::{Cipher, EncryptionConfig};
+use crate::config::{Cipher, EncryptionConfig, KEY_EPOCH_TAG_LEN};
 use crate::luks::DerivedKeys;
 use crate::{CryptError, Result};
 use vdisk_crypto::cbc::CbcEssiv;
@@ -30,16 +30,21 @@ enum CipherInstance {
     Cbc(CbcEssiv),
 }
 
-/// Encrypts/decrypts one sector and packs/unpacks its metadata entry.
+/// Encrypts/decrypts one sector and packs/unpacks its metadata entry,
+/// under the subkeys of **one key epoch** (see [`crate::luks`]): the
+/// epoch is stamped into every entry it writes and asserted on every
+/// entry it reads. Epoch routing lives in `KeyChain`.
 #[derive(Debug)]
 pub(crate) struct SectorCodec {
     config: EncryptionConfig,
     instance: CipherInstance,
     mac_key: Vec<u8>,
+    /// The key epoch these subkeys belong to.
+    epoch: u32,
 }
 
 impl SectorCodec {
-    pub(crate) fn new(config: &EncryptionConfig, keys: &DerivedKeys) -> Result<Self> {
+    pub(crate) fn new(config: &EncryptionConfig, keys: &DerivedKeys, epoch: u32) -> Result<Self> {
         config.validate()?;
         let instance = match config.cipher {
             Cipher::Aes128Xts | Cipher::Aes256Xts => {
@@ -53,11 +58,17 @@ impl SectorCodec {
             config: config.clone(),
             instance,
             mac_key: keys.mac.expose().to_vec(),
+            epoch,
         })
     }
 
     pub(crate) fn meta_entry_len(&self) -> usize {
         self.config.meta_entry_len() as usize
+    }
+
+    /// Sector size in bytes.
+    pub(crate) fn sector_size(&self) -> usize {
+        self.config.sector_size as usize
     }
 
     /// Builds the XTS/EME2 tweak: random IV (if any) XOR LBA binding
@@ -95,62 +106,6 @@ impl SectorCodec {
         let mut entry = Vec::with_capacity(self.meta_entry_len());
         self.encrypt_into(lba, write_seq, data, &mut entry, iv_source)?;
         Ok(entry)
-    }
-
-    /// Encrypts a contiguous run of sectors in place over one buffer,
-    /// appending each sector's metadata entry to `metas` — the
-    /// batched write path. No per-sector buffers are allocated.
-    ///
-    /// `base_lba` is the logical sector number of `data[0..ss]`;
-    /// subsequent sectors bind consecutive LBAs.
-    pub(crate) fn encrypt_sectors(
-        &self,
-        base_lba: u64,
-        write_seq: u64,
-        data: &mut [u8],
-        metas: &mut Vec<u8>,
-        iv_source: &mut dyn IvSource,
-    ) -> Result<()> {
-        let ss = self.config.sector_size as usize;
-        debug_assert_eq!(data.len() % ss, 0, "whole sectors only");
-        metas.reserve(data.len() / ss * self.meta_entry_len());
-        for (i, sector) in data.chunks_exact_mut(ss).enumerate() {
-            self.encrypt_into(base_lba + i as u64, write_seq, sector, metas, iv_source)?;
-        }
-        Ok(())
-    }
-
-    /// Decrypts a contiguous run of sectors in place; `metas` holds
-    /// the packed per-sector entries (`sector_count × meta_entry_len`
-    /// bytes, empty for the baseline) — the batched read path.
-    ///
-    /// # Errors
-    ///
-    /// As [`SectorCodec::decrypt`], which also documents the replay
-    /// and integrity failure modes.
-    pub(crate) fn decrypt_sectors(
-        &self,
-        base_lba: u64,
-        read_seq_limit: Option<u64>,
-        data: &mut [u8],
-        metas: &[u8],
-    ) -> Result<()> {
-        let ss = self.config.sector_size as usize;
-        let me = self.meta_entry_len();
-        debug_assert_eq!(data.len() % ss, 0, "whole sectors only");
-        let count = data.len() / ss;
-        if me > 0 && metas.len() != count * me {
-            return Err(CryptError::HeaderCorrupt(format!(
-                "metadata run is {} bytes, expected {}",
-                metas.len(),
-                count * me
-            )));
-        }
-        for (i, sector) in data.chunks_exact_mut(ss).enumerate() {
-            let meta = &metas[i * me..(i + 1) * me];
-            self.decrypt(base_lba + i as u64, read_seq_limit, sector, meta)?;
-        }
-        Ok(())
     }
 
     /// Encrypts `data` (one full sector) in place, appending the
@@ -210,6 +165,12 @@ impl SectorCodec {
         if self.config.snapshot_binding {
             entry.extend_from_slice(&write_seq.to_le_bytes());
         }
+        if self.config.layout.is_some() {
+            // The key-epoch tag closes every stored entry, so reads
+            // route the sector to the right master key during (and
+            // after) an online rekey.
+            entry.extend_from_slice(&self.epoch.to_le_bytes());
+        }
         debug_assert_eq!(entry.len() - entry_start, self.meta_entry_len());
         Ok(())
     }
@@ -252,6 +213,15 @@ impl SectorCodec {
             data.fill(0);
             return Ok(SectorState::Unwritten);
         }
+
+        // Strip the key-epoch tag; `KeyChain` already routed this
+        // entry to the codec of its epoch.
+        let (meta, tag) = meta.split_at(meta.len() - KEY_EPOCH_TAG_LEN as usize);
+        debug_assert_eq!(
+            u32::from_le_bytes(tag.try_into().expect("4-byte epoch tag")),
+            self.epoch,
+            "entry routed to the wrong epoch's codec"
+        );
 
         let (entry, seq) = if self.config.snapshot_binding {
             let (body, seq_bytes) = meta.split_at(meta.len() - 8);
@@ -391,7 +361,7 @@ mod tests {
     fn codec(config: EncryptionConfig) -> SectorCodec {
         let master = SecretBytes::from(vec![0x5A; 64]);
         let keys = DerivedKeys::derive(&master, config.cipher);
-        SectorCodec::new(&config, &keys).unwrap()
+        SectorCodec::new(&config, &keys, 0).unwrap()
     }
 
     fn sector(fill: u8) -> Vec<u8> {
@@ -437,7 +407,7 @@ mod tests {
         let mut rng = SeededIvSource::new(3);
         let mut data = sector(0xAB);
         let entry = c.encrypt(100, 0, &mut data, &mut rng).unwrap();
-        assert_eq!(entry.len(), 16);
+        assert_eq!(entry.len(), 16 + KEY_EPOCH_TAG_LEN as usize);
         assert_eq!(
             c.decrypt(100, None, &mut data, &entry).unwrap(),
             SectorState::Written
@@ -465,7 +435,7 @@ mod tests {
     fn all_zero_meta_means_unwritten() {
         let c = codec(EncryptionConfig::random_iv(MetaLayout::ObjectEnd));
         let mut data = sector(0xFF); // garbage from disk
-        let state = c.decrypt(0, None, &mut data, &[0u8; 16]).unwrap();
+        let state = c.decrypt(0, None, &mut data, &[0u8; 20]).unwrap();
         assert_eq!(state, SectorState::Unwritten);
         assert_eq!(data, sector(0), "buffer zeroed for unwritten sector");
     }
@@ -476,7 +446,7 @@ mod tests {
         let mut rng = SeededIvSource::new(5);
         let mut data = sector(0x22);
         let entry = c.encrypt(3, 0, &mut data, &mut rng).unwrap();
-        assert_eq!(entry.len(), 32);
+        assert_eq!(entry.len(), 32 + KEY_EPOCH_TAG_LEN as usize);
         data[100] ^= 1;
         assert!(matches!(
             c.decrypt(3, None, &mut data, &entry),
@@ -501,7 +471,7 @@ mod tests {
         let mut rng = SeededIvSource::new(7);
         let mut data = sector(0x44);
         let entry = c.encrypt(9, 0, &mut data, &mut rng).unwrap();
-        assert_eq!(entry.len(), 32);
+        assert_eq!(entry.len(), 32 + KEY_EPOCH_TAG_LEN as usize);
         let mut ok = data.clone();
         assert_eq!(
             c.decrypt(9, None, &mut ok, &entry).unwrap(),
@@ -534,7 +504,7 @@ mod tests {
         let mut data = sector(0x66);
         // Written at snapshot epoch 5.
         let entry = c.encrypt(4, 5, &mut data, &mut rng).unwrap();
-        assert_eq!(entry.len(), 24);
+        assert_eq!(entry.len(), 24 + KEY_EPOCH_TAG_LEN as usize);
         // Reading snapshot 3 must reject data written at epoch 5.
         assert!(matches!(
             c.decrypt(4, Some(3), &mut data.clone(), &entry),

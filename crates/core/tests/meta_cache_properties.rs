@@ -196,8 +196,9 @@ fn run_case(layout: MetaLayout, actions: &[Action]) {
     cacheable_sectors += IMAGE_SIZE / SECTOR; // the verification read
 
     // Accounting balances: every head-read sector is exactly one hit
-    // or miss; every resident or invalidated entry traces to a miss
-    // (the capacity exceeds the image, so eviction never hides one).
+    // or miss; every resident or invalidated entry traces to a missed
+    // fetch or a write-through fill (the capacity exceeds the image,
+    // so eviction never hides one).
     let stats = cached.image().cluster().exec_stats();
     assert_eq!(
         stats.meta_cache_hits + stats.meta_cache_misses,
@@ -206,14 +207,17 @@ fn run_case(layout: MetaLayout, actions: &[Action]) {
     );
     let resident = cached.meta_cache_resident_sectors() as u64;
     assert!(
-        resident + stats.meta_cache_invalidations <= stats.meta_cache_misses,
-        "cache entries from nowhere: resident {resident} + invalidated {} > misses {}",
+        resident + stats.meta_cache_invalidations
+            <= stats.meta_cache_misses + stats.meta_cache_write_fills,
+        "cache entries from nowhere: resident {resident} + invalidated {} > misses {} + fills {}",
         stats.meta_cache_invalidations,
-        stats.meta_cache_misses
+        stats.meta_cache_misses,
+        stats.meta_cache_write_fills
     );
 
     // A full overwrite must invalidate — and account — every resident
-    // cached sector, exactly once.
+    // cached sector, exactly once; completing, it write-through fills
+    // the whole image's fresh entries.
     let inv_before = stats.meta_cache_invalidations;
     cached
         .write_owned(0, vec![0xEE; IMAGE_SIZE as usize])
@@ -224,7 +228,11 @@ fn run_case(layout: MetaLayout, actions: &[Action]) {
         resident,
         "every overwritten cached sector is accounted"
     );
-    assert_eq!(cached.meta_cache_resident_sectors(), 0);
+    assert_eq!(
+        cached.meta_cache_resident_sectors() as u64,
+        IMAGE_SIZE / SECTOR,
+        "the overwrite's own entries enter the cache at its completion"
+    );
 }
 
 /// The per-op contract: summing the `meta_cache_*` deltas over every
@@ -235,12 +243,13 @@ fn run_case(layout: MetaLayout, actions: &[Action]) {
 fn per_op_deltas_reconcile_with_cluster_totals() {
     let mut disk = make_disk(MetaLayout::ObjectEnd, true, 0xACC7);
     let mut queue = disk.io_queue();
-    let (mut hits, mut misses, mut invalidations) = (0u64, 0u64, 0u64);
+    let (mut hits, mut misses, mut invalidations, mut fills) = (0u64, 0u64, 0u64, 0u64);
     let mut tally = |results: Vec<vdisk_core::IoResult>| {
         for r in results {
             hits += r.stats.meta_cache_hits;
             misses += r.stats.meta_cache_misses;
             invalidations += r.stats.meta_cache_invalidations;
+            fills += r.stats.meta_cache_write_fills;
         }
     };
     // Seed four sectors, cache them, then: an unaligned overwrite
@@ -283,12 +292,17 @@ fn per_op_deltas_reconcile_with_cluster_totals() {
     let stats = disk.image().cluster().exec_stats();
     assert!(hits > 0, "the RMW boundary read must have hit the cache");
     assert!(invalidations > 0);
+    assert!(
+        fills > 0,
+        "queued writes must report their write-through fills"
+    );
     assert_eq!(
-        (hits, misses, invalidations),
+        (hits, misses, invalidations, fills),
         (
             stats.meta_cache_hits,
             stats.meta_cache_misses,
-            stats.meta_cache_invalidations
+            stats.meta_cache_invalidations,
+            stats.meta_cache_write_fills
         ),
         "per-op IoResult deltas must sum to the cluster-wide counters"
     );

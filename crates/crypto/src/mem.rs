@@ -163,6 +163,26 @@ pub fn from_hex(s: &str) -> Option<Vec<u8>> {
     Some(out)
 }
 
+/// Overwrites a byte slice with zeros, discouraging the optimizer from
+/// eliding the wipe — the crypto-shred primitive behind keyslot
+/// destruction (`vdisk-core`'s `secure_erase`). Best-effort like
+/// [`SecretBytes`]'s drop wipe: no `unsafe`, `std::hint::black_box` to
+/// keep the stores observable.
+///
+/// # Example
+///
+/// ```
+/// let mut key = vec![0xAAu8; 32];
+/// vdisk_crypto::mem::zeroize(&mut key);
+/// assert!(key.iter().all(|&b| b == 0));
+/// ```
+pub fn zeroize(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+    std::hint::black_box(&*buf);
+}
+
 /// XORs `src` into `dst` in place. Panics if lengths differ.
 pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "xor_in_place length mismatch");

@@ -116,6 +116,11 @@ pub struct ExecStats {
     /// snapshot made them unusable. Every overwritten cached sector is
     /// accounted here exactly once.
     pub meta_cache_invalidations: u64,
+    /// Sector entries installed into a client-side metadata cache at
+    /// **write**-reap time (write-through fills): the write already
+    /// knows the entries it persisted, so the first subsequent read
+    /// skips the metadata fetch without ever paying a miss.
+    pub meta_cache_write_fills: u64,
 }
 
 /// Default client-side metadata cache budget: 4 MiB of sector
@@ -333,6 +338,11 @@ impl Cluster {
                         return Err(RadosError::InvalidArgument("empty write".into()));
                     }
                 }
+                TxOp::CompareXattr { name, .. } => {
+                    if name.is_empty() {
+                        return Err(RadosError::InvalidArgument("empty xattr name".into()));
+                    }
+                }
                 TxOp::Truncate(_) | TxOp::SetXattr(..) | TxOp::Delete => {}
             }
         }
@@ -346,10 +356,12 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// Returns [`RadosError::InvalidArgument`] if any op is malformed;
-    /// in that case **no** op has been applied (all-or-nothing).
+    /// Returns [`RadosError::InvalidArgument`] if any op is malformed,
+    /// or [`RadosError::CompareFailed`] if a [`TxOp::CompareXattr`]
+    /// precondition did not hold at apply time; in either case **no**
+    /// op has been applied (all-or-nothing).
     pub fn execute(&self, tx: Transaction) -> Result<Plan> {
-        Ok(self.submit_txs(vec![tx], false, true)?.wait())
+        self.submit_txs(vec![tx], false, true)?.wait()
     }
 
     /// Applies many transactions under one cluster round trip and
@@ -359,9 +371,12 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns [`RadosError::InvalidArgument`] if any transaction in
-    /// the batch is malformed; no transaction has been applied then.
+    /// the batch is malformed (no transaction has been applied then),
+    /// or the first [`RadosError::CompareFailed`] if a dynamic
+    /// precondition failed at apply time (only that transaction is
+    /// skipped).
     pub fn execute_batch(&self, txs: Vec<Transaction>) -> Result<Plan> {
-        Ok(self.submit_txs(txs, true, true)?.wait())
+        self.submit_txs(txs, true, true)?.wait()
     }
 
     /// Submits a batch of transactions to the shard work queues and
@@ -686,6 +701,12 @@ impl Cluster {
         self.control
             .stats
             .record_meta_cache(hits, misses, invalidations);
+    }
+
+    /// Observability hook for write-through cache fills (see
+    /// [`ExecStats::meta_cache_write_fills`]).
+    pub fn record_meta_cache_write_fills(&self, fills: u64) {
+        self.control.stats.record_meta_cache_write_fills(fills);
     }
 
     /// The current snapshot sequence.
@@ -1346,7 +1367,7 @@ mod tests {
             assert_eq!(delta.transactions, 1);
             assert_eq!(delta.batches, 1);
             assert_eq!(delta.shard_fanout_max, 1);
-            assert!(ticket.wait().op_count() > 0);
+            assert!(ticket.wait().unwrap().op_count() > 0);
         }
         for i in 0..8 {
             assert!(c.object_exists(&format!("qd{i}")));
@@ -1419,7 +1440,7 @@ mod tests {
         tx.write(0, vec![7u8; 1024]);
         let ticket = c.submit_batch(vec![tx]).unwrap();
         assert!(ticket.is_complete(), "inline submissions apply at submit");
-        assert!(ticket.wait().op_count() > 0);
+        assert!(ticket.wait().unwrap().op_count() > 0);
         let read = c.submit_read_batch(
             None,
             vec![ObjectReads::new(
@@ -1553,6 +1574,78 @@ mod tests {
         assert_eq!(stats.meta_cache_invalidations, 1);
         let off = Cluster::builder().meta_cache_bytes(0).build();
         assert_eq!(off.meta_cache_bytes(), 0);
+    }
+
+    #[test]
+    fn compare_xattr_gates_the_whole_transaction() {
+        let c = cluster();
+        let mut tx = Transaction::new("hdr");
+        tx.compare_xattr("gen", None); // object absent: precondition holds
+        tx.write(0, b"v1".to_vec());
+        tx.set_xattr("gen", 1u64.to_le_bytes().to_vec());
+        c.execute(tx).unwrap();
+
+        // Stale writer: read gen 0 (absent), loses to the update above.
+        let mut stale = Transaction::new("hdr");
+        stale.compare_xattr("gen", None);
+        stale.write(0, b"stale".to_vec());
+        assert!(matches!(
+            c.execute(stale),
+            Err(RadosError::CompareFailed { .. })
+        ));
+        let (results, _) = c
+            .read("hdr", None, &[ReadOp::Read { offset: 0, len: 2 }])
+            .unwrap();
+        assert_eq!(results[0].as_data(), b"v1", "failed CAS must apply nothing");
+
+        // Fresh writer: expects gen 1, wins.
+        let mut fresh = Transaction::new("hdr");
+        fresh.compare_xattr("gen", Some(1u64.to_le_bytes().to_vec()));
+        fresh.write(0, b"v2".to_vec());
+        fresh.set_xattr("gen", 2u64.to_le_bytes().to_vec());
+        c.execute(fresh).unwrap();
+        let (results, _) = c
+            .read("hdr", None, &[ReadOp::Read { offset: 0, len: 2 }])
+            .unwrap();
+        assert_eq!(results[0].as_data(), b"v2");
+    }
+
+    #[test]
+    fn compare_xattr_failure_skips_only_its_transaction_in_a_batch() {
+        let c = cluster();
+        let mut guarded = Transaction::new("guarded");
+        guarded.compare_xattr("v", Some(b"nope".to_vec()));
+        guarded.write(0, vec![1; 16]);
+        let mut plain = Transaction::new("plain");
+        plain.write(0, vec![2; 16]);
+        assert!(matches!(
+            c.execute_batch(vec![guarded, plain]),
+            Err(RadosError::CompareFailed { .. })
+        ));
+        assert!(!c.object_exists("guarded"), "guarded tx applied nothing");
+        assert!(
+            c.object_exists("plain"),
+            "dynamic preconditions are per-transaction, not per-batch"
+        );
+    }
+
+    #[test]
+    fn compare_xattr_works_through_the_queued_path() {
+        let c = Cluster::builder().concurrent_apply(true).build();
+        let mut tx = Transaction::new("hdr");
+        tx.compare_xattr("gen", None);
+        tx.set_xattr("gen", b"1".to_vec());
+        tx.write(0, b"x".to_vec());
+        let ticket = c.submit_batch(vec![tx]).unwrap();
+        ticket.wait().unwrap();
+        let mut stale = Transaction::new("hdr");
+        stale.compare_xattr("gen", None);
+        stale.write(0, b"y".to_vec());
+        let ticket = c.submit_batch(vec![stale]).unwrap();
+        assert!(matches!(
+            ticket.wait(),
+            Err(RadosError::CompareFailed { .. })
+        ));
     }
 
     #[test]

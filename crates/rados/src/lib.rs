@@ -101,6 +101,15 @@ pub enum RadosError {
     },
     /// A malformed operation (e.g. zero-length write, bad range).
     InvalidArgument(String),
+    /// A [`TxOp::CompareXattr`] precondition did not hold: the object's
+    /// current state differs from what the writer read. Nothing of the
+    /// transaction has been applied; re-read and retry.
+    CompareFailed {
+        /// Object name.
+        object: String,
+        /// The xattr whose value diverged.
+        xattr: String,
+    },
     /// Scrub found replicas that disagree.
     ReplicaDivergence {
         /// Object name.
@@ -116,6 +125,12 @@ impl fmt::Display for RadosError {
                 write!(f, "object {object} has no data at {snap}")
             }
             RadosError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            RadosError::CompareFailed { object, xattr } => {
+                write!(
+                    f,
+                    "compare failed on {object} xattr {xattr}: concurrent update"
+                )
+            }
             RadosError::ReplicaDivergence { object } => {
                 write!(f, "replica divergence detected on object {object}")
             }

@@ -174,7 +174,10 @@ pub(crate) fn run_job(cp: &ControlPlane, shards: &[Shard], shard_idx: usize, job
                 let mut guard = shards[shard_idx].lock();
                 catch_unwind(AssertUnwindSafe(|| {
                     idxs.iter()
-                        .map(|&i| (i, guard.apply_tx(cp, shared.default_seq, &shared.txs[i])))
+                        .map(|&i| {
+                            let applied = guard.apply_tx(cp, shared.default_seq, &shared.txs[i]);
+                            (i, applied)
+                        })
                         .collect::<Vec<_>>()
                 }))
             };
@@ -308,13 +311,15 @@ impl<T> Progress<T> {
     }
 }
 
-/// Shared state of one write submission.
+/// Shared state of one write submission. Each slot completes with the
+/// transaction's cost plan, or with the dynamic-precondition error
+/// ([`RadosError::CompareFailed`]) that stopped that one transaction.
 pub(crate) struct ApplyShared {
     pub(crate) txs: Vec<Transaction>,
     /// Snapshot sequence captured once at submit, so every transaction
     /// of the submission sees one consistent snapshot context.
     pub(crate) default_seq: u64,
-    pub(crate) progress: Progress<Plan>,
+    pub(crate) progress: Progress<crate::Result<Plan>>,
 }
 
 /// Shared state of one read submission.
@@ -393,13 +398,26 @@ impl ApplyTicket {
     /// order — exactly what the synchronous
     /// [`crate::Cluster::execute_batch`] returns.
     ///
+    /// # Errors
+    ///
+    /// Returns the first [`crate::RadosError::CompareFailed`] if a
+    /// transaction's [`crate::TxOp::CompareXattr`] precondition did not
+    /// hold at apply time. That transaction applied nothing; other
+    /// transactions of the submission are unaffected (the batch
+    /// all-or-nothing guarantee covers static validation, not dynamic
+    /// preconditions).
+    ///
     /// # Panics
     ///
     /// Panics if a shard worker panicked while applying.
-    pub fn wait(mut self) -> Plan {
-        let plans = self.shared.progress.wait();
+    pub fn wait(mut self) -> crate::Result<Plan> {
+        let outcomes = self.shared.progress.wait();
         self.depth.close();
-        Plan::par(plans)
+        let mut plans = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            plans.push(outcome?);
+        }
+        Ok(Plan::par(plans))
     }
 
     /// Exact operation counts attributable to this submission (the

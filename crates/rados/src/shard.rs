@@ -85,17 +85,41 @@ impl ShardState {
     /// builds its cost plan. `default_seq` is the snapshot sequence
     /// captured once at batch entry, so every transaction of a batch
     /// sees one consistent snapshot context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadosError::CompareFailed`] if a
+    /// [`TxOp::CompareXattr`] precondition does not hold; the check
+    /// runs against the primary **before** any replica mutates, so a
+    /// failed transaction leaves no trace (single-object
+    /// all-or-nothing extends to dynamic preconditions).
     pub(crate) fn apply_tx(
         &mut self,
         cp: &ControlPlane,
         default_seq: u64,
         tx: &Transaction,
-    ) -> Plan {
+    ) -> Result<Plan> {
         let snapc = tx.snapc.unwrap_or(SnapContext {
             seq: SnapId(default_seq),
         });
         let acting = cp.placement.acting_set(&tx.object);
         let payload = tx.payload_bytes();
+
+        // Evaluate every precondition before any mutation — replicas
+        // are identical, so the primary's view decides.
+        for op in &tx.ops {
+            if let TxOp::CompareXattr { name, expected } = op {
+                let actual = self.osds[acting[0].0]
+                    .get(&tx.object)
+                    .and_then(|o| o.head.xattrs.get(name));
+                if actual != expected.as_ref() {
+                    return Err(RadosError::CompareFailed {
+                        object: tx.object.clone(),
+                        xattr: name.clone(),
+                    });
+                }
+            }
+        }
 
         let deferred_threshold = cp.testbed.deferred_write_threshold;
         let mut work: Vec<OsdWork> = Vec::with_capacity(acting.len());
@@ -146,6 +170,8 @@ impl ShardState {
                     TxOp::SetXattr(name, value) => {
                         object.head.xattrs.insert(name.clone(), value.clone());
                     }
+                    // Checked above, before any mutation.
+                    TxOp::CompareXattr { .. } => {}
                     TxOp::Delete => {
                         deleted = true;
                     }
@@ -158,7 +184,13 @@ impl ShardState {
             work.push(osd_work);
         }
 
-        cost::write_plan(&cp.handles, &cp.testbed, payload, &acting, &work)
+        Ok(cost::write_plan(
+            &cp.handles,
+            &cp.testbed,
+            payload,
+            &acting,
+            &work,
+        ))
     }
 
     /// Serves one object's read operations from the primary replica.

@@ -130,6 +130,7 @@ pub(crate) struct StatCounters {
     meta_cache_hits: AtomicU64,
     meta_cache_misses: AtomicU64,
     meta_cache_invalidations: AtomicU64,
+    meta_cache_write_fills: AtomicU64,
 }
 
 impl StatCounters {
@@ -189,6 +190,15 @@ impl StatCounters {
         }
     }
 
+    /// Accumulates write-through cache fills (see
+    /// [`crate::Cluster::record_meta_cache_write_fills`]).
+    pub(crate) fn record_meta_cache_write_fills(&self, fills: u64) {
+        if fills > 0 {
+            self.meta_cache_write_fills
+                .fetch_add(fills, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> ExecStats {
         ExecStats {
             transactions: self.transactions.load(Ordering::Relaxed),
@@ -200,6 +210,7 @@ impl StatCounters {
             meta_cache_hits: self.meta_cache_hits.load(Ordering::Relaxed),
             meta_cache_misses: self.meta_cache_misses.load(Ordering::Relaxed),
             meta_cache_invalidations: self.meta_cache_invalidations.load(Ordering::Relaxed),
+            meta_cache_write_fills: self.meta_cache_write_fills.load(Ordering::Relaxed),
         }
     }
 }

@@ -142,6 +142,22 @@ pub enum TxOp {
     OmapRemove(Vec<Vec<u8>>),
     /// Set an xattr.
     SetXattr(String, Vec<u8>),
+    /// Precondition: fail the whole transaction (before any of its ops
+    /// applies) unless the object's xattr `name` currently equals
+    /// `expected` (`None` = the xattr — or the whole object — must be
+    /// absent). The compare-and-swap primitive for single-object
+    /// control metadata: a client that read version N updates with
+    /// `CompareXattr(version == N) + Write + SetXattr(version = N+1)`,
+    /// and a concurrent update loses cleanly with
+    /// [`crate::RadosError::CompareFailed`] instead of silently
+    /// clobbering — how `vdisk-core` keeps encryption-header updates
+    /// atomic across handles.
+    CompareXattr {
+        /// Xattr name to check.
+        name: String,
+        /// Required current value (`None` = must be absent).
+        expected: Option<Vec<u8>>,
+    },
     /// Remove the whole object.
     Delete,
 }
@@ -212,6 +228,21 @@ impl Transaction {
         self
     }
 
+    /// Adds an xattr compare precondition (see [`TxOp::CompareXattr`]):
+    /// the transaction applies only if the xattr currently holds
+    /// `expected` (`None` = must be absent).
+    pub fn compare_xattr(
+        &mut self,
+        name: impl Into<String>,
+        expected: Option<Vec<u8>>,
+    ) -> &mut Self {
+        self.ops.push(TxOp::CompareXattr {
+            name: name.into(),
+            expected,
+        });
+        self
+    }
+
     /// Adds object deletion.
     pub fn delete(&mut self) -> &mut Self {
         self.ops.push(TxOp::Delete);
@@ -239,6 +270,9 @@ impl Transaction {
                     .sum(),
                 TxOp::OmapRemove(keys) => keys.iter().map(|k| k.len() as u64).sum(),
                 TxOp::SetXattr(name, value) => (name.len() + value.len()) as u64,
+                TxOp::CompareXattr { name, expected } => {
+                    (name.len() + expected.as_ref().map_or(0, Vec::len)) as u64
+                }
                 TxOp::Truncate(_) | TxOp::Delete => 0,
             })
             .sum()

@@ -261,7 +261,7 @@ fn async_submission_storm_matches_sequential_replay() {
                             cluster.submit_read_batch(None, read_requests(thread, batch)),
                         ));
                         if write_tickets.len() >= DEPTH {
-                            let plan = write_tickets.remove(0).wait();
+                            let plan = write_tickets.remove(0).wait().unwrap();
                             assert!(plan.op_count() > 0);
                         }
                         if read_tickets.len() >= DEPTH {

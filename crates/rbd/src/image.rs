@@ -172,7 +172,11 @@ impl Image {
         })
     }
 
-    /// Deletes an image: its header and every data object.
+    /// Deletes an image: its data objects, its header, and any
+    /// sidecar objects layered crates store next to the header
+    /// (`rbd_header.<name>.<suffix>`, e.g. the `.luks` encryption
+    /// header) — an encrypted image removed here no longer strands its
+    /// crypt header in the cluster.
     ///
     /// # Errors
     ///
@@ -186,9 +190,13 @@ impl Image {
         if !cluster.object_exists(&header) {
             return Err(RbdError::ImageNotFound(name.to_string()));
         }
-        let prefix = format!("rbd_data.{name}.");
+        let data_prefix = format!("rbd_data.{name}.");
+        let sidecar_prefix = format!("{header}.");
         for object in cluster.list_objects() {
-            if object.starts_with(&prefix) || object == header {
+            if object.starts_with(&data_prefix)
+                || object.starts_with(&sidecar_prefix)
+                || object == header
+            {
                 let mut tx = Transaction::new(object);
                 tx.delete();
                 cluster.execute(tx)?;
@@ -622,6 +630,23 @@ mod tests {
         assert!(cluster.list_objects().is_empty());
         assert!(Image::open(&cluster, "test").is_err());
         assert!(Image::remove(&cluster, "test").is_err());
+    }
+
+    #[test]
+    fn remove_deletes_sidecar_headers() {
+        // Regression: the encryption layer stores its LUKS-style header
+        // as `rbd_header.<name>.luks`; remove used to match only the
+        // data prefix and the rbd header, stranding the crypt header.
+        let (cluster, image) = setup();
+        image.write_at(0, &[1u8; 512]).unwrap();
+        let mut tx = Transaction::new("rbd_header.test.luks");
+        tx.write(0, vec![7u8; 64]);
+        cluster.execute(tx).unwrap();
+        Image::remove(&cluster, "test").unwrap();
+        assert!(
+            cluster.list_objects().is_empty(),
+            "sidecar headers must not be stranded"
+        );
     }
 
     #[test]

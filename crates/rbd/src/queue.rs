@@ -270,6 +270,37 @@ impl<P> ReapQueue<P> {
         self.poll(is_complete, finalize)
     }
 
+    /// Blocks until **any** outstanding op is finished — not
+    /// necessarily the oldest — then reaps everything finished. Where
+    /// [`ReapQueue::wait`] parks on the head of the FIFO (head-of-line
+    /// blocking when a slow op leads faster ones), this reaps
+    /// completions out of submission order as soon as they land — the
+    /// primitive a pipelined driver needs to keep its window full at
+    /// high queue depth. Empty when idle.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReapQueue::poll`].
+    pub fn wait_any<E>(
+        &mut self,
+        is_complete: impl Fn(&P) -> bool,
+        finalize: &mut impl FnMut(Completion, P) -> std::result::Result<IoResult, E>,
+    ) -> std::result::Result<Vec<IoResult>, E> {
+        if self.pending.is_empty() {
+            return Ok(std::mem::take(&mut self.completed));
+        }
+        loop {
+            if self.pending.iter().any(|(_, state)| is_complete(state)) {
+                return self.poll(is_complete, finalize);
+            }
+            // Completion is signalled through the tickets' own condvars
+            // (per submission, not per queue), so waiting on "any of
+            // them" is a bounded spin: the shard workers are actively
+            // draining, and every yield gives them the core.
+            std::thread::yield_now();
+        }
+    }
+
     /// Finalizes every outstanding op in submission order — the full
     /// barrier.
     ///
@@ -435,6 +466,22 @@ impl IoQueue {
             .wait(PendingState::is_complete, &mut Self::finalize)
     }
 
+    /// Blocks until **any** in-flight operation has completed — the
+    /// first available one, not the oldest — then reaps everything
+    /// finished. Avoids the head-of-line blocking of
+    /// [`IoQueue::wait`]: a slow multi-object op at the queue head no
+    /// longer delays reaping faster ops behind it, so a driver can
+    /// resubmit and keep the pipeline full. Returns an empty vector
+    /// when nothing is in flight.
+    ///
+    /// # Errors
+    ///
+    /// As [`IoQueue::poll`].
+    pub fn wait_any(&mut self) -> Result<Vec<IoResult>> {
+        self.reap
+            .wait_any(PendingState::is_complete, &mut Self::finalize)
+    }
+
     /// Full barrier: blocks until **every** submitted operation has
     /// completed and returns their results in submission order.
     /// Everything submitted afterwards is ordered after everything
@@ -453,7 +500,7 @@ impl IoQueue {
                 let stats = ticket.stats_delta();
                 Ok(IoResult {
                     completion,
-                    plan: ticket.wait(),
+                    plan: ticket.wait()?,
                     payload: IoPayload::None,
                     stats,
                 })
@@ -597,6 +644,37 @@ mod tests {
         }
         assert_eq!(reaped.len(), 1);
         assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn wait_any_reaps_available_completions_without_head_of_line_blocking() {
+        let mut q = queue();
+        // A large multi-object write at the queue head followed by many
+        // small disjoint ops: wait_any must keep returning whatever has
+        // finished, never insisting on the oldest op first.
+        q.submit(IoOp::Write {
+            offset: 0,
+            data: vec![0x11; 16 << 20],
+        })
+        .unwrap();
+        for i in 0..8u64 {
+            q.submit(IoOp::Write {
+                offset: (i + 4) * (4 << 20),
+                data: vec![0x22; 4096],
+            })
+            .unwrap();
+        }
+        let mut reaped = 0;
+        while q.in_flight() > 0 {
+            let results = q.wait_any().unwrap();
+            assert!(
+                !results.is_empty(),
+                "wait_any must block until something completes"
+            );
+            reaped += results.len();
+        }
+        assert_eq!(reaped, 9);
+        assert_eq!(q.wait_any().unwrap().len(), 0, "idle queue returns empty");
     }
 
     #[test]
