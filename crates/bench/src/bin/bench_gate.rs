@@ -157,6 +157,54 @@ fn run_groups() -> BTreeMap<String, u64> {
         println!("  [{label}] cache-on {on:.0} ns/op vs cache-off {off:.0} ns/op ({hits} hits)");
     }
 
+    // Large-block parallel-crypto group: 256 KiB random writes at the
+    // paper's QD 32, cache on. Each write's client-side encryption
+    // splits across 4 crypto lanes; the serial twin (1 lane) is the
+    // old single-threaded pipeline. Both sides are recorded and gated,
+    // and the multi-core scaling the pipeline exists for is asserted
+    // outright — in simulated time, so the check is host-independent.
+    // A larger image than the small-IO groups (64 objects) lets the
+    // dispatch fan out across OSDs; client-side crypto then bounds the
+    // serial pipeline, which is exactly the bottleneck the lanes
+    // remove.
+    let qd32_image: u64 = 256 << 20;
+    let qd32_spec = JobSpec {
+        pattern: IoPattern::RandWrite,
+        io_size: 256 << 10,
+        queue_depth: 32,
+        ops: 64,
+        seed: 23,
+    };
+    for (label, config) in [
+        ("luks2", EncryptionConfig::luks2_baseline()),
+        ("object-end", object_end.clone()),
+    ] {
+        let mut serial = testbed::cached_bench_disk_with_lanes(&config, qd32_image, 19, 1);
+        fio::precondition(&mut serial).expect("precondition");
+        let serial_ns = job(&mut serial, &qd32_spec);
+        let mut wide = testbed::cached_bench_disk_with_lanes(&config, qd32_image, 19, 4);
+        fio::precondition(&mut wide).expect("precondition");
+        let wide_ns = job(&mut wide, &qd32_spec);
+        let scaling = serial_ns / wide_ns;
+        assert!(
+            scaling > 1.3,
+            "{label}: parallel crypto must scale >1.3x over the serial \
+             baseline at 256 KiB / QD 32, got {scaling:.2}x \
+             ({serial_ns:.0} -> {wide_ns:.0} ns/op)"
+        );
+        println!("  [{label}] 256k qd32: serial {serial_ns:.0} ns/op, 4 lanes {wide_ns:.0} ns/op ({scaling:.2}x)");
+        record(
+            &mut results,
+            format!("randwrite-qd32-256k/{label}/serial"),
+            serial_ns,
+        );
+        record(
+            &mut results,
+            format!("randwrite-qd32-256k/{label}/lanes4"),
+            wide_ns,
+        );
+    }
+
     // Mixed 70/30 churn at QD 8 (the spec shared with the
     // batch_pipeline bench group): the invalidation path under load.
     let mut disk = testbed::cached_bench_disk(&object_end, IMAGE, 41);

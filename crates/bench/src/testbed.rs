@@ -68,6 +68,11 @@ fn bench_builder() -> vdisk_rados::ClusterBuilder {
     Cluster::builder()
         .payload_mode(PayloadMode::Discarded)
         .meta_cache_bytes(0)
+        // Pinned, not host-derived: large-block write plans split over
+        // the crypto lanes, so the lane count must not vary with the
+        // runner's core count for the simulated numbers to be
+        // bit-identical across hosts (the bench gate depends on that).
+        .crypto_lanes(4)
 }
 
 /// A fresh paper-calibrated cluster for benchmarking.
@@ -128,6 +133,43 @@ pub fn cached_bench_disk(config: &EncryptionConfig, size: u64, seed: u64) -> Enc
         bench_builder()
             .meta_cache_bytes(vdisk_rados::DEFAULT_META_CACHE_BYTES)
             .concurrent_apply(false)
+            .build(),
+        config,
+        size,
+        seed,
+    )
+}
+
+/// A [`cached_bench_disk`] with an explicit crypto-lane count — the
+/// serial-vs-parallel crypto comparison of the large-block QD 32
+/// bench group pins both sides instead of inheriting the builder's
+/// default (`lanes = 1` is the serial-crypto baseline).
+///
+/// The cluster is widened to 12 OSDs (replication factor unchanged):
+/// on the default 3-OSD map every write's payload crosses **all
+/// three** single-stream links, and at 1.55 GB/s per link that floor
+/// sits above the 1.70 GB/s serial-crypto rate — the network would
+/// hide the crypto pipeline entirely. Fanned out over 12 OSDs the
+/// links drop below the client NIC, which is where the paper's
+/// testbed actually saturates, and client-side crypto becomes the
+/// serial bottleneck the lanes exist to remove.
+///
+/// # Panics
+///
+/// Panics if image creation or formatting fails (benchmark setup).
+#[must_use]
+pub fn cached_bench_disk_with_lanes(
+    config: &EncryptionConfig,
+    size: u64,
+    seed: u64,
+    lanes: usize,
+) -> EncryptedImage {
+    disk_on(
+        bench_builder()
+            .meta_cache_bytes(vdisk_rados::DEFAULT_META_CACHE_BYTES)
+            .concurrent_apply(false)
+            .osd_count(12)
+            .crypto_lanes(lanes)
             .build(),
         config,
         size,

@@ -59,7 +59,16 @@ pub struct EncryptedImage {
     /// creation), mirrored from the crypt-header object's OMAP.
     /// Interior-mutable: `snap_create` records through `&self`.
     snap_epochs: Mutex<BTreeMap<u64, EpochMap>>,
+    /// Crypto lane count, captured from the cluster at open: large
+    /// writes split their sector run across this many scoped encrypt
+    /// threads (see [`crate::crypto_pool`]); small IOs stay serial.
+    crypto_lanes: usize,
 }
+
+/// Requests below this size encrypt serially: thread-spawn overhead
+/// dominates the codec work, and the simulated cost model likewise
+/// charges them as one crypto op.
+const CRYPTO_PARALLEL_MIN_BYTES: usize = 128 << 10;
 
 impl std::fmt::Debug for EncryptedImage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -234,6 +243,7 @@ impl EncryptedImage {
 
         let mut masters = BTreeMap::new();
         masters.insert(0, master);
+        let crypto_lanes = image.cluster().crypto_lanes();
         Ok(EncryptedImage {
             image,
             header,
@@ -243,6 +253,7 @@ impl EncryptedImage {
             geometry,
             meta_cache,
             snap_epochs: Mutex::new(BTreeMap::new()),
+            crypto_lanes,
         })
     }
 
@@ -340,6 +351,7 @@ impl EncryptedImage {
             u64::from(config.meta_entry_len()),
         );
         let meta_cache = Self::build_meta_cache(&image, &config);
+        let crypto_lanes = image.cluster().crypto_lanes();
         Ok(EncryptedImage {
             image,
             header,
@@ -349,6 +361,7 @@ impl EncryptedImage {
             geometry,
             meta_cache,
             snap_epochs: Mutex::new(snap_epochs),
+            crypto_lanes,
         })
     }
 
@@ -839,6 +852,18 @@ impl EncryptedImage {
         Ok((aligned_off, span, rmw))
     }
 
+    /// How many crypto lanes a request of `len` bytes encrypts over:
+    /// the cluster's lane count for large requests, one (serial) below
+    /// [`CRYPTO_PARALLEL_MIN_BYTES`]. Drives both the real scoped-
+    /// thread split and the simulated cost plan, so they always agree.
+    fn effective_crypto_lanes(&self, len: usize) -> usize {
+        if self.crypto_lanes > 1 && len >= CRYPTO_PARALLEL_MIN_BYTES {
+            self.crypto_lanes
+        } else {
+            1
+        }
+    }
+
     /// The synchronous aligned write over
     /// [`EncryptedImage::encrypt_batch`] (idle shards served inline).
     fn write_aligned_owned(&mut self, offset: u64, data: Vec<u8>) -> Result<Plan> {
@@ -849,8 +874,12 @@ impl EncryptedImage {
         // install the write-through fills under the same epoch rule as
         // the queued path.
         self.apply_write_fills(&fills);
-        // Client-side encryption cost precedes the dispatch.
-        let crypto = self.image.cluster().crypto_plan(len as u64);
+        // Client-side encryption cost precedes the dispatch, spread
+        // over the lanes the encrypt actually used.
+        let crypto = self
+            .image
+            .cluster()
+            .crypto_plan_parallel(len as u64, self.effective_crypto_lanes(len));
         Ok(Plan::seq([crypto, dispatch]))
     }
 
@@ -943,18 +972,23 @@ impl EncryptedImage {
         // metadata run packed in sector order alongside. The epoch map
         // picks the key per sector (tagged layouts always write the
         // current epoch; the baseline splits at the rekey watermark).
+        // The span is one contiguous LBA run (extents abut), so large
+        // requests split it across the cluster's crypto lanes — the
+        // pre-drawn IV stream keeps the ciphertext identical to a
+        // serial encode (see [`crate::crypto_pool`]).
         let mut metas = Vec::with_capacity(batch.sector_count() as usize * me);
-        for extent in &batch.extents {
-            self.chain.encrypt_sectors(
-                extent.base_lba,
-                write_seq,
-                &mut data[extent.buf_start..extent.buf_end],
-                &mut metas,
-                self.iv_source.as_mut(),
-                epochs,
-                tagged,
-            )?;
-        }
+        let lanes = self.effective_crypto_lanes(len);
+        crate::crypto_pool::encrypt_run_parallel(
+            &self.chain,
+            offset / self.geometry.sector_size,
+            write_seq,
+            &mut data,
+            &mut metas,
+            self.iv_source.as_mut(),
+            epochs,
+            tagged,
+            lanes,
+        )?;
         let cipher = SharedBuf::from_vec(data);
         let metas = SharedBuf::from_vec(metas);
         // Write-through fill candidates: this write knows exactly the
@@ -1045,7 +1079,10 @@ impl EncryptedImage {
         let (txs, len, invalidated, fills) = self.encrypt_batch(aligned_off, owned)?;
         let fills = self.capture_fill_epochs(fills);
         let ticket = self.image.cluster().submit_batch(txs)?;
-        let crypto = self.image.cluster().crypto_plan(len as u64);
+        let crypto = self
+            .image
+            .cluster()
+            .crypto_plan_parallel(len as u64, self.effective_crypto_lanes(len));
         Ok(SubmittedWrite {
             ticket,
             crypto,
@@ -1262,59 +1299,72 @@ impl EncryptedImage {
         seq_limit: Option<u64>,
         out: &mut [u8],
     ) -> Result<()> {
-        let layout = self.config().layout;
-        for ((extent, source), result) in span.batch.extents.iter().zip(&span.meta).zip(results) {
+        for (idx, result) in results.iter().enumerate() {
+            let extent = &span.batch.extents[idx];
             let dest = &mut out[extent.buf_start..extent.buf_end];
-            let Some(results) = result else {
-                dest.fill(0);
-                continue;
-            };
-            let base_lba = extent.base_lba;
-            match source {
-                ExtentMeta::Inline => match layout {
-                    None => {
-                        dest.copy_from_slice(results[0].as_data());
-                        self.chain
-                            .decrypt_sectors(base_lba, seq_limit, dest, &[], span.epochs)?;
-                    }
-                    Some(MetaLayout::Unaligned) => {
-                        let metas = self
-                            .geometry
-                            .deinterleave_unaligned_run(results[0].as_data(), dest);
-                        self.chain.decrypt_sectors(
-                            base_lba,
-                            seq_limit,
-                            dest,
-                            &metas,
-                            span.epochs,
-                        )?;
-                    }
-                    Some(MetaLayout::ObjectEnd | MetaLayout::Omap) => {
-                        unreachable!("separate-metadata layouts are never planned as inline")
-                    }
-                },
-                ExtentMeta::Cached(packed) => {
+            self.decrypt_extent_into(span, idx, result, seq_limit, dest)?;
+        }
+        Ok(())
+    }
+
+    /// Decrypts one extent of a read span into `dest` (the extent's
+    /// slice of the span buffer) — the per-extent unit behind
+    /// [`EncryptedImage::complete_read_span`], also driven
+    /// incrementally by the encrypted IO queue as each shard's data
+    /// lands. Carries the extent's reap-time cache fill.
+    pub(crate) fn decrypt_extent_into(
+        &self,
+        span: &ReadSpan,
+        idx: usize,
+        result: &Option<Vec<ReadResult>>,
+        seq_limit: Option<u64>,
+        dest: &mut [u8],
+    ) -> Result<()> {
+        let layout = self.config().layout;
+        let extent = &span.batch.extents[idx];
+        let source = &span.meta[idx];
+        let Some(results) = result else {
+            dest.fill(0);
+            return Ok(());
+        };
+        let base_lba = extent.base_lba;
+        match source {
+            ExtentMeta::Inline => match layout {
+                None => {
                     dest.copy_from_slice(results[0].as_data());
                     self.chain
-                        .decrypt_sectors(base_lba, seq_limit, dest, packed, span.epochs)?;
+                        .decrypt_sectors(base_lba, seq_limit, dest, &[], span.epochs)?;
                 }
-                ExtentMeta::Fetched { fill } => {
-                    dest.copy_from_slice(results[0].as_data());
-                    let packed: Cow<'_, [u8]> = match layout {
-                        Some(MetaLayout::ObjectEnd) => Cow::Borrowed(results[1].as_data()),
-                        Some(MetaLayout::Omap) => {
-                            Cow::Owned(self.pack_omap_metas(extent, results)?)
-                        }
-                        None | Some(MetaLayout::Unaligned) => {
-                            unreachable!("inline layouts are never planned as fetched")
-                        }
-                    };
+                Some(MetaLayout::Unaligned) => {
+                    let metas = self
+                        .geometry
+                        .deinterleave_unaligned_run(results[0].as_data(), dest);
                     self.chain
-                        .decrypt_sectors(base_lba, seq_limit, dest, &packed, span.epochs)?;
-                    if let Some((shard, epoch)) = fill {
-                        if self.image.cluster().shard_write_seq(*shard) == *epoch {
-                            self.meta_cache.fill(base_lba, &packed, span.generation);
-                        }
+                        .decrypt_sectors(base_lba, seq_limit, dest, &metas, span.epochs)?;
+                }
+                Some(MetaLayout::ObjectEnd | MetaLayout::Omap) => {
+                    unreachable!("separate-metadata layouts are never planned as inline")
+                }
+            },
+            ExtentMeta::Cached(packed) => {
+                dest.copy_from_slice(results[0].as_data());
+                self.chain
+                    .decrypt_sectors(base_lba, seq_limit, dest, packed, span.epochs)?;
+            }
+            ExtentMeta::Fetched { fill } => {
+                dest.copy_from_slice(results[0].as_data());
+                let packed: Cow<'_, [u8]> = match layout {
+                    Some(MetaLayout::ObjectEnd) => Cow::Borrowed(results[1].as_data()),
+                    Some(MetaLayout::Omap) => Cow::Owned(self.pack_omap_metas(extent, results)?),
+                    None | Some(MetaLayout::Unaligned) => {
+                        unreachable!("inline layouts are never planned as fetched")
+                    }
+                };
+                self.chain
+                    .decrypt_sectors(base_lba, seq_limit, dest, &packed, span.epochs)?;
+                if let Some((shard, epoch)) = fill {
+                    if self.image.cluster().shard_write_seq(*shard) == *epoch {
+                        self.meta_cache.fill(base_lba, &packed, span.generation);
                     }
                 }
             }

@@ -66,6 +66,7 @@
 pub mod audit;
 pub mod batch;
 mod config;
+mod crypto_pool;
 mod encrypted_image;
 mod keychain;
 pub mod layout;

@@ -41,8 +41,16 @@ fn action_strategy() -> impl Strategy<Value = Action> {
 }
 
 fn make_disk(layout: MetaLayout, seed: u64) -> EncryptedImage {
+    make_disk_with_lanes(layout, seed, None)
+}
+
+fn make_disk_with_lanes(layout: MetaLayout, seed: u64, lanes: Option<usize>) -> EncryptedImage {
     // Workers forced on so the queued path is exercised on any host.
-    let cluster = Cluster::builder().concurrent_apply(true).build();
+    let mut builder = Cluster::builder().concurrent_apply(true);
+    if let Some(lanes) = lanes {
+        builder = builder.crypto_lanes(lanes);
+    }
+    let cluster = builder.build();
     let image = Image::create_with_object_size(&cluster, "prop", IMAGE_SIZE, OBJECT_SIZE).unwrap();
     EncryptedImage::format_with_iv_source(
         image,
@@ -63,6 +71,13 @@ fn reap(results: Vec<vdisk_core::IoResult>, seen: &mut Vec<(u64, Vec<u8>)>) {
 
 fn run_case(layout: MetaLayout, actions: &[Action]) {
     let mut disk = make_disk(layout, 0xF00D);
+    drive(&mut disk, actions);
+}
+
+/// Runs `actions` through a queue over `disk`, asserting every queued
+/// read against an in-memory mirror; returns the reaped read payloads
+/// (by completion id) and the final plaintext image.
+fn drive(disk: &mut EncryptedImage, actions: &[Action]) -> (Vec<(u64, Vec<u8>)>, Vec<u8>) {
     let mut queue: EncryptedIoQueue<'_> = disk.io_queue();
 
     // Model: an in-memory mirror updated in submission order.
@@ -110,9 +125,11 @@ fn run_case(layout: MetaLayout, actions: &[Action]) {
     }
 
     // Final plaintext state matches a sequential mirror byte for byte.
+    drop(queue);
     let mut final_state = vec![0u8; IMAGE_SIZE as usize];
     disk.read(0, &mut final_state).unwrap();
     assert_eq!(final_state, mirror);
+    (seen_reads, final_state)
 }
 
 proptest! {
@@ -137,5 +154,22 @@ proptest! {
         actions in proptest::collection::vec(action_strategy(), 4..12)
     ) {
         run_case(MetaLayout::Unaligned, &actions);
+    }
+
+    /// Crypto-pool size is unobservable: the same action sequence on a
+    /// serial-crypto disk (one lane) and a parallel one (four lanes,
+    /// same IV seed) reaps identical read payloads and leaves the
+    /// identical final image — the generated lengths cross the
+    /// parallel-encrypt threshold, so the multi-lane path really runs.
+    #[test]
+    fn crypto_lane_count_is_unobservable(
+        actions in proptest::collection::vec(action_strategy(), 4..12)
+    ) {
+        let mut serial = make_disk_with_lanes(MetaLayout::ObjectEnd, 0xF00D, Some(1));
+        let mut wide = make_disk_with_lanes(MetaLayout::ObjectEnd, 0xF00D, Some(4));
+        let (reads_serial, state_serial) = drive(&mut serial, &actions);
+        let (reads_wide, state_wide) = drive(&mut wide, &actions);
+        prop_assert_eq!(reads_serial, reads_wide);
+        prop_assert_eq!(state_serial, state_wide);
     }
 }

@@ -31,7 +31,7 @@ use crate::cost::{ResourceHandles, TestbedProfile};
 use crate::placement::PlacementMap;
 use crate::queue::{
     self, ApplyShared, ApplyTicket, DepthGuard, Job, Progress, ReadOutcome, ReadShared, ReadTicket,
-    WorkerRuntime,
+    ShardHold, WorkerRuntime,
 };
 use crate::shard::Shard;
 use crate::state::ControlPlane;
@@ -140,6 +140,7 @@ pub struct ClusterBuilder {
     testbed: TestbedProfile,
     kv_cost: CostProfile,
     meta_cache_bytes: u64,
+    crypto_lanes: Option<usize>,
 }
 
 impl Default for ClusterBuilder {
@@ -154,6 +155,7 @@ impl Default for ClusterBuilder {
             testbed: TestbedProfile::default(),
             kv_cost: CostProfile::default(),
             meta_cache_bytes: DEFAULT_META_CACHE_BYTES,
+            crypto_lanes: None,
         }
     }
 }
@@ -235,6 +237,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Number of client-side crypto lanes: how many sector-crypto jobs
+    /// the encryption layer above this cluster may run in parallel,
+    /// and how many servers the simulated client-crypto resource gets
+    /// (the two must agree or simulated time would diverge from the
+    /// real work). Clamped to at least 1. Defaults to the host's
+    /// available parallelism capped at
+    /// [`TestbedProfile::default`]'s crypto worker count (4), so a
+    /// multi-core host keeps the calibrated resource while a
+    /// single-core host degenerates to serial crypto. Advisory for
+    /// upper layers, read via [`Cluster::crypto_lanes`].
+    #[must_use]
+    pub fn crypto_lanes(mut self, lanes: usize) -> Self {
+        self.crypto_lanes = Some(lanes.max(1));
+        self
+    }
+
     /// Builds the cluster.
     ///
     /// # Panics
@@ -243,7 +261,20 @@ impl ClusterBuilder {
     #[must_use]
     pub fn build(self) -> Cluster {
         let mut sim = Simulator::new();
-        let handles = self.testbed.install(&mut sim, self.osd_count);
+        let crypto_lanes = self
+            .crypto_lanes
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map_or(1, usize::from)
+                    .min(TestbedProfile::default().crypto_servers)
+            })
+            .max(1);
+        // The simulated client-crypto resource must have exactly as
+        // many servers as the encryption layer has lanes, or simulated
+        // crypto time would diverge from the real parallel work.
+        let mut testbed = self.testbed;
+        testbed.crypto_servers = crypto_lanes;
+        let handles = testbed.install(&mut sim, self.osd_count);
         let placement = PlacementMap::new(self.osd_count, self.replicas, self.pg_count);
         let shards: Arc<[Shard]> = (0..self.shard_count)
             .map(|_| Shard::new(self.osd_count))
@@ -255,12 +286,13 @@ impl ClusterBuilder {
         let control = Arc::new(ControlPlane::new(
             placement,
             handles,
-            self.testbed,
+            testbed,
             self.kv_cost,
             self.payload,
             self.shard_count,
             workers,
             self.meta_cache_bytes,
+            crypto_lanes,
         ));
         let runtime = if workers {
             WorkerRuntime::spawn(&control, &shards)
@@ -692,6 +724,40 @@ impl Cluster {
         self.control.meta_cache_bytes
     }
 
+    /// The client-side crypto parallelism resolved at build time (see
+    /// [`ClusterBuilder::crypto_lanes`]); always ≥ 1, and equal to the
+    /// simulated client-crypto resource's server count.
+    #[must_use]
+    pub fn crypto_lanes(&self) -> usize {
+        self.control.crypto_lanes
+    }
+
+    /// Parks the worker of state shard `shard` until the returned
+    /// [`ShardHold`] is released (or dropped). Jobs enqueued behind the
+    /// hold sit on the shard's FIFO in the meantime — the hook tests
+    /// use to delay a completion deliberately and prove that a client
+    /// wait parks instead of spinning. In inline mode (no workers)
+    /// there is nothing to hold and the returned handle is a
+    /// pre-released no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    #[must_use]
+    pub fn hold_shard(&self, shard: usize) -> ShardHold {
+        assert!(shard < self.shards.len(), "shard index out of range");
+        let gate = Arc::new(Progress::new(1));
+        match self.runtime.queues() {
+            Some(queues) => {
+                queues[shard].push(Job::Hold {
+                    gate: Arc::clone(&gate),
+                });
+                ShardHold::new(gate, false)
+            }
+            None => ShardHold::new(gate, true),
+        }
+    }
+
     /// Observability hook for client-side metadata caches layered
     /// above the store (the encryption layer's IV cache): accumulates
     /// the given deltas into [`ExecStats::meta_cache_hits`] /
@@ -762,6 +828,25 @@ impl Cluster {
     #[must_use]
     pub fn crypto_plan(&self, bytes: u64) -> Plan {
         Plan::op(self.control.handles.client_crypto, bytes)
+    }
+
+    /// A crypto plan whose `bytes` of work are split over `lanes`
+    /// near-equal parallel chunks — the cost shape of the encryption
+    /// layer running one sector-crypto job per lane. Degenerates to
+    /// [`Cluster::crypto_plan`] at one lane (or when the split would
+    /// produce empty chunks).
+    #[must_use]
+    pub fn crypto_plan_parallel(&self, bytes: u64, lanes: usize) -> Plan {
+        if lanes <= 1 || bytes < lanes as u64 {
+            return self.crypto_plan(bytes);
+        }
+        let lanes = lanes as u64;
+        let chunk = bytes / lanes;
+        let remainder = bytes % lanes;
+        Plan::par((0..lanes).map(|lane| {
+            let extra = u64::from(lane < remainder);
+            Plan::op(self.control.handles.client_crypto, chunk + extra)
+        }))
     }
 
     /// Runs pre-built plans in a closed loop (fio-style, fixed queue

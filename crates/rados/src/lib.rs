@@ -69,7 +69,7 @@ pub use cluster::{
 pub use cost::{ResourceHandles, TestbedProfile};
 pub use object::{ObjectStat, PHYS_BLOCK};
 pub use placement::{OsdId, PlacementMap};
-pub use queue::{ApplyTicket, ReadTicket};
+pub use queue::{ApplyTicket, Doorbell, ReadTicket, ShardHold};
 pub use transaction::{ObjectReads, ReadOp, ReadResult, SharedBuf, SnapContext, Transaction, TxOp};
 
 use std::error::Error as StdError;

@@ -47,6 +47,11 @@ pub(crate) enum Job {
         shared: Arc<Progress<()>>,
         slot: usize,
     },
+    /// A deliberate stall (see `Cluster::hold_shard`): the worker parks
+    /// on the gate until the corresponding [`ShardHold`] is released.
+    /// Like `Flush`, it carries no work and stays invisible to the
+    /// admission/concurrency counters.
+    Hold { gate: Arc<Progress<()>> },
 }
 
 /// A FIFO job queue with blocking pop — one per shard.
@@ -228,11 +233,80 @@ pub(crate) fn run_job(cp: &ControlPlane, shards: &[Shard], shard_idx: usize, job
             // admission/concurrency counters.
             shared.complete(vec![(slot, ())]);
         }
+        Job::Hold { gate } => {
+            let _ = gate.wait();
+        }
     }
 }
 
 fn exit_shard(cp: &ControlPlane, shards: &[Shard], shard_idx: usize) {
     shards[shard_idx].job_done(&cp.stats);
+}
+
+/// A parking/wakeup completion signal shared between a reaping client
+/// and the shard workers: a generation counter plus a condvar.
+///
+/// Workers **ring** the bell every time a slot of a subscribed
+/// submission completes (see [`ApplyTicket::subscribe`] /
+/// [`ReadTicket::subscribe`]). A reaper snapshots the
+/// [`generation`](Doorbell::generation) *before* scanning its pending
+/// operations for progress and, if nothing is ready, parks in
+/// [`wait_past`](Doorbell::wait_past). Any ring after the snapshot
+/// bumps the generation, so the reaper can never sleep through a
+/// completion (no lost wakeups) — and never spins while idle.
+pub struct Doorbell {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Doorbell {
+    /// A fresh, shareable bell at generation zero.
+    #[must_use]
+    pub fn new() -> Arc<Doorbell> {
+        Arc::new(Doorbell {
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The current generation. Snapshot this **before** scanning for
+    /// completed work, then hand it to [`Doorbell::wait_past`].
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        *self
+            .generation
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Rings the bell: bumps the generation and wakes every parked
+    /// waiter.
+    pub fn ring(&self) {
+        let mut generation = self
+            .generation
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *generation += 1;
+        drop(generation);
+        self.cv.notify_all();
+    }
+
+    /// Parks until the generation moves past `seen`; returns
+    /// immediately if it already has. Returns the generation observed
+    /// on wakeup.
+    pub fn wait_past(&self, seen: u64) -> u64 {
+        let mut generation = self
+            .generation
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *generation == seen {
+            generation = self
+                .cv
+                .wait(generation)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        *generation
+    }
 }
 
 /// Completion state shared between a submission's jobs and its ticket:
@@ -246,6 +320,11 @@ struct ProgressState<T> {
     slots: Vec<Option<T>>,
     remaining: usize,
     poisoned: bool,
+    /// Bells rung on every slot completion (and on poison), so reapers
+    /// parked on a [`Doorbell`] wake as each shard's part lands.
+    subscribers: Vec<Arc<Doorbell>>,
+    /// Slots already drained by [`Progress::take_ready`].
+    taken: usize,
 }
 
 impl<T> Progress<T> {
@@ -255,6 +334,8 @@ impl<T> Progress<T> {
                 slots: (0..items).map(|_| None).collect(),
                 remaining: items,
                 poisoned: false,
+                subscribers: Vec::new(),
+                taken: 0,
             }),
             cv: Condvar::new(),
         }
@@ -264,7 +345,9 @@ impl<T> Progress<T> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Fills completed slots; signals waiters when the last slot lands.
+    /// Fills completed slots; signals waiters when the last slot lands
+    /// and rings every subscribed doorbell on **each** call, so parked
+    /// reapers wake per shard rather than per submission.
     pub(crate) fn complete(&self, items: Vec<(usize, T)>) {
         let mut guard = self.lock();
         for (i, item) in items {
@@ -275,6 +358,11 @@ impl<T> Progress<T> {
         if guard.remaining == 0 {
             self.cv.notify_all();
         }
+        let bells = guard.subscribers.clone();
+        drop(guard);
+        for bell in bells {
+            bell.ring();
+        }
     }
 
     /// Marks the submission failed by a panicking worker.
@@ -282,6 +370,47 @@ impl<T> Progress<T> {
         let mut guard = self.lock();
         guard.poisoned = true;
         self.cv.notify_all();
+        let bells = std::mem::take(&mut guard.subscribers);
+        drop(guard);
+        for bell in bells {
+            bell.ring();
+        }
+    }
+
+    /// Registers a bell to ring on every future slot completion. Rings
+    /// it immediately if the submission is already done, so a reaper
+    /// subscribing late never parks past a finished op.
+    pub(crate) fn subscribe(&self, bell: &Arc<Doorbell>) {
+        let mut guard = self.lock();
+        guard.subscribers.push(Arc::clone(bell));
+        let done = guard.remaining == 0 || guard.poisoned;
+        drop(guard);
+        if done {
+            bell.ring();
+        }
+    }
+
+    /// Drains every completed-but-undrained slot without blocking,
+    /// returning `(slot, item)` pairs plus the number of slots still
+    /// undrained. Use either this **or** [`Progress::wait`] on one
+    /// submission, never both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked while serving this submission
+    /// (as [`Progress::wait`]).
+    pub(crate) fn take_ready(&self) -> (Vec<(usize, T)>, usize) {
+        let mut guard = self.lock();
+        assert!(!guard.poisoned, "shard worker panicked");
+        let mut items = Vec::new();
+        for (i, slot) in guard.slots.iter_mut().enumerate() {
+            if let Some(item) = slot.take() {
+                items.push((i, item));
+            }
+        }
+        guard.taken += items.len();
+        let undrained = guard.slots.len() - guard.taken;
+        (items, undrained)
     }
 
     /// True once every slot has completed.
@@ -375,6 +504,44 @@ impl Drop for DepthGuard {
     }
 }
 
+/// Keeps one shard's worker deliberately parked until released (or
+/// dropped) — the test hook behind [`crate::Cluster::hold_shard`] for
+/// proving that client-side waits park instead of spinning while a
+/// completion is delayed. Jobs enqueued behind the hold sit in the
+/// shard's FIFO until release. In inline mode (no workers) there is
+/// nothing to hold and the handle is a pre-released no-op.
+pub struct ShardHold {
+    gate: Arc<Progress<()>>,
+    released: bool,
+}
+
+impl ShardHold {
+    pub(crate) fn new(gate: Arc<Progress<()>>, released: bool) -> ShardHold {
+        ShardHold { gate, released }
+    }
+
+    /// Releases the held worker. Idempotent; also runs on drop, so a
+    /// leaked hold cannot wedge the cluster's shutdown.
+    pub fn release(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.gate.complete(vec![(0, ())]);
+        }
+    }
+}
+
+impl Drop for ShardHold {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+impl std::fmt::Debug for ShardHold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardHold(released: {})", self.released)
+    }
+}
+
 /// An in-flight write submission (from [`crate::Cluster::submit_batch`]).
 ///
 /// Holding the ticket keeps the submission's buffers alive; dropping it
@@ -391,6 +558,14 @@ impl ApplyTicket {
     #[must_use]
     pub fn is_complete(&self) -> bool {
         self.shared.progress.is_done()
+    }
+
+    /// Registers `bell` to be rung each time a shard finishes its part
+    /// of this submission (and once more if it is already complete), so
+    /// a reaper can park on the bell instead of polling
+    /// [`ApplyTicket::is_complete`].
+    pub fn subscribe(&self, bell: &Arc<Doorbell>) {
+        self.shared.progress.subscribe(bell);
     }
 
     /// Blocks until the submission has fully applied and returns
@@ -454,6 +629,46 @@ impl ReadTicket {
     #[must_use]
     pub fn is_complete(&self) -> bool {
         self.shared.progress.is_done()
+    }
+
+    /// Registers `bell` to be rung each time a shard finishes its part
+    /// of this submission (and once more if it is already complete), so
+    /// a reaper can park on the bell and drain landed results
+    /// incrementally via [`ReadTicket::take_ready`].
+    pub fn subscribe(&self, bell: &Arc<Doorbell>) {
+        self.shared.progress.subscribe(bell);
+    }
+
+    /// Drains the request slots whose results have already landed,
+    /// without blocking: one `(slot, results, plan)` triple per newly
+    /// completed request, where `results` is `None` for objects absent
+    /// now or at the snapshot. Closes the queue-depth bracket once the
+    /// last slot is drained. Use either this **or**
+    /// [`ReadTicket::wait`] on one ticket, never both.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error other than a missing object/snapshot;
+    /// the submission should be abandoned then.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked while serving.
+    #[allow(clippy::type_complexity)]
+    pub fn take_ready(&mut self) -> crate::Result<Vec<(usize, Option<Vec<ReadResult>>, Plan)>> {
+        let (items, undrained) = self.shared.progress.take_ready();
+        if undrained == 0 {
+            self.depth.close();
+        }
+        let mut out = Vec::with_capacity(items.len());
+        for (i, outcome) in items {
+            match outcome {
+                ReadOutcome::Hit(res, plan) => out.push((i, Some(res), plan)),
+                ReadOutcome::Miss(_, plan) => out.push((i, None, plan)),
+                ReadOutcome::Fail(e) => return Err(e),
+            }
+        }
+        Ok(out)
     }
 
     /// Blocks until the submission has fully completed. Returns one
@@ -536,6 +751,37 @@ mod tests {
         let p: Progress<u32> = Progress::new(1);
         p.poison();
         let _ = p.wait();
+    }
+
+    #[test]
+    fn doorbell_rings_on_every_partial_completion() {
+        let p: Progress<u32> = Progress::new(2);
+        let bell = Doorbell::new();
+        p.subscribe(&bell);
+        let g0 = bell.generation();
+        p.complete(vec![(1, 10)]);
+        let g1 = bell.wait_past(g0);
+        assert!(g1 > g0, "each slot completion must ring the bell");
+        let (items, undrained) = p.take_ready();
+        assert_eq!(items, vec![(1, 10)]);
+        assert_eq!(undrained, 1);
+        p.complete(vec![(0, 0)]);
+        bell.wait_past(g1);
+        let (items, undrained) = p.take_ready();
+        assert_eq!(items, vec![(0, 0)]);
+        assert_eq!(undrained, 0);
+    }
+
+    #[test]
+    fn subscribing_to_a_done_submission_rings_immediately() {
+        let p: Progress<u32> = Progress::new(0);
+        let bell = Doorbell::new();
+        let g0 = bell.generation();
+        p.subscribe(&bell);
+        assert!(
+            bell.generation() > g0,
+            "late subscription to a finished submission must not park"
+        );
     }
 
     #[test]

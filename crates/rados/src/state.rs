@@ -32,6 +32,11 @@ pub(crate) struct ControlPlane {
     /// [`crate::ClusterBuilder::meta_cache_bytes`]); advisory for upper
     /// layers, unused inside the store.
     pub(crate) meta_cache_bytes: u64,
+    /// Client-side crypto parallelism (see
+    /// [`crate::ClusterBuilder::crypto_lanes`]): resolved at build
+    /// time, always ≥ 1, and equal to the simulated client-crypto
+    /// resource's server count. Advisory for upper layers.
+    pub(crate) crypto_lanes: usize,
     /// Cluster-wide self-managed snapshot sequence.
     snap_seq: AtomicU64,
     /// Per-shard write-submission epochs: `write_seqs[s]` advances
@@ -60,6 +65,7 @@ impl ControlPlane {
         shard_count: usize,
         workers: bool,
         meta_cache_bytes: u64,
+        crypto_lanes: usize,
     ) -> Self {
         ControlPlane {
             placement,
@@ -70,6 +76,7 @@ impl ControlPlane {
             shard_count,
             workers,
             meta_cache_bytes,
+            crypto_lanes,
             snap_seq: AtomicU64::new(0),
             write_seqs: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
             stats: StatCounters::default(),

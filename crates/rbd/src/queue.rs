@@ -46,7 +46,8 @@ use crate::image::Image;
 use crate::striping::ObjectExtent;
 use crate::Result;
 use std::collections::{BTreeMap, VecDeque};
-use vdisk_rados::{ApplyTicket, ExecStats, ReadTicket, SharedBuf, Transaction};
+use std::sync::Arc;
+use vdisk_rados::{ApplyTicket, Doorbell, ExecStats, ReadTicket, SharedBuf, Transaction};
 use vdisk_sim::Plan;
 
 /// One submitted operation.
@@ -186,12 +187,32 @@ pub struct IoResult {
     pub stats: ExecStats,
 }
 
+/// Per-op pending state usable with [`ReapQueue`]: at submission the
+/// engine subscribes each op's completion signal(s) to the queue's
+/// [`Doorbell`], so shard workers ring the reaper as parts land.
+#[doc(hidden)]
+pub trait PendingOp {
+    /// Subscribes the op's completion signal(s) to `bell`.
+    fn subscribe(&self, bell: &Arc<Doorbell>);
+}
+
 /// The submission-tracking/reap engine shared by this queue and the
 /// encrypted queue in `vdisk-core`, generic over the per-op pending
-/// state: completion-id allotment, the poll/wait/fence scan order, and
-/// the error-retention rule (a failed finalize consumes exactly one
-/// op; completions already finalized stay staged and are delivered by
-/// the next reap call) live in exactly one place.
+/// state: completion-id allotment, the poll/wait/fence scan order, the
+/// parked (zero-spin) blocking protocol, and the error-retention rule
+/// (a failed advance or finalize consumes exactly one op; completions
+/// already finalized stay staged and are delivered by the next reap
+/// call) live in exactly one place.
+///
+/// **Completion model**: every pushed op subscribes the queue's
+/// [`Doorbell`] (see [`PendingOp`]); shard workers ring it as each
+/// part of a submission completes. A blocking reap snapshots the
+/// bell's generation, runs `advance` over the candidate op(s) — which
+/// may make incremental progress, e.g. decrypting extents whose data
+/// has landed — and, if nothing finished, parks in
+/// [`Doorbell::wait_past`]. Rings after the snapshot bump the
+/// generation, so completions can never be slept through, and an idle
+/// wait burns no CPU.
 #[doc(hidden)]
 pub struct ReapQueue<P> {
     pending: VecDeque<(u64, P)>,
@@ -199,6 +220,14 @@ pub struct ReapQueue<P> {
     /// reap errors).
     completed: Vec<IoResult>,
     next_id: u64,
+    /// The queue's doorbell: every pending op is subscribed at push
+    /// time, and shard workers ring it as each part completes.
+    bell: Arc<Doorbell>,
+    /// Times a blocking reap found nothing finished and parked — the
+    /// observable proof that waiting is event-driven, not a spin (a
+    /// busy-wait implementation would count thousands of passes per
+    /// delayed completion; parking counts one per wakeup).
+    idle_passes: u64,
 }
 
 impl<P> Default for ReapQueue<P> {
@@ -207,7 +236,21 @@ impl<P> Default for ReapQueue<P> {
             pending: VecDeque::new(),
             completed: Vec::new(),
             next_id: 0,
+            bell: Doorbell::new(),
+            idle_passes: 0,
         }
+    }
+}
+
+impl<P: PendingOp> ReapQueue<P> {
+    /// Tracks a newly submitted op, subscribing it to the queue's
+    /// doorbell and returning its completion token.
+    pub fn push(&mut self, state: P) -> Completion {
+        state.subscribe(&self.bell);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push_back((id, state));
+        Completion(id)
     }
 }
 
@@ -218,41 +261,49 @@ impl<P> ReapQueue<P> {
         self.pending.len()
     }
 
-    /// Tracks a newly submitted op, returning its completion token.
-    pub fn push(&mut self, state: P) -> Completion {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.pending.push_back((id, state));
-        Completion(id)
+    /// How many times a blocking reap (`wait`/`wait_any`/`fence`)
+    /// found nothing finished and parked on the doorbell. Stays ~0
+    /// for completions that land before the reap; increments once per
+    /// park-and-wakeup, never per spin iteration.
+    #[must_use]
+    pub fn idle_passes(&self) -> u64 {
+        self.idle_passes
     }
 
-    /// Reaps every op `is_complete` deems finished, without blocking,
-    /// in submission order.
+    /// Reaps every op `advance` reports finished, without blocking, in
+    /// submission order. `advance` may make incremental progress on an
+    /// op (it is called repeatedly and must be idempotent once the op
+    /// has finished).
     ///
     /// # Errors
     ///
-    /// Propagates the first finalize error; that op is consumed with
-    /// it, while completions already finalized stay staged for the
-    /// next reap call.
+    /// Propagates the first advance or finalize error; that op is
+    /// consumed with it, while completions already finalized stay
+    /// staged for the next reap call.
     pub fn poll<E>(
         &mut self,
-        is_complete: impl Fn(&P) -> bool,
+        advance: &mut impl FnMut(&mut P) -> std::result::Result<bool, E>,
         finalize: &mut impl FnMut(Completion, P) -> std::result::Result<IoResult, E>,
     ) -> std::result::Result<Vec<IoResult>, E> {
         let mut i = 0;
         while i < self.pending.len() {
-            if is_complete(&self.pending[i].1) {
-                let (id, state) = self.pending.remove(i).expect("index in range");
-                let result = finalize(Completion(id), state)?;
-                self.completed.push(result);
-            } else {
-                i += 1;
+            match advance(&mut self.pending[i].1) {
+                Ok(true) => {
+                    let (id, state) = self.pending.remove(i).expect("index in range");
+                    let result = finalize(Completion(id), state)?;
+                    self.completed.push(result);
+                }
+                Ok(false) => i += 1,
+                Err(e) => {
+                    self.pending.remove(i);
+                    return Err(e);
+                }
             }
         }
         Ok(std::mem::take(&mut self.completed))
     }
 
-    /// Finalizes the oldest outstanding op (blocking in its finalize),
+    /// Parks until the oldest outstanding op finishes, finalizes it,
     /// then reaps everything else finished. Empty when idle.
     ///
     /// # Errors
@@ -260,17 +311,19 @@ impl<P> ReapQueue<P> {
     /// As [`ReapQueue::poll`].
     pub fn wait<E>(
         &mut self,
-        is_complete: impl Fn(&P) -> bool,
+        advance: &mut impl FnMut(&mut P) -> std::result::Result<bool, E>,
         finalize: &mut impl FnMut(Completion, P) -> std::result::Result<IoResult, E>,
     ) -> std::result::Result<Vec<IoResult>, E> {
-        if let Some((id, state)) = self.pending.pop_front() {
+        if !self.pending.is_empty() {
+            self.park_until_front_finishes(advance)?;
+            let (id, state) = self.pending.pop_front().expect("checked non-empty");
             let result = finalize(Completion(id), state)?;
             self.completed.push(result);
         }
-        self.poll(is_complete, finalize)
+        self.poll(advance, finalize)
     }
 
-    /// Blocks until **any** outstanding op is finished — not
+    /// Parks until **any** outstanding op is finished — not
     /// necessarily the oldest — then reaps everything finished. Where
     /// [`ReapQueue::wait`] parks on the head of the FIFO (head-of-line
     /// blocking when a slow op leads faster ones), this reaps
@@ -283,39 +336,77 @@ impl<P> ReapQueue<P> {
     /// As [`ReapQueue::poll`].
     pub fn wait_any<E>(
         &mut self,
-        is_complete: impl Fn(&P) -> bool,
+        advance: &mut impl FnMut(&mut P) -> std::result::Result<bool, E>,
         finalize: &mut impl FnMut(Completion, P) -> std::result::Result<IoResult, E>,
     ) -> std::result::Result<Vec<IoResult>, E> {
         if self.pending.is_empty() {
             return Ok(std::mem::take(&mut self.completed));
         }
         loop {
-            if self.pending.iter().any(|(_, state)| is_complete(state)) {
-                return self.poll(is_complete, finalize);
+            let seen = self.bell.generation();
+            let mut any_finished = false;
+            let mut i = 0;
+            while i < self.pending.len() {
+                match advance(&mut self.pending[i].1) {
+                    Ok(finished) => {
+                        any_finished |= finished;
+                        i += 1;
+                    }
+                    Err(e) => {
+                        self.pending.remove(i);
+                        return Err(e);
+                    }
+                }
             }
-            // Completion is signalled through the tickets' own condvars
-            // (per submission, not per queue), so waiting on "any of
-            // them" is a bounded spin: the shard workers are actively
-            // draining, and every yield gives them the core.
-            std::thread::yield_now();
+            if any_finished {
+                return self.poll(advance, finalize);
+            }
+            self.idle_passes += 1;
+            self.bell.wait_past(seen);
         }
     }
 
     /// Finalizes every outstanding op in submission order — the full
-    /// barrier.
+    /// barrier — parking (never spinning) while ops are still in
+    /// flight.
     ///
     /// # Errors
     ///
     /// As [`ReapQueue::poll`].
     pub fn fence<E>(
         &mut self,
+        advance: &mut impl FnMut(&mut P) -> std::result::Result<bool, E>,
         finalize: &mut impl FnMut(Completion, P) -> std::result::Result<IoResult, E>,
     ) -> std::result::Result<Vec<IoResult>, E> {
-        while let Some((id, state)) = self.pending.pop_front() {
+        while !self.pending.is_empty() {
+            self.park_until_front_finishes(advance)?;
+            let (id, state) = self.pending.pop_front().expect("checked non-empty");
             let result = finalize(Completion(id), state)?;
             self.completed.push(result);
         }
         Ok(std::mem::take(&mut self.completed))
+    }
+
+    /// The parked blocking protocol on the FIFO head: snapshot the
+    /// bell, try to advance, park past the snapshot if unfinished.
+    fn park_until_front_finishes<E>(
+        &mut self,
+        advance: &mut impl FnMut(&mut P) -> std::result::Result<bool, E>,
+    ) -> std::result::Result<(), E> {
+        loop {
+            let seen = self.bell.generation();
+            match advance(&mut self.pending[0].1) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {
+                    self.idle_passes += 1;
+                    self.bell.wait_past(seen);
+                }
+                Err(e) => {
+                    self.pending.pop_front();
+                    return Err(e);
+                }
+            }
+        }
     }
 }
 
@@ -335,6 +426,15 @@ impl PendingState {
         match self {
             PendingState::Write(ticket) => ticket.is_complete(),
             PendingState::Read { ticket, .. } => ticket.is_complete(),
+        }
+    }
+}
+
+impl PendingOp for PendingState {
+    fn subscribe(&self, bell: &Arc<Doorbell>) {
+        match self {
+            PendingState::Write(ticket) => ticket.subscribe(bell),
+            PendingState::Read { ticket, .. } => ticket.subscribe(bell),
         }
     }
 }
@@ -366,6 +466,16 @@ impl IoQueue {
     #[must_use]
     pub fn in_flight(&self) -> usize {
         self.reap.in_flight()
+    }
+
+    /// How many times a blocking reap (`wait`/`wait_any`/`fence`)
+    /// parked on the queue's doorbell because nothing had finished
+    /// yet. One count per park-and-wakeup — never per loop iteration —
+    /// so it stays ~0 unless completions are genuinely outpaced, even
+    /// while a wait blocks for a long time.
+    #[must_use]
+    pub fn idle_passes(&self) -> u64 {
+        self.reap.idle_passes()
     }
 
     /// Submits one operation; returns its completion token
@@ -450,8 +560,7 @@ impl IoQueue {
     /// finalized (in this pass or an earlier failed one) are retained
     /// and delivered by the next reap call.
     pub fn poll(&mut self) -> Result<Vec<IoResult>> {
-        self.reap
-            .poll(PendingState::is_complete, &mut Self::finalize)
+        self.reap.poll(&mut Self::advance, &mut Self::finalize)
     }
 
     /// Blocks until at least one operation completes (the oldest
@@ -462,8 +571,7 @@ impl IoQueue {
     ///
     /// As [`IoQueue::poll`].
     pub fn wait(&mut self) -> Result<Vec<IoResult>> {
-        self.reap
-            .wait(PendingState::is_complete, &mut Self::finalize)
+        self.reap.wait(&mut Self::advance, &mut Self::finalize)
     }
 
     /// Blocks until **any** in-flight operation has completed — the
@@ -478,8 +586,7 @@ impl IoQueue {
     ///
     /// As [`IoQueue::poll`].
     pub fn wait_any(&mut self) -> Result<Vec<IoResult>> {
-        self.reap
-            .wait_any(PendingState::is_complete, &mut Self::finalize)
+        self.reap.wait_any(&mut Self::advance, &mut Self::finalize)
     }
 
     /// Full barrier: blocks until **every** submitted operation has
@@ -491,7 +598,11 @@ impl IoQueue {
     ///
     /// As [`IoQueue::poll`].
     pub fn fence(&mut self) -> Result<Vec<IoResult>> {
-        self.reap.fence(&mut Self::finalize)
+        self.reap.fence(&mut Self::advance, &mut Self::finalize)
+    }
+
+    fn advance(state: &mut PendingState) -> Result<bool> {
+        Ok(state.is_complete())
     }
 
     fn finalize(completion: Completion, state: PendingState) -> Result<IoResult> {
@@ -633,15 +744,10 @@ mod tests {
             data: vec![7; 512],
         })
         .unwrap();
-        // Everything completes eventually; poll in a bounded loop.
-        let mut reaped = Vec::new();
-        for _ in 0..10_000 {
-            reaped.extend(q.poll().unwrap());
-            if q.in_flight() == 0 {
-                break;
-            }
-            std::thread::yield_now();
-        }
+        // poll never blocks (it may reap zero ops); wait parks until
+        // the op finishes — no spinning anywhere.
+        let mut reaped = q.poll().unwrap();
+        reaped.extend(q.wait().unwrap());
         assert_eq!(reaped.len(), 1);
         assert_eq!(q.in_flight(), 0);
     }

@@ -46,8 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // damage_replica only touches replicas; to corrupt what the client
     // reads, damage replica 1 and repair FROM it is impossible — so
     // instead rewrite one ciphertext byte via a raw transaction.
+    // Flip the stored byte (a constant could collide with the random
+    // ciphertext 1 time in 256 and leave it unchanged).
+    let mut cipher_byte = [0u8; 1];
+    disk.image().read_at(100, &mut cipher_byte)?;
     let mut tx = vdisk::rados::Transaction::new(object);
-    tx.write(100, vec![0xFF]);
+    tx.write(100, vec![cipher_byte[0] ^ 0xFF]);
     cluster.execute(tx)?;
     match disk.read(0, &mut buf) {
         Err(CryptError::IntegrityViolation { lba }) => {
@@ -72,8 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("GCM round-trip OK (nonce + tag in the 32-byte metadata entry)");
 
     let object = disk.image().object_name(0);
+    let mut cipher_byte = [0u8; 1];
+    disk.image().read_at(4096 + 10, &mut cipher_byte)?;
     let mut tx = vdisk::rados::Transaction::new(object);
-    tx.write(4096 + 10, vec![0xAA]);
+    tx.write(4096 + 10, vec![cipher_byte[0] ^ 0xFF]);
     cluster.execute(tx)?;
     assert!(matches!(
         disk.read(4096, &mut buf),
