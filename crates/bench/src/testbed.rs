@@ -73,6 +73,12 @@ fn bench_builder() -> vdisk_rados::ClusterBuilder {
         // runner's core count for the simulated numbers to be
         // bit-identical across hosts (the bench gate depends on that).
         .crypto_lanes(4)
+        // Pinned to the in-memory backend, overriding any
+        // `VDISK_BACKEND` environment selection: the figure harnesses
+        // and the gated bench groups measure the simulated cost model,
+        // which host-file IO must never perturb. FileStore bench rows
+        // opt in explicitly via [`filestore_bench_disk`].
+        .backend(vdisk_rados::BackendKind::Memory)
 }
 
 /// A fresh paper-calibrated cluster for benchmarking.
@@ -184,6 +190,35 @@ pub fn cached_bench_disk_with_lanes(
 pub fn uncached_bench_disk(config: &EncryptionConfig, size: u64, seed: u64) -> EncryptedImage {
     disk_on(
         bench_builder().concurrent_apply(false).build(),
+        config,
+        size,
+        seed,
+    )
+}
+
+/// Builds an encrypted disk on a **file-backed** bench cluster rooted
+/// at `dir` (inline apply, like [`cached_bench_disk`], so results stay
+/// deterministic). The simulated cost plans are identical to the
+/// in-memory backend's by construction — what this measures is that
+/// the durable commit path stays functional under a bench workload;
+/// its wall-clock is reported, never regression-gated.
+///
+/// # Panics
+///
+/// Panics if the store directory cannot be opened or formatting fails
+/// (benchmark setup).
+#[must_use]
+pub fn filestore_bench_disk(
+    config: &EncryptionConfig,
+    size: u64,
+    seed: u64,
+    dir: std::path::PathBuf,
+) -> EncryptedImage {
+    disk_on(
+        bench_builder()
+            .backend(vdisk_rados::BackendKind::File { dir })
+            .concurrent_apply(false)
+            .build(),
         config,
         size,
         seed,

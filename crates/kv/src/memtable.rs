@@ -63,6 +63,15 @@ impl Memtable {
             .map(|(k, v)| (k.as_slice(), v.as_deref()))
     }
 
+    /// Iterates every entry in key order, tombstones included — the
+    /// unbounded twin of [`Memtable::range`], used when serializing a
+    /// store (durable backends persist OMAP content verbatim).
+    pub fn iter_all(&self) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> {
+        self.entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
     /// Number of entries (tombstones included).
     #[must_use]
     pub fn len(&self) -> usize {

@@ -55,6 +55,15 @@ impl SortedRun {
             .map(|(k, v)| (k.as_slice(), v.as_deref()))
     }
 
+    /// Iterates every entry in key order, tombstones included — the
+    /// unbounded twin of [`SortedRun::range`], used when serializing a
+    /// store.
+    pub fn iter_all(&self) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> {
+        self.entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
     /// Number of entries, tombstones included.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -247,6 +247,30 @@ impl LsmStore {
         (out, receipt)
     }
 
+    /// Every live entry in key order, newest version winning and
+    /// tombstones suppressed — a full dump with **no** work receipt.
+    /// This is the serialization surface for durable object-store
+    /// backends, not a modeled read: it must not perturb the cost
+    /// model, so it bypasses receipts entirely.
+    #[must_use]
+    pub fn entries(&self) -> KvPairs {
+        use std::collections::BTreeMap;
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        // Oldest runs first, memtable last, so newer versions overwrite.
+        for run in self.runs.iter().rev() {
+            for (k, v) in run.iter_all() {
+                merged.insert(k.to_vec(), v.map(<[u8]>::to_vec));
+            }
+        }
+        for (k, v) in self.memtable.iter_all() {
+            merged.insert(k.to_vec(), v.map(<[u8]>::to_vec));
+        }
+        merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect()
+    }
+
     /// Aggregate statistics.
     #[must_use]
     pub fn stats(&self) -> LsmStats {
@@ -352,6 +376,26 @@ mod tests {
         );
         assert!(receipt.keys_examined >= 4);
         assert!(receipt.bytes_returned > 0);
+    }
+
+    #[test]
+    fn entries_dumps_all_layers_without_receipts() {
+        let mut s = LsmStore::new(small_config());
+        s.put(b"a".to_vec(), b"old".to_vec());
+        s.put(b"b".to_vec(), b"1".to_vec());
+        s.flush();
+        s.put(b"a".to_vec(), b"new".to_vec());
+        s.delete(b"b".to_vec());
+        // A key past the 16-byte fingerprint horizon must still dump.
+        s.put(vec![0xFF; 24], b"edge".to_vec());
+        let entries = s.entries();
+        assert_eq!(
+            entries,
+            vec![
+                (b"a".to_vec(), b"new".to_vec()),
+                (vec![0xFF; 24], b"edge".to_vec()),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Storage backends: the seam between the transaction/read engine and
+//! wherever objects actually live.
+//!
+//! The paper's architecture puts virtual-disk encryption *above* the
+//! object store, so nothing in the client stack may depend on how the
+//! store keeps its bytes. This module enforces that: the shard engine
+//! ([`crate::cluster::Cluster`]'s transaction applier, read path,
+//! snapshot machinery, scrub/repair) talks only to the
+//! [`ObjectStore`] trait, and two backends implement it:
+//!
+//! - [`MemStore`] — the original in-memory simulator state
+//!   (per-OSD hash maps). Zero IO; the default, and what every figure
+//!   harness pins for paper fidelity.
+//! - [`FileStore`] — a durable host-filesystem store: one directory
+//!   per shard/OSD, one file per object (data + xattrs + OMAP in a
+//!   single codec blob — see `Object::encode`), every transaction
+//!   commit made durable with `fsync` before it is acknowledged, and
+//!   the whole cluster reopenable from its directory across process
+//!   restarts.
+//!
+//! The **cost model is backend-independent**: plans are built from
+//! extent profiles and KV receipts, never from host-IO timing, so a
+//! workload replayed against both backends produces identical
+//! simulated costs — the property the backend-equivalence suite
+//! asserts.
+
+mod file;
+mod mem;
+
+pub(crate) use file::{ClusterMeta, FileStore};
+pub(crate) use mem::MemStore;
+
+use crate::object::Object;
+use crate::placement::OsdId;
+use crate::transaction::SnapContext;
+use crate::Result;
+use std::path::PathBuf;
+
+/// Which storage backend a cluster keeps its objects in. Selected via
+/// [`crate::ClusterBuilder::backend`]; defaults to [`BackendKind::Memory`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum BackendKind {
+    /// The in-memory simulator store: per-OSD hash maps, no host IO,
+    /// state dies with the process. The default, and what the figure
+    /// harnesses pin so paper-fidelity runs never depend on host disks.
+    #[default]
+    Memory,
+    /// A durable store on the host filesystem rooted at `dir`: one
+    /// subdirectory per shard and OSD, one file per object, `fsync` at
+    /// every transaction commit. Building a cluster over an existing
+    /// directory reopens its contents (geometry must match what the
+    /// directory was formatted with).
+    File {
+        /// Root directory of the store. Created (with parents) if
+        /// absent; reopened if it already holds a formatted cluster.
+        dir: PathBuf,
+    },
+}
+
+/// One shard's object storage: everything the engine needs from a
+/// backend. `osd` indices are cluster-wide OSD numbers; a shard's
+/// store only ever sees the objects whose placement lands in that
+/// shard (the engine guarantees it, the store need not check).
+///
+/// Mutating accessors ([`ObjectStore::entry`], [`ObjectStore::get_mut`],
+/// [`ObjectStore::insert`], [`ObjectStore::remove`]) update the
+/// backend's working state only; [`ObjectStore::commit`] is the
+/// durability point a transaction must hit before acknowledging.
+pub(crate) trait ObjectStore: Send {
+    /// The object `name` on OSD `osd`, if present.
+    fn get(&self, osd: usize, name: &str) -> Option<&Object>;
+
+    /// Mutable access to `name` on OSD `osd` (callers commit after).
+    fn get_mut(&mut self, osd: usize, name: &str) -> Option<&mut Object>;
+
+    /// Get-or-create: the object `name` on OSD `osd`, created with the
+    /// given payload mode and snapshot context if absent.
+    fn entry(
+        &mut self,
+        osd: usize,
+        name: &str,
+        store_payload: bool,
+        snapc: SnapContext,
+    ) -> &mut Object;
+
+    /// Inserts (or replaces) `name` on OSD `osd`.
+    fn insert(&mut self, osd: usize, name: &str, object: Object);
+
+    /// Drops `name` from OSD `osd` (no-op if absent).
+    fn remove(&mut self, osd: usize, name: &str);
+
+    /// Whether OSD `osd` holds `name`.
+    fn contains(&self, osd: usize, name: &str) -> bool;
+
+    /// Every object name this store holds, sorted and deduplicated
+    /// across OSDs.
+    fn names(&self) -> Vec<String>;
+
+    /// Persists the current state of `name` on the given OSDs — the
+    /// per-transaction durability point. An OSD that no longer holds
+    /// the object persists the deletion. In-memory backends
+    /// acknowledge immediately; durable backends `fsync` before
+    /// returning.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::RadosError::Io`] when the host filesystem fails; the
+    /// in-memory state is already updated then (crash semantics: the
+    /// acknowledged prefix is durable, this transaction is not).
+    fn commit(&mut self, name: &str, acting: &[OsdId]) -> Result<()>;
+
+    /// A whole-store durability point (see [`crate::Cluster::flush`]).
+    /// Backends whose commits are already synchronous only re-sync
+    /// their directory metadata here.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::RadosError::Io`] when the host filesystem fails.
+    fn flush(&mut self) -> Result<()>;
+}

@@ -27,6 +27,7 @@
 //! rule: ops touching the same object always apply in submission
 //! order.
 
+use crate::backend::{BackendKind, ClusterMeta, FileStore, MemStore, ObjectStore};
 use crate::cost::{ResourceHandles, TestbedProfile};
 use crate::placement::PlacementMap;
 use crate::queue::{
@@ -37,6 +38,8 @@ use crate::shard::Shard;
 use crate::state::ControlPlane;
 use crate::transaction::{ObjectReads, ReadOp, ReadResult, Transaction, TxOp};
 use crate::{RadosError, Result, SnapId};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use vdisk_kv::CostProfile;
 use vdisk_sim::{ClosedLoopStats, Plan, Simulator};
@@ -141,10 +144,16 @@ pub struct ClusterBuilder {
     kv_cost: CostProfile,
     meta_cache_bytes: u64,
     crypto_lanes: Option<usize>,
+    backend: BackendKind,
+    /// True when the backend came from the `VDISK_BACKEND` environment
+    /// override: the store directory is session scratch, removed when
+    /// the last [`Cluster`] handle drops.
+    scratch: bool,
 }
 
 impl Default for ClusterBuilder {
     fn default() -> Self {
+        let (backend, scratch) = backend_from_env();
         ClusterBuilder {
             osd_count: 3,
             replicas: 3,
@@ -156,7 +165,32 @@ impl Default for ClusterBuilder {
             kv_cost: CostProfile::default(),
             meta_cache_bytes: DEFAULT_META_CACHE_BYTES,
             crypto_lanes: None,
+            backend,
+            scratch,
         }
+    }
+}
+
+/// The `VDISK_BACKEND` environment override: `file` (with an optional
+/// `VDISK_BACKEND_DIR` base directory) makes every
+/// default-constructed builder target a fresh scratch [`FileStore`]
+/// directory — how the existing test suites run unmodified against the
+/// durable backend. Anything else (or unset) keeps the in-memory
+/// default. An explicit [`ClusterBuilder::backend`] call always wins.
+fn backend_from_env() -> (BackendKind, bool) {
+    match std::env::var("VDISK_BACKEND") {
+        Ok(v) if v.eq_ignore_ascii_case("file") => {
+            static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+            let base = std::env::var_os("VDISK_BACKEND_DIR")
+                .map_or_else(std::env::temp_dir, PathBuf::from);
+            let dir = base.join(format!(
+                "vdisk-scratch-{}-{}",
+                std::process::id(),
+                SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            (BackendKind::File { dir }, true)
+        }
+        _ => (BackendKind::Memory, false),
     }
 }
 
@@ -182,11 +216,12 @@ impl ClusterBuilder {
         self
     }
 
-    /// Number of state shards batches fan out over (default 8; clamped
-    /// to at least 1). `1` reproduces the old single-lock behaviour.
+    /// Number of state shards batches fan out over (default 8; must be
+    /// at least 1 — validated at build). `1` reproduces the old
+    /// single-lock behaviour.
     #[must_use]
     pub fn shard_count(mut self, n: usize) -> Self {
-        self.shard_count = n.max(1);
+        self.shard_count = n;
         self
     }
 
@@ -245,30 +280,83 @@ impl ClusterBuilder {
     /// available parallelism capped at
     /// [`TestbedProfile::default`]'s crypto worker count (4), so a
     /// multi-core host keeps the calibrated resource while a
-    /// single-core host degenerates to serial crypto. Advisory for
-    /// upper layers, read via [`Cluster::crypto_lanes`].
+    /// single-core host degenerates to serial crypto. Must be at least
+    /// 1 (validated at build). Advisory for upper layers, read via
+    /// [`Cluster::crypto_lanes`].
     #[must_use]
     pub fn crypto_lanes(mut self, lanes: usize) -> Self {
-        self.crypto_lanes = Some(lanes.max(1));
+        self.crypto_lanes = Some(lanes);
         self
     }
 
-    /// Builds the cluster.
+    /// Selects the storage backend (default: [`BackendKind::Memory`],
+    /// or whatever the `VDISK_BACKEND` environment override picked —
+    /// an explicit call here always wins over the environment).
+    /// [`BackendKind::File`] makes every transaction commit durable
+    /// (`fsync`) under the given directory and reopens a directory
+    /// formatted by an earlier cluster, provided the geometry
+    /// (`osd_count`, `replicas`, `pg_count`, `shard_count`, payload
+    /// mode) matches.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self.scratch = false;
+        self
+    }
+
+    /// Builds the cluster, panicking on invalid configuration — the
+    /// ergonomic entry point for tests and examples whose knobs are
+    /// literals. Fallible callers use [`ClusterBuilder::try_build`].
     ///
     /// # Panics
     ///
-    /// Panics if the replica count exceeds the OSD count.
+    /// Panics whenever [`ClusterBuilder::try_build`] would return an
+    /// error (zero-valued knobs, replicas exceeding OSDs, or a file
+    /// backend that cannot be opened).
     #[must_use]
     pub fn build(self) -> Cluster {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid cluster configuration: {e}"))
+    }
+
+    /// Builds the cluster, validating every knob first.
+    ///
+    /// # Errors
+    ///
+    /// - [`RadosError::InvalidConfig`] if `osd_count`, `replicas`,
+    ///   `pg_count`, `shard_count` or `crypto_lanes` is zero, if
+    ///   `replicas > osd_count`, or if a file backend's directory was
+    ///   formatted with a different geometry.
+    /// - [`RadosError::Io`] if a file backend's directory cannot be
+    ///   created, read, or written.
+    pub fn try_build(self) -> Result<Cluster> {
+        for (knob, value) in [
+            ("osd_count", self.osd_count as u64),
+            ("replicas", self.replicas as u64),
+            ("pg_count", self.pg_count),
+            ("shard_count", self.shard_count as u64),
+            ("crypto_lanes", self.crypto_lanes.unwrap_or(1) as u64),
+        ] {
+            if value == 0 {
+                return Err(RadosError::InvalidConfig(format!(
+                    "{knob} must be at least 1"
+                )));
+            }
+        }
+        if self.replicas > self.osd_count {
+            return Err(RadosError::InvalidConfig(format!(
+                "replicas ({}) cannot exceed osd_count ({})",
+                self.replicas, self.osd_count
+            )));
+        }
+
         let mut sim = Simulator::new();
-        let crypto_lanes = self
-            .crypto_lanes
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map_or(1, usize::from)
-                    .min(TestbedProfile::default().crypto_servers)
-            })
-            .max(1);
+        let crypto_lanes = self.crypto_lanes.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map_or(1, usize::from)
+                .min(TestbedProfile::default().crypto_servers)
+                .max(1)
+        });
         // The simulated client-crypto resource must have exactly as
         // many servers as the encryption layer has lanes, or simulated
         // crypto time would diverge from the real parallel work.
@@ -276,9 +364,66 @@ impl ClusterBuilder {
         testbed.crypto_servers = crypto_lanes;
         let handles = testbed.install(&mut sim, self.osd_count);
         let placement = PlacementMap::new(self.osd_count, self.replicas, self.pg_count);
+
+        // A file backend roots itself before the shards open: the meta
+        // file decides whether this is a format or a reopen, and a
+        // reopen must resume the snapshot sequence.
+        let (durable, initial_snap_seq) = match &self.backend {
+            BackendKind::Memory => (None, 0),
+            BackendKind::File { dir } => {
+                let geometry = ClusterMeta {
+                    osd_count: self.osd_count,
+                    replicas: self.replicas,
+                    pg_count: self.pg_count,
+                    shard_count: self.shard_count,
+                    payload: self.payload,
+                    snap_seq: 0,
+                };
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| RadosError::Io(format!("create store root: {e}")))?;
+                let snap_seq = match ClusterMeta::load(dir)
+                    .map_err(|e| RadosError::Io(format!("read cluster.meta: {e}")))?
+                {
+                    Some(existing) => {
+                        let mut requested = geometry.clone();
+                        requested.snap_seq = existing.snap_seq;
+                        if existing != requested {
+                            return Err(RadosError::InvalidConfig(format!(
+                                "store at {} was formatted with a different geometry \
+                                 ({existing:?}; this builder requests {requested:?})",
+                                dir.display()
+                            )));
+                        }
+                        existing.snap_seq
+                    }
+                    None => {
+                        geometry
+                            .store(dir)
+                            .map_err(|e| RadosError::Io(format!("write cluster.meta: {e}")))?;
+                        0
+                    }
+                };
+                let root = DurableRoot {
+                    root: dir.clone(),
+                    geometry,
+                    scratch: self.scratch,
+                };
+                (Some(Arc::new(root)), snap_seq)
+            }
+        };
+
         let shards: Arc<[Shard]> = (0..self.shard_count)
-            .map(|_| Shard::new(self.osd_count))
-            .collect::<Vec<_>>()
+            .map(|s| -> Result<Shard> {
+                let store: Box<dyn ObjectStore> = match &self.backend {
+                    BackendKind::Memory => Box::new(MemStore::new(self.osd_count)),
+                    BackendKind::File { dir } => Box::new(
+                        FileStore::open(dir.join(format!("shard-{s}")), self.osd_count)
+                            .map_err(|e| RadosError::Io(format!("open shard {s}: {e}")))?,
+                    ),
+                };
+                Ok(Shard::new(store))
+            })
+            .collect::<Result<Vec<_>>>()?
             .into();
         let workers = self
             .concurrent_apply
@@ -293,17 +438,48 @@ impl ClusterBuilder {
             workers,
             self.meta_cache_bytes,
             crypto_lanes,
+            initial_snap_seq,
         ));
         let runtime = if workers {
             WorkerRuntime::spawn(&control, &shards)
         } else {
             WorkerRuntime::inline()
         };
-        Cluster {
+        Ok(Cluster {
             control,
             shards,
             sim: Arc::new(Mutex::new(sim)),
             runtime: Arc::new(runtime),
+            durable,
+        })
+    }
+}
+
+/// The root of a file-backed cluster: where `cluster.meta` lives, the
+/// geometry it was opened with, and whether the directory is session
+/// scratch (an environment-selected store removed with the last
+/// cluster handle).
+struct DurableRoot {
+    root: PathBuf,
+    geometry: ClusterMeta,
+    scratch: bool,
+}
+
+impl DurableRoot {
+    /// Durably rewrites `cluster.meta` with the given snapshot seq.
+    fn persist(&self, snap_seq: u64) -> std::io::Result<()> {
+        let mut meta = self.geometry.clone();
+        meta.snap_seq = snap_seq;
+        meta.store(&self.root)
+    }
+}
+
+impl Drop for DurableRoot {
+    fn drop(&mut self) {
+        if self.scratch {
+            // Best effort: scratch stores are test conveniences, and a
+            // shutdown race with an external cleaner must not panic.
+            let _ = std::fs::remove_dir_all(&self.root);
         }
     }
 }
@@ -320,6 +496,11 @@ pub struct Cluster {
     /// The per-shard worker threads and their queues; dropped (closing
     /// the queues and joining the workers) with the last handle.
     runtime: Arc<WorkerRuntime>,
+    /// `Some` for file-backed clusters: the store root and its
+    /// `cluster.meta` bookkeeping. Declared after `runtime` so that,
+    /// on the last handle's drop, workers join before any scratch
+    /// directory is removed.
+    durable: Option<Arc<DurableRoot>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -676,20 +857,36 @@ impl Cluster {
     /// about to inspect cluster state directly (object listing, image
     /// removal, scrub) while asynchronous submissions may be in
     /// flight; jobs submitted concurrently with the flush are not
-    /// covered. A no-op in inline mode, where nothing is ever left
-    /// enqueued.
+    /// covered.
+    ///
+    /// On a durable backend ([`BackendKind::File`]) this is also the
+    /// store-wide durability point: after draining the queues it syncs
+    /// every shard's store directory and rewrites `cluster.meta`, so a
+    /// process that stops after `flush` returns can reopen the
+    /// directory and see everything it wrote. With the in-memory
+    /// backend in inline mode this remains a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a durable backend fails to sync its directories — at
+    /// that point durability can no longer be promised.
     pub fn flush(&self) {
-        let Some(queues) = self.runtime.queues() else {
-            return;
-        };
-        let progress = Arc::new(Progress::new(queues.len()));
-        for (slot, queue) in queues.iter().enumerate() {
-            queue.push(Job::Flush {
-                shared: Arc::clone(&progress),
-                slot,
-            });
+        if let Some(queues) = self.runtime.queues() {
+            let progress = Arc::new(Progress::new(queues.len()));
+            for (slot, queue) in queues.iter().enumerate() {
+                queue.push(Job::Flush {
+                    shared: Arc::clone(&progress),
+                    slot,
+                });
+            }
+            progress.wait();
         }
-        progress.wait();
+        if self.durable.is_some() {
+            for shard in self.shards.iter() {
+                shard.lock().store.flush().expect("backend flush failed");
+            }
+            self.persist_snap_seq(self.control.snap_seq());
+        }
     }
 
     /// Takes a cluster-wide self-managed snapshot; subsequent writes
@@ -698,7 +895,20 @@ impl Cluster {
     /// submit→reap window spans the snapshot are abandoned.
     pub fn create_snap(&self) -> SnapId {
         self.control.bump_all_write_seqs();
-        SnapId(self.control.advance_snap_seq())
+        let seq = self.control.advance_snap_seq();
+        // Clone visibility is defined by sequence numbers, so a durable
+        // backend must never reopen with a stale one: persist it before
+        // the snapshot id is handed out.
+        self.persist_snap_seq(seq);
+        SnapId(seq)
+    }
+
+    /// Rewrites `cluster.meta` with the given snapshot sequence on a
+    /// durable backend; no-op on the in-memory one.
+    fn persist_snap_seq(&self, seq: u64) {
+        if let Some(durable) = &self.durable {
+            durable.persist(seq).expect("cluster.meta update failed");
+        }
     }
 
     /// The write-submission epoch of state shard `shard`: a monotone
@@ -785,7 +995,10 @@ impl Cluster {
     #[must_use]
     pub fn object_exists(&self, object: &str) -> bool {
         let primary = self.control.placement.primary(object);
-        self.shard_for(object).lock().osds[primary.0].contains_key(object)
+        self.shard_for(object)
+            .lock()
+            .store
+            .contains(primary.0, object)
     }
 
     /// Object metadata from the primary.
@@ -802,11 +1015,9 @@ impl Cluster {
     pub fn list_objects(&self) -> Vec<String> {
         let mut names: Vec<String> = Vec::new();
         for shard in self.shards.iter() {
-            let guard = shard.lock();
-            names.extend(guard.osds.iter().flat_map(|m| m.keys().cloned()));
+            names.extend(shard.lock().store.names());
         }
         names.sort_unstable();
-        names.dedup();
         names
     }
 
@@ -877,16 +1088,12 @@ impl Cluster {
         let mut report = ScrubReport::default();
         for shard in self.shards.iter() {
             let guard = shard.lock();
-            let mut names: Vec<String> =
-                guard.osds.iter().flat_map(|m| m.keys().cloned()).collect();
-            names.sort_unstable();
-            names.dedup();
-            for name in names {
+            for name in guard.store.names() {
                 report.objects_checked += 1;
                 let acting = self.control.placement.acting_set(&name);
                 let prints: Vec<Option<u64>> = acting
                     .iter()
-                    .map(|osd| guard.osds[osd.0].get(&name).map(|o| o.head.fingerprint()))
+                    .map(|osd| guard.store.get(osd.0, &name).map(|o| o.head.fingerprint()))
                     .collect();
                 let first = &prints[0];
                 if prints.iter().any(|p| p != first) {
@@ -917,10 +1124,14 @@ impl Cluster {
         }
         let osd = acting[replica_index];
         let mut shard = self.shard_for(object).lock();
-        let obj = shard.osds[osd.0]
-            .get_mut(object)
+        let obj = shard
+            .store
+            .get_mut(osd.0, object)
             .ok_or_else(|| RadosError::NoSuchObject(object.to_string()))?;
         obj.head.poke(offset, 0xFF);
+        // Make the corruption durable too, so a reopened cluster still
+        // sees (and can scrub) the damaged replica.
+        shard.store.commit(object, std::slice::from_ref(&osd))?;
         Ok(())
     }
 
@@ -934,20 +1145,22 @@ impl Cluster {
     pub fn repair(&self, object: &str) -> Result<()> {
         let acting = self.control.placement.acting_set(object);
         let mut shard = self.shard_for(object).lock();
-        let primary_copy = shard.osds[acting[0].0]
-            .get(object)
+        let primary_copy = shard
+            .store
+            .get(acting[0].0, object)
             .cloned()
             .ok_or_else(|| RadosError::NoSuchObject(object.to_string()))?;
         for osd in &acting[1..] {
-            shard.osds[osd.0].insert(object.to_string(), primary_copy.clone());
+            shard.store.insert(osd.0, object, primary_copy.clone());
         }
+        shard.store.commit(object, &acting[1..])?;
         Ok(())
     }
 
     /// Test-only: whether a specific OSD holds a copy of `object`.
     #[cfg(test)]
     fn osd_holds(&self, osd: usize, object: &str) -> bool {
-        self.shard_for(object).lock().osds[osd].contains_key(object)
+        self.shard_for(object).lock().store.contains(osd, object)
     }
 }
 
@@ -977,6 +1190,70 @@ mod tests {
             .unwrap();
         assert_eq!(results[0].as_data(), b"hello world");
         assert!(plan.op_count() > 0);
+    }
+
+    #[test]
+    fn try_build_rejects_zero_osd_count() {
+        let err = Cluster::builder().osd_count(0).try_build().unwrap_err();
+        assert_eq!(
+            err,
+            RadosError::InvalidConfig("osd_count must be at least 1".into())
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_zero_replicas() {
+        let err = Cluster::builder().replicas(0).try_build().unwrap_err();
+        assert_eq!(
+            err,
+            RadosError::InvalidConfig("replicas must be at least 1".into())
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_zero_pg_count() {
+        let err = Cluster::builder().pg_count(0).try_build().unwrap_err();
+        assert_eq!(
+            err,
+            RadosError::InvalidConfig("pg_count must be at least 1".into())
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_zero_shard_count() {
+        let err = Cluster::builder().shard_count(0).try_build().unwrap_err();
+        assert_eq!(
+            err,
+            RadosError::InvalidConfig("shard_count must be at least 1".into())
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_zero_crypto_lanes() {
+        let err = Cluster::builder().crypto_lanes(0).try_build().unwrap_err();
+        assert_eq!(
+            err,
+            RadosError::InvalidConfig("crypto_lanes must be at least 1".into())
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_replicas_exceeding_osds() {
+        let err = Cluster::builder()
+            .osd_count(2)
+            .replicas(3)
+            .try_build()
+            .unwrap_err();
+        assert!(
+            matches!(&err, RadosError::InvalidConfig(msg) if msg.contains("cannot exceed")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster configuration")]
+    fn build_panics_on_invalid_knobs() {
+        let _ = Cluster::builder().shard_count(0).build();
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 pub mod cluster;
 pub mod cost;
 pub mod object;
@@ -63,6 +64,7 @@ mod shard;
 mod state;
 pub mod transaction;
 
+pub use backend::BackendKind;
 pub use cluster::{
     Cluster, ClusterBuilder, ExecStats, PayloadMode, ScrubReport, DEFAULT_META_CACHE_BYTES,
 };
@@ -115,6 +117,15 @@ pub enum RadosError {
         /// Object name.
         object: String,
     },
+    /// The cluster configuration is unbuildable: a knob is out of
+    /// range, or a durable directory was formatted with a different
+    /// geometry. Returned by [`ClusterBuilder::try_build`].
+    InvalidConfig(String),
+    /// A durable backend failed at the host-IO layer (create, write,
+    /// fsync, rename, or decode of an on-disk object). Carries the
+    /// rendered `std::io::Error`, kept as a string so the variant stays
+    /// `Clone`/`Eq` like the rest of the enum.
+    Io(String),
 }
 
 impl fmt::Display for RadosError {
@@ -134,6 +145,8 @@ impl fmt::Display for RadosError {
             RadosError::ReplicaDivergence { object } => {
                 write!(f, "replica divergence detected on object {object}")
             }
+            RadosError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RadosError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

@@ -158,6 +158,101 @@ impl ObjectContent {
             self.data[offset] = byte;
         }
     }
+
+    /// Serializes this content version for a durable backend: payload,
+    /// logical size, xattrs, and the OMAP's live entries (the LSM's
+    /// internal layering is an in-memory cost-model artifact, not
+    /// durable state).
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.store_payload));
+        out.extend_from_slice(&self.size.to_le_bytes());
+        put_bytes(out, &self.data);
+        out.extend_from_slice(&(self.xattrs.len() as u32).to_le_bytes());
+        for (k, v) in &self.xattrs {
+            put_bytes(out, k.as_bytes());
+            put_bytes(out, v);
+        }
+        let omap = self.omap.entries();
+        out.extend_from_slice(&(omap.len() as u32).to_le_bytes());
+        for (k, v) in omap {
+            put_bytes(out, &k);
+            put_bytes(out, &v);
+        }
+    }
+
+    /// Rebuilds a content version from [`ObjectContent::encode`] bytes.
+    /// The OMAP is replayed as one batch into a fresh LSM, so reads see
+    /// identical entries (internal run layout may differ — deliberately
+    /// not durable state).
+    fn decode(r: &mut Cursor<'_>) -> Option<Self> {
+        let store_payload = r.u8()? != 0;
+        let size = r.u64()?;
+        let data = r.bytes()?;
+        let mut content = ObjectContent::new(store_payload);
+        content.size = size;
+        content.data = data;
+        for _ in 0..r.u32()? {
+            let k = String::from_utf8(r.bytes()?).ok()?;
+            let v = r.bytes()?;
+            content.xattrs.insert(k, v);
+        }
+        let omap_entries = r.u32()?;
+        let mut batch = Vec::with_capacity(omap_entries as usize);
+        for _ in 0..omap_entries {
+            let k = r.bytes()?;
+            let v = r.bytes()?;
+            batch.push((k, Some(v)));
+        }
+        if !batch.is_empty() {
+            content.omap.write_batch(batch);
+        }
+        Some(content)
+    }
+}
+
+/// Magic + version framing the durable object codec
+/// ([`Object::encode`] / [`Object::decode`]).
+const OBJECT_MAGIC: &[u8; 4] = b"VDOB";
+const OBJECT_VERSION: u32 = 1;
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// A bounds-checked little-endian reader over codec bytes; every
+/// accessor returns `None` on truncation instead of panicking, so a
+/// corrupt or torn file surfaces as a decode error.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Some(head)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = usize::try_from(self.u64()?).ok()?;
+        Some(self.take(len)?.to_vec())
+    }
 }
 
 /// An object with its head version and snapshot clones.
@@ -228,6 +323,47 @@ impl Object {
             size: self.head.size(),
             clones: self.clones.len(),
         }
+    }
+
+    /// Serializes the whole object — head, snapshot clones, and
+    /// lineage seqs — with magic/version framing, for durable backends.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.head.size() as usize);
+        out.extend_from_slice(OBJECT_MAGIC);
+        out.extend_from_slice(&OBJECT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.snap_seq.to_le_bytes());
+        out.extend_from_slice(&self.born_at.to_le_bytes());
+        self.head.encode(&mut out);
+        out.extend_from_slice(&(self.clones.len() as u32).to_le_bytes());
+        for (upper, content) in &self.clones {
+            out.extend_from_slice(&upper.to_le_bytes());
+            content.encode(&mut out);
+        }
+        out
+    }
+
+    /// Rebuilds an object from [`Object::encode`] bytes. `None` on any
+    /// framing mismatch or truncation (a torn or foreign file).
+    pub(crate) fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Cursor { buf: bytes };
+        if r.take(OBJECT_MAGIC.len())? != OBJECT_MAGIC || r.u32()? != OBJECT_VERSION {
+            return None;
+        }
+        let snap_seq = r.u64()?;
+        let born_at = r.u64()?;
+        let head = ObjectContent::decode(&mut r)?;
+        let clone_count = r.u32()?;
+        let mut clones = Vec::with_capacity(clone_count as usize);
+        for _ in 0..clone_count {
+            let upper = r.u64()?;
+            clones.push((upper, ObjectContent::decode(&mut r)?));
+        }
+        Some(Object {
+            head,
+            snap_seq,
+            clones,
+            born_at,
+        })
     }
 }
 
@@ -375,6 +511,52 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         a.xattrs.insert("attr".into(), vec![1]);
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn codec_roundtrips_every_facet() {
+        let mut obj = Object::new(true, snapc(2));
+        obj.head.write(0, b"version-1");
+        obj.head.omap.put(b"iv:0".to_vec(), vec![7; 16]);
+        obj.head.omap.put(vec![0xFF; 24], b"edge".to_vec());
+        obj.head.xattrs.insert("fmt".into(), vec![1, 2, 3]);
+        obj.prepare_write(snapc(5));
+        obj.head.write(4, b"ion-2-xx");
+        obj.head.truncate(12);
+
+        let back = Object::decode(&obj.encode()).expect("roundtrip");
+        assert_eq!(back.snap_seq, obj.snap_seq);
+        assert_eq!(back.born_at, obj.born_at);
+        assert_eq!(back.stat(), obj.stat());
+        assert_eq!(back.head.read(0, 12), obj.head.read(0, 12));
+        assert_eq!(back.head.xattrs, obj.head.xattrs);
+        assert_eq!(back.head.omap.entries(), obj.head.omap.entries());
+        assert_eq!(
+            back.content_at(Some(SnapId(3))).unwrap().read(0, 9),
+            b"version-1",
+            "clone content survives the roundtrip"
+        );
+        assert_eq!(back.head.fingerprint(), obj.head.fingerprint());
+    }
+
+    #[test]
+    fn codec_roundtrips_discarded_payload() {
+        let mut obj = Object::new(false, snapc(0));
+        obj.head.write(0, &[1u8; 4096]);
+        let back = Object::decode(&obj.encode()).expect("roundtrip");
+        assert_eq!(back.head.size(), 4096);
+        assert_eq!(back.head.read(0, 8), vec![0; 8], "payload stays discarded");
+    }
+
+    #[test]
+    fn codec_rejects_garbage_and_truncation() {
+        assert!(Object::decode(b"").is_none());
+        assert!(Object::decode(b"not an object file").is_none());
+        let good = Object::new(true, snapc(0)).encode();
+        assert!(Object::decode(&good[..good.len() - 1]).is_none());
+        let mut wrong_version = good;
+        wrong_version[4] = 0xEE;
+        assert!(Object::decode(&wrong_version).is_none());
     }
 
     #[test]

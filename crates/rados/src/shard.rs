@@ -8,13 +8,13 @@
 //! single-shard operations, and lets [`crate::Cluster::execute_batch`]
 //! apply disjoint shard groups genuinely concurrently.
 
+use crate::backend::ObjectStore;
 use crate::cost::{self, OsdWork};
 use crate::object::{Object, ObjectStat, PHYS_BLOCK};
 use crate::state::ControlPlane;
 use crate::state::StatCounters;
 use crate::transaction::{ReadOp, ReadResult, SnapContext, Transaction, TxOp};
 use crate::{RadosError, Result, SnapId};
-use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use vdisk_sim::{Plan, SimDuration};
 
@@ -32,11 +32,9 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    pub(crate) fn new(osd_count: usize) -> Self {
+    pub(crate) fn new(store: Box<dyn ObjectStore>) -> Self {
         Shard {
-            state: Mutex::new(ShardState {
-                osds: (0..osd_count).map(|_| HashMap::new()).collect(),
-            }),
+            state: Mutex::new(ShardState { store }),
             pending: Mutex::new(0),
         }
     }
@@ -72,12 +70,13 @@ impl Shard {
     }
 }
 
-/// The objects of one shard, kept per OSD exactly as the unsharded
-/// cluster kept them (a shard is a restriction of the old global maps
-/// to this shard's placement groups).
+/// The objects of one shard, kept per OSD behind the backend seam (a
+/// shard is a restriction of the old global maps to this shard's
+/// placement groups; which medium holds the objects is the store's
+/// business — see [`crate::backend`]).
 pub(crate) struct ShardState {
-    /// `osds[i]` holds this shard's objects stored on OSD `i`.
-    pub(crate) osds: Vec<HashMap<String, Object>>,
+    /// This shard's object storage, selected at cluster build time.
+    pub(crate) store: Box<dyn ObjectStore>,
 }
 
 impl ShardState {
@@ -109,8 +108,9 @@ impl ShardState {
         // are identical, so the primary's view decides.
         for op in &tx.ops {
             if let TxOp::CompareXattr { name, expected } = op {
-                let actual = self.osds[acting[0].0]
-                    .get(&tx.object)
+                let actual = self
+                    .store
+                    .get(acting[0].0, &tx.object)
                     .and_then(|o| o.head.xattrs.get(name));
                 if actual != expected.as_ref() {
                     return Err(RadosError::CompareFailed {
@@ -125,10 +125,7 @@ impl ShardState {
         let mut work: Vec<OsdWork> = Vec::with_capacity(acting.len());
         for osd in &acting {
             let store_payload = cp.payload == crate::cluster::PayloadMode::Stored;
-            let objects = &mut self.osds[osd.0];
-            let object = objects
-                .entry(tx.object.clone())
-                .or_insert_with(|| Object::new(store_payload, snapc));
+            let object = self.store.entry(osd.0, &tx.object, store_payload, snapc);
             object.prepare_write(snapc);
 
             let mut osd_work = OsdWork::default();
@@ -179,10 +176,14 @@ impl ShardState {
             }
             osd_work.kv_time = kv_time;
             if deleted {
-                objects.remove(&tx.object);
+                self.store.remove(osd.0, &tx.object);
             }
             work.push(osd_work);
         }
+        // The durability point: a durable backend fsyncs the object on
+        // every acting OSD before the transaction is acknowledged; the
+        // in-memory backend acknowledges immediately.
+        self.store.commit(&tx.object, &acting)?;
 
         Ok(cost::write_plan(
             &cp.handles,
@@ -208,8 +209,9 @@ impl ShardState {
         ops: &[ReadOp],
     ) -> Result<(Vec<ReadResult>, Plan)> {
         let primary = cp.placement.primary(object);
-        let obj = self.osds[primary.0]
-            .get(object)
+        let obj = self
+            .store
+            .get(primary.0, object)
             .ok_or_else(|| RadosError::NoSuchObject(object.to_string()))?;
         let content = obj
             .content_at(snap)
@@ -282,8 +284,8 @@ impl ShardState {
     /// Object metadata from the primary.
     pub(crate) fn stat(&self, cp: &ControlPlane, object: &str) -> Result<ObjectStat> {
         let primary = cp.placement.primary(object);
-        self.osds[primary.0]
-            .get(object)
+        self.store
+            .get(primary.0, object)
             .map(Object::stat)
             .ok_or_else(|| RadosError::NoSuchObject(object.to_string()))
     }

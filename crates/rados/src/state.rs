@@ -66,6 +66,7 @@ impl ControlPlane {
         workers: bool,
         meta_cache_bytes: u64,
         crypto_lanes: usize,
+        initial_snap_seq: u64,
     ) -> Self {
         ControlPlane {
             placement,
@@ -77,7 +78,10 @@ impl ControlPlane {
             workers,
             meta_cache_bytes,
             crypto_lanes,
-            snap_seq: AtomicU64::new(0),
+            // Non-zero when a durable backend reopens a directory that
+            // already took snapshots: clone visibility is defined by
+            // seqs, so the sequence must continue, not restart.
+            snap_seq: AtomicU64::new(initial_snap_seq),
             write_seqs: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
             stats: StatCounters::default(),
         }
