@@ -268,6 +268,48 @@ fn run_groups() -> BTreeMap<String, u64> {
         total_ns / total_ops as f64,
     );
 
+    // Multi-tenant QoS group: four tenants with mixed weights (3:1:1:1)
+    // driving the 70/30 churn mix against their own images on ONE
+    // shared cluster, arbitrated by the client runtime's weighted fair
+    // scheduler at a shared inflight budget of 8. Inline apply plus
+    // the single-threaded round-robin driver make the whole dispatch
+    // trace — and therefore the combined simulated ns/op — identical
+    // across hosts. Gated: a scheduler regression that serializes
+    // dispatch or loses admission slots shows up here directly.
+    let mut disks = testbed::tenant_bench_disks(&object_end, 4, IMAGE, 53);
+    for disk in &mut disks {
+        fio::precondition(disk).expect("precondition");
+    }
+    let tenant_jobs: Vec<fio::TenantJob> = [3u32, 1, 1, 1]
+        .iter()
+        .enumerate()
+        .map(|(i, &weight)| fio::TenantJob {
+            spec: JobSpec {
+                pattern: IoPattern::RANDRW_70_30,
+                io_size: 16 << 10,
+                queue_depth: 8,
+                ops: 48,
+                seed: 200 + i as u64,
+            },
+            weight,
+            qd_cap: 8,
+        })
+        .collect();
+    let outcome =
+        fio::run_multi_tenant(&mut disks, &tenant_jobs, 8, None).expect("multi-tenant gate job");
+    for (tenant, job) in outcome.tenants.iter().zip(&tenant_jobs) {
+        assert_eq!(
+            tenant.completed_ops, job.spec.ops,
+            "{}: every admitted op must complete",
+            tenant.name
+        );
+    }
+    record(
+        &mut results,
+        "multitenant-randrw-qd8-16k/object-end/cache-on".to_string(),
+        ns_per_op(&outcome.combined),
+    );
+
     // FileStore smoke: the same 16 KiB random-write spec driven
     // against the durable backend, measured in **wall clock** (the
     // metric that actually contains the fsyncs). Reported only — see

@@ -9,7 +9,9 @@
 //! completions are then replayed in the calibrated closed-loop
 //! simulator at the same depth to produce bandwidth numbers.
 
-use vdisk_core::{EncryptedImage, IoOp, Result};
+use vdisk_core::{
+    CryptError, EncryptedImage, IoOp, Result, Runtime, RuntimeError, TenantSpec, TenantStats,
+};
 use vdisk_crypto::rng::SeededRng;
 use vdisk_sim::{ClosedLoopStats, Plan};
 
@@ -176,6 +178,189 @@ pub fn run_job(disk: &mut EncryptedImage, spec: &JobSpec) -> Result<ClosedLoopSt
     Ok(disk.image().cluster().run_closed_loop(queue_depth, plans))
 }
 
+/// One tenant of a multi-tenant run: a fio job plus its QoS terms.
+#[derive(Debug, Clone)]
+pub struct TenantJob {
+    /// The workload this tenant drives against its own image.
+    pub spec: JobSpec,
+    /// Fair-share weight under contention.
+    pub weight: u32,
+    /// Per-tenant in-flight cap.
+    pub qd_cap: usize,
+}
+
+/// What one multi-tenant run produced.
+#[derive(Debug)]
+pub struct MultiTenantOutcome {
+    /// Per-tenant completed ops at the stop point (`stop_after`
+    /// reached, or full drain) — the fairness measurement.
+    pub completed_at_stop: Vec<u64>,
+    /// Final per-tenant runtime stats (after the full drain).
+    pub tenants: Vec<TenantStats>,
+    /// Closed-loop replay of every completed op's cost plan at the
+    /// runtime's inflight budget — the combined simulated metric.
+    pub combined: ClosedLoopStats,
+}
+
+fn flatten(e: RuntimeError<CryptError>) -> CryptError {
+    match e {
+        RuntimeError::Queue(e) => e,
+        other => CryptError::RuntimeStalled(other.to_string()),
+    }
+}
+
+/// Drives `jobs[i]` against `disks[i]` — every image on the same
+/// cluster — through one shared [`Runtime`]: per-tenant admission at
+/// submit, weighted fair scheduling into the shared shard queues. The
+/// driver round-robins non-blocking pumps, so on an inline-mode
+/// cluster the whole dispatch trace is deterministic.
+///
+/// With `stop_after = Some(n)`, submission stops once `n` ops have
+/// completed across all tenants and `completed_at_stop` snapshots the
+/// per-tenant counts at that instant (the fairness measurement);
+/// whatever is still queued or in flight then drains. With `None`,
+/// every tenant runs its full `spec.ops`.
+///
+/// # Errors
+///
+/// Propagates any IO-path error; scheduling dead-ends surface as
+/// [`CryptError::RuntimeStalled`].
+///
+/// # Panics
+///
+/// Panics if `disks` and `jobs` differ in length, are empty, or a
+/// job's `io_size` is zero or exceeds its image.
+pub fn run_multi_tenant(
+    disks: &mut [EncryptedImage],
+    jobs: &[TenantJob],
+    inflight_budget: usize,
+    stop_after: Option<u64>,
+) -> Result<MultiTenantOutcome> {
+    assert_eq!(disks.len(), jobs.len(), "one job per disk");
+    assert!(!jobs.is_empty(), "at least one tenant");
+
+    let runtime = Runtime::new(inflight_budget);
+    let mut handles = Vec::with_capacity(jobs.len());
+    let mut queues = Vec::with_capacity(jobs.len());
+    let mut sizes = Vec::with_capacity(jobs.len());
+    for ((i, job), disk) in jobs.iter().enumerate().zip(disks.iter_mut()) {
+        assert!(job.spec.io_size > 0, "io_size must be positive");
+        assert!(
+            job.spec.io_size <= disk.image().size(),
+            "io_size exceeds image"
+        );
+        sizes.push(disk.image().size());
+        let handle = runtime.register(
+            TenantSpec::new(format!("tenant-{i}"))
+                .weight(job.weight)
+                .qd_cap(job.qd_cap)
+                .backlog_cap(job.qd_cap.max(2) * 4),
+        );
+        queues.push(handle.attach(disk.io_queue()));
+        handles.push(handle);
+    }
+
+    struct Gen {
+        rng: SeededRng,
+        pattern: Vec<u8>,
+        slots: u64,
+        issued: u64,
+        plans: Vec<(u64, Plan)>,
+    }
+    let mut gens: Vec<Gen> = jobs
+        .iter()
+        .zip(&sizes)
+        .map(|(job, &size)| {
+            let mut rng = SeededRng::new(job.spec.seed);
+            let mut pattern = vec![0u8; job.spec.io_size as usize];
+            let head = pattern.len().min(8192);
+            rng.fill_bytes(&mut pattern[..head]);
+            Gen {
+                rng,
+                pattern,
+                slots: size / job.spec.io_size,
+                issued: 0,
+                plans: Vec::with_capacity(job.spec.ops as usize),
+            }
+        })
+        .collect();
+
+    let mut total_completed = 0u64;
+    let mut completed_at_stop: Option<Vec<u64>> = None;
+    loop {
+        let stopped = stop_after.is_some_and(|target| total_completed >= target);
+        let mut all_drained = true;
+        for (i, queue) in queues.iter_mut().enumerate() {
+            let (job, gen) = (&jobs[i], &mut gens[i]);
+            while !stopped && gen.issued < job.spec.ops && queue.backlog() < job.qd_cap.max(1) {
+                let offset = match job.spec.pattern {
+                    IoPattern::RandRead | IoPattern::RandWrite | IoPattern::RandRw { .. } => {
+                        gen.rng.gen_below(gen.slots) * job.spec.io_size
+                    }
+                    IoPattern::SeqRead | IoPattern::SeqWrite => {
+                        (gen.issued % gen.slots) * job.spec.io_size
+                    }
+                };
+                let is_write = match job.spec.pattern {
+                    IoPattern::RandRw { read_pct } => {
+                        gen.rng.gen_below(100) >= u64::from(read_pct.min(100))
+                    }
+                    pattern => pattern.is_write(),
+                };
+                let op = if is_write {
+                    IoOp::Write {
+                        offset,
+                        data: gen.pattern.clone(),
+                    }
+                } else {
+                    IoOp::Read {
+                        offset,
+                        len: job.spec.io_size,
+                    }
+                };
+                gen.issued += 1;
+                queue.submit(op).map_err(flatten)?;
+            }
+            for result in queue.poll().map_err(flatten)? {
+                gen.plans.push((result.completion.id(), result.plan));
+                total_completed += 1;
+            }
+            let issuing_done = stopped || gen.issued >= job.spec.ops;
+            all_drained &= issuing_done && queue.backlog() == 0 && queue.in_flight() == 0;
+        }
+        if completed_at_stop.is_none() && stop_after.is_some_and(|t| total_completed >= t) {
+            completed_at_stop = Some(gens.iter().map(|g| g.plans.len() as u64).collect());
+        }
+        if all_drained {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    drop(queues);
+
+    let completed_at_stop =
+        completed_at_stop.unwrap_or_else(|| gens.iter().map(|g| g.plans.len() as u64).collect());
+    let tenants = handles.iter().map(|h| h.stats()).collect();
+    let mut plans: Vec<(Plan, u64)> = Vec::new();
+    for (job, gen) in jobs.iter().zip(&mut gens) {
+        gen.plans.sort_unstable_by_key(|(id, _)| *id);
+        plans.extend(
+            gen.plans
+                .drain(..)
+                .map(|(_, plan)| (plan, job.spec.io_size)),
+        );
+    }
+    let combined = disks[0]
+        .image()
+        .cluster()
+        .run_closed_loop(inflight_budget, plans);
+    Ok(MultiTenantOutcome {
+        completed_at_stop,
+        tenants,
+        combined,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +472,56 @@ mod tests {
              ({:.1} MB/s cached vs {:.1} MB/s uncached)",
             cached.bandwidth_mb_s(),
             uncached.bandwidth_mb_s()
+        );
+    }
+
+    /// The multi-tenant driver on an inline cluster: bit-identical
+    /// across runs, weight-biased at the stop point, fully drained at
+    /// the end.
+    #[test]
+    fn multi_tenant_run_is_deterministic_and_weight_biased() {
+        let run = || {
+            let mut disks = testbed::tenant_bench_disks(
+                &EncryptionConfig::random_iv_object_end(),
+                2,
+                4 << 20,
+                7,
+            );
+            for disk in &mut disks {
+                precondition(disk).unwrap();
+            }
+            let jobs: Vec<TenantJob> = [(3u32, 91u64), (1, 92)]
+                .iter()
+                .map(|&(weight, seed)| TenantJob {
+                    spec: JobSpec {
+                        pattern: IoPattern::RANDRW_70_30,
+                        io_size: 16 << 10,
+                        queue_depth: 8,
+                        ops: 96,
+                        seed,
+                    },
+                    weight,
+                    qd_cap: 8,
+                })
+                .collect();
+            let outcome = run_multi_tenant(&mut disks, &jobs, 8, Some(96)).unwrap();
+            let mut total = 0;
+            for tenant in &outcome.tenants {
+                // Issuance stops at the stop point; what was admitted
+                // by then drains completely.
+                assert_eq!(tenant.completed_ops, tenant.admitted_ops);
+                assert_eq!(tenant.backlog_ops, 0);
+                assert_eq!(tenant.in_flight_ops, 0);
+                total += tenant.completed_ops;
+            }
+            assert!(total >= 96, "must reach the stop target: {total}");
+            (outcome.completed_at_stop.clone(), outcome.combined.makespan)
+        };
+        let (counts, makespan) = run();
+        assert_eq!(run(), (counts.clone(), makespan), "must be deterministic");
+        assert!(
+            counts[0] > counts[1],
+            "the weight-3 tenant must lead at the stop point: {counts:?}"
         );
     }
 

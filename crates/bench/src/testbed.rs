@@ -225,8 +225,55 @@ pub fn filestore_bench_disk(
     )
 }
 
+/// Builds `n` encrypted disks named `tenant-0..n` on **one shared**
+/// inline-mode cached bench cluster — the multi-tenant analogue of
+/// [`cached_bench_disk`]: every image's IO contends for the same
+/// shards, and inline apply keeps completion order (and therefore the
+/// fair scheduler's dispatch trace) bit-identical across hosts, which
+/// the gated `multitenant-*` bench groups depend on.
+///
+/// # Panics
+///
+/// Panics if image creation or formatting fails (benchmark setup).
+#[must_use]
+pub fn tenant_bench_disks(
+    config: &EncryptionConfig,
+    n: usize,
+    size: u64,
+    seed: u64,
+) -> Vec<EncryptedImage> {
+    let cluster = bench_builder()
+        .meta_cache_bytes(vdisk_rados::DEFAULT_META_CACHE_BYTES)
+        .concurrent_apply(false)
+        .build();
+    (0..n)
+        .map(|i| {
+            named_disk_on(
+                &cluster,
+                &format!("tenant-{i}"),
+                config,
+                size,
+                seed + i as u64,
+            )
+        })
+        .collect()
+}
+
 fn disk_on(cluster: Cluster, config: &EncryptionConfig, size: u64, seed: u64) -> EncryptedImage {
-    let image = Image::create(&cluster, "bench", size).expect("create bench image");
+    named_disk_on(&cluster, "bench", config, size, seed)
+}
+
+/// Builds an encrypted disk with an explicit image name, for clusters
+/// hosting more than one bench image.
+#[must_use]
+pub fn named_disk_on(
+    cluster: &Cluster,
+    name: &str,
+    config: &EncryptionConfig,
+    size: u64,
+    seed: u64,
+) -> EncryptedImage {
+    let image = Image::create(cluster, name, size).expect("create bench image");
     EncryptedImage::format_with_iv_source(
         image,
         config,

@@ -74,13 +74,21 @@ pub mod luks;
 mod meta_cache;
 mod queue;
 mod rekey;
+pub mod runtime;
 mod sector;
 
 pub use config::{Cipher, EncryptionConfig, MetaLayout, KEY_EPOCH_TAG_LEN};
 pub use encrypted_image::EncryptedImage;
 pub use luks::RekeyState;
 pub use queue::EncryptedIoQueue;
-pub use rekey::{RekeyDriver, RekeyProgress, DEFAULT_CHUNK_SECTORS, DEFAULT_QUEUE_DEPTH};
+pub use rekey::{
+    RekeyDriver, RekeyProgress, DEFAULT_CHUNK_SECTORS, DEFAULT_PRESSURE_THRESHOLD,
+    DEFAULT_QUEUE_DEPTH,
+};
+pub use runtime::{
+    RateLimit, Runtime, RuntimeError, RuntimeSnapshot, TenantHandle, TenantId, TenantQueue,
+    TenantSpec, TenantStats,
+};
 pub use sector::SectorState;
 // The op/completion vocabulary is shared with the raw queue.
 pub use vdisk_rbd::{Completion, IoOp, IoPayload, IoResult};
@@ -130,6 +138,10 @@ pub enum CryptError {
     /// handle's read and write (the generation CAS lost). The
     /// in-memory header view is stale; reopen the image and retry.
     HeaderContended,
+    /// The multi-tenant runtime reported that a driver's tenant can
+    /// make no progress (admission stalled or starved of rate-limit
+    /// tokens with nothing in flight).
+    RuntimeStalled(String),
     /// An error from the image layer.
     Rbd(vdisk_rbd::RbdError),
     /// An error from a cryptographic primitive.
@@ -160,6 +172,7 @@ impl fmt::Display for CryptError {
                     "encryption header updated concurrently; reopen and retry"
                 )
             }
+            CryptError::RuntimeStalled(why) => write!(f, "runtime stalled: {why}"),
             CryptError::Rbd(e) => write!(f, "image layer: {e}"),
             CryptError::Crypto(e) => write!(f, "crypto: {e}"),
         }

@@ -163,6 +163,14 @@ impl<'d> EncryptedIoQueue<'d> {
         self.reap.in_flight()
     }
 
+    /// The queue's completion doorbell: shard workers ring it as parts
+    /// of submissions land, and the multi-tenant runtime rings it when
+    /// a scheduling change should wake a parked owner.
+    #[must_use]
+    pub fn doorbell(&self) -> Arc<Doorbell> {
+        self.reap.doorbell()
+    }
+
     /// Submits one operation; returns its completion token with the
     /// work in flight on the shard queues. Writes encrypt on ingest in
     /// the submitted buffer; gather-writes coalesce their buffers into

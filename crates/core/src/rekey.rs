@@ -29,6 +29,7 @@
 //! background activity instead of a device-level outage.
 
 use crate::encrypted_image::EncryptedImage;
+use crate::runtime::{RuntimeError, TenantHandle};
 use crate::{CryptError, IoOp, IoPayload, Result};
 use std::collections::HashMap;
 
@@ -36,6 +37,10 @@ use std::collections::HashMap;
 pub const DEFAULT_CHUNK_SECTORS: u64 = 16;
 /// Default chunks in flight per step.
 pub const DEFAULT_QUEUE_DEPTH: usize = 8;
+/// Default client-pressure threshold: a sampled queue-depth peak above
+/// this many open submissions makes the driver halve its window (see
+/// [`RekeyDriver::with_pressure_threshold`]).
+pub const DEFAULT_PRESSURE_THRESHOLD: u64 = 4;
 
 /// Progress of an in-flight rekey.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +72,18 @@ pub struct RekeyDriver {
     to: u32,
     chunk_sectors: u64,
     queue_depth: usize,
+    /// Queue depth the next window will actually use: halved while
+    /// sampled client pressure exceeds the threshold, doubled back
+    /// toward `queue_depth` when pressure subsides.
+    effective_depth: usize,
+    pressure_threshold: u64,
+    /// Client queue-depth peak sampled before the last window.
+    last_pressure: u64,
+    /// When set, window IO flows through this tenant of a
+    /// multi-tenant [`crate::runtime::Runtime`] — background rekey
+    /// becomes an ordinary (typically low-weight) tenant competing
+    /// under weighted fair scheduling instead of a special case.
+    tenant: Option<TenantHandle>,
 }
 
 impl RekeyDriver {
@@ -76,6 +93,10 @@ impl RekeyDriver {
             to,
             chunk_sectors: DEFAULT_CHUNK_SECTORS,
             queue_depth: DEFAULT_QUEUE_DEPTH,
+            effective_depth: DEFAULT_QUEUE_DEPTH,
+            pressure_threshold: DEFAULT_PRESSURE_THRESHOLD,
+            last_pressure: 0,
+            tenant: None,
         }
     }
 
@@ -100,7 +121,44 @@ impl RekeyDriver {
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
         assert!(depth > 0, "queue depth must be at least 1");
         self.queue_depth = depth;
+        self.effective_depth = depth;
         self
+    }
+
+    /// Overrides the client-pressure threshold (open submissions in
+    /// the sampled queue-depth peak) above which a step halves its
+    /// window. Synchronous wrappers hold one open submission each, so
+    /// the default of [`DEFAULT_PRESSURE_THRESHOLD`] ignores light
+    /// sync traffic and reacts to genuinely queued client IO.
+    #[must_use]
+    pub fn with_pressure_threshold(mut self, peak: u64) -> Self {
+        self.pressure_threshold = peak;
+        self
+    }
+
+    /// Routes every window's reads and rewrites through `tenant` —
+    /// registered on a [`crate::runtime::Runtime`] shared with client
+    /// tenants, typically at low weight, so the fair scheduler damps
+    /// the rekey exactly like any other tenant.
+    #[must_use]
+    pub fn with_runtime_tenant(mut self, tenant: TenantHandle) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// The queue depth the next window will use: `queue_depth` when
+    /// the cluster was quiet, smaller (down to 1) while sampled client
+    /// pressure exceeds the threshold. The observable signal that the
+    /// rekey yields: window submissions drop with it.
+    #[must_use]
+    pub fn effective_queue_depth(&self) -> usize {
+        self.effective_depth
+    }
+
+    /// The client queue-depth peak sampled before the last window.
+    #[must_use]
+    pub fn last_pressure(&self) -> u64 {
+        self.last_pressure
     }
 
     /// The epoch pair this driver migrates.
@@ -137,9 +195,19 @@ impl RekeyDriver {
         Ok(self.progress(disk)?.is_complete())
     }
 
-    /// Migrates one window (up to `queue_depth × chunk_sectors`
-    /// sectors past the watermark) and persists the advanced
-    /// watermark. Returns the new progress; a no-op once complete.
+    /// Migrates one window (up to `effective_queue_depth ×
+    /// chunk_sectors` sectors past the watermark) and persists the
+    /// advanced watermark. Returns the new progress; a no-op once
+    /// complete.
+    ///
+    /// Before each window the driver samples the cluster's
+    /// queue-depth peak since its previous step
+    /// ([`vdisk_rados::Cluster::take_queue_depth_window_peak`]). A
+    /// peak above the pressure threshold means client IO was queuing —
+    /// the window halves (down to one chunk); quiet samples double it
+    /// back toward the configured depth. Background rekey thereby
+    /// yields to foreground tenants instead of competing at full
+    /// depth.
     ///
     /// # Errors
     ///
@@ -152,9 +220,16 @@ impl RekeyDriver {
         if progress.is_complete() {
             return Ok(progress);
         }
+        // Adapt to client pressure observed since the previous step.
+        self.last_pressure = disk.image().cluster().take_queue_depth_window_peak();
+        self.effective_depth = if self.last_pressure > self.pressure_threshold {
+            (self.effective_depth / 2).max(1)
+        } else {
+            (self.effective_depth * 2).min(self.queue_depth)
+        };
         let start = progress.migrated_sectors;
         let window_end =
-            (start + self.chunk_sectors * self.queue_depth as u64).min(progress.total_sectors);
+            (start + self.chunk_sectors * self.effective_depth as u64).min(progress.total_sectors);
 
         // A window that fails mid-flight rolls the in-memory watermark
         // back to the last fully-migrated prefix, so a retried step
@@ -162,10 +237,17 @@ impl RekeyDriver {
         // already-migrated sectors is safe: tagged layouts route by
         // entry, and the baseline's only fallible phase-3 paths are
         // MAC/binding failures, which require a tagged layout).
-        if let Err(e) = self.migrate_window(disk, start, window_end) {
+        let migrated = match self.tenant.clone() {
+            Some(tenant) => self.migrate_window_tenant(disk, start, window_end, &tenant),
+            None => self.migrate_window(disk, start, window_end),
+        };
+        if let Err(e) = migrated {
             disk.rollback_rekey_boundary(start);
             return Err(e);
         }
+        // Our own window's submissions must not read as "pressure" in
+        // the next step's sample.
+        let _ = disk.image().cluster().take_queue_depth_window_peak();
         // Publish the progress. On a persist failure the rewrites have
         // already landed, so the in-memory watermark (the truth for
         // this handle) stays advanced; the error still propagates.
@@ -211,6 +293,65 @@ impl RekeyDriver {
         Ok(())
     }
 
+    /// [`RekeyDriver::migrate_window`] with the window's IO flowing
+    /// through the driver's runtime tenant: submissions pass admission
+    /// control and dispatch only as the fair scheduler grants slots,
+    /// so a low-weight rekey tenant is damped exactly like any other
+    /// tenant while client queues are busy.
+    fn migrate_window_tenant(
+        &self,
+        disk: &mut EncryptedImage,
+        start: u64,
+        window_end: u64,
+        tenant: &TenantHandle,
+    ) -> Result<()> {
+        let ss = disk.sector_size();
+        let mut queue = tenant.attach(disk.io_queue());
+        // Phase 1: queue every chunk's read, blocking (and reaping)
+        // at the tenant's backlog cap rather than failing.
+        let mut chunk_offsets: HashMap<u64, u64> = HashMap::new();
+        let mut chunk = start;
+        while chunk < window_end {
+            let sectors = self.chunk_sectors.min(window_end - chunk);
+            let completion = queue
+                .submit_blocking(IoOp::Read {
+                    offset: chunk * ss,
+                    len: sectors * ss,
+                })
+                .map_err(flatten)?;
+            chunk_offsets.insert(completion.id(), chunk * ss);
+            chunk += sectors;
+        }
+        // Phase 2: every read must *dispatch* (capturing the
+        // pre-advance epoch map at the inner queue) before the
+        // boundary moves — an arbitrated read still queued when the
+        // epoch advanced would decrypt with the wrong keys.
+        queue.dispatch_backlog().map_err(flatten)?;
+        queue
+            .inner_mut()
+            .disk_mut()
+            .advance_rekey_boundary(window_end);
+        // Phase 3: the same land-first-rewrite-first pipeline, paced
+        // by the scheduler's grants.
+        while !chunk_offsets.is_empty() || queue.backlog() > 0 || queue.in_flight() > 0 {
+            for result in queue.wait_any().map_err(flatten)? {
+                let Some(offset) = chunk_offsets.remove(&result.completion.id()) else {
+                    continue; // a rewrite completing
+                };
+                let IoPayload::Data(plaintext) = result.payload else {
+                    unreachable!("chunk reads carry data payloads");
+                };
+                queue
+                    .submit_blocking(IoOp::Write {
+                        offset,
+                        data: plaintext,
+                    })
+                    .map_err(flatten)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Runs [`RekeyDriver::step`] until the whole image is migrated,
     /// then [`RekeyDriver::finish`]es.
     ///
@@ -233,5 +374,15 @@ impl RekeyDriver {
     /// [`CryptError::HeaderContended`] on a concurrent header update.
     pub fn finish(self, disk: &mut EncryptedImage) -> Result<()> {
         disk.rekey_finish(self.from, self.to)
+    }
+}
+
+/// Maps a tenant-queue error back into the crypto error space: queue
+/// errors pass through, scheduling dead-ends become
+/// [`CryptError::RuntimeStalled`].
+fn flatten(e: RuntimeError<CryptError>) -> CryptError {
+    match e {
+        RuntimeError::Queue(e) => e,
+        other => CryptError::RuntimeStalled(other.to_string()),
     }
 }

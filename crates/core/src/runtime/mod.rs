@@ -1,0 +1,768 @@
+//! The multi-tenant client runtime: admission control, weighted fair
+//! scheduling, and per-tenant QoS over the per-shard submission
+//! queues.
+//!
+//! The paper's design hands the whole data path to the client — which
+//! means the client is also where *fairness* has to live. One
+//! [`EncryptedIoQueue`](crate::EncryptedIoQueue) per image with no
+//! arbitration lets a single image at QD 64 starve every other image
+//! sharing the shard workers. This module inserts the missing layer: a
+//! [`Runtime`] owns tenant registration (weight, QD cap, backlog cap,
+//! optional byte-rate token bucket), admission control at submit, and
+//! a weighted-fair allocation of a shared in-flight budget — so
+//! hundreds of queues share the cluster with proportional fairness
+//! instead of free-for-all.
+//!
+//! # The model
+//!
+//! - **Tenant**: a registered identity ([`TenantHandle`]) with a
+//!   [`TenantSpec`]. Weights set proportional share under contention;
+//!   the QD cap bounds a tenant's own in-flight ops; the backlog cap
+//!   is the admission bound ([`RuntimeError::AdmissionDenied`] past
+//!   it); a [`RateLimit`] adds token-bucket pacing in bytes.
+//! - **Queue**: a tenant attaches a concrete queue (the raw
+//!   [`vdisk_rbd::IoQueue`] or the encrypted
+//!   [`EncryptedIoQueue`](crate::EncryptedIoQueue)) with
+//!   [`TenantHandle::attach`], yielding a [`TenantQueue`] with the
+//!   same submit/poll/wait/fence surface. Submissions queue locally;
+//!   dispatch happens only when the arbiter grants slots — always on
+//!   the owning thread, never from a central dispatcher, so the
+//!   borrow-based queue types need no lifetime contortions.
+//! - **Fairness**: a virtual-time weighted-fair scheduler (see
+//!   `sched.rs`): each tenant's clock advances by `bytes / weight` per
+//!   dispatched op and free slots go to the smallest clock first. The
+//!   allocation simulates all backlogged tenants at once, so slots a
+//!   quieter tenant is entitled to are *reserved* — a deep-QD hog
+//!   cannot claim them in between the quiet tenant's submissions.
+//!
+//! Per-tenant FIFO dispatch preserves the queue layers' ordering
+//! contract: ops of one tenant dispatch in submission order, so the
+//! interleaving ≡ sequential-replay property holds through the
+//! scheduler (see `core/tests/runtime_properties.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use vdisk_core::runtime::{Runtime, TenantSpec};
+//! use vdisk_rados::Cluster;
+//! use vdisk_rbd::{Image, IoOp, IoQueue};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cluster = Cluster::builder().build();
+//! let runtime = Runtime::new(8);
+//! let tenant = runtime.register(TenantSpec::new("vm-1").weight(3));
+//!
+//! let image = Image::create(&cluster, "vm-1", 16 << 20)?;
+//! let mut queue = tenant.attach(IoQueue::new(&image));
+//! queue.submit(IoOp::Write { offset: 0, data: vec![7u8; 4096] })?;
+//! let done = queue.fence()?;
+//! assert_eq!(done.len(), 1);
+//! assert_eq!(tenant.stats().completed_ops, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+use vdisk_rados::{Doorbell, ExecStats};
+use vdisk_rbd::{Completion, IoOp, IoResult};
+
+mod sched;
+
+use sched::{Arbiter, ParkHint};
+
+/// Identifies a registered tenant within its [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Byte-rate pacing for one tenant: a token bucket holding up to
+/// `burst_bytes`, refilled at `bytes_per_sec`. A zero rate never
+/// refills — the burst is the tenant's total allowance (deterministic
+/// tests use this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Sustained refill rate in bytes per second (0 = never refills).
+    pub bytes_per_sec: u64,
+    /// Bucket capacity in bytes; also the initial fill.
+    pub burst_bytes: u64,
+}
+
+/// Registration-time description of a tenant.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    name: String,
+    weight: u32,
+    qd_cap: usize,
+    backlog_cap: usize,
+    rate: Option<RateLimit>,
+}
+
+impl TenantSpec {
+    /// A tenant with weight 1, QD cap 16, backlog cap 64 and no rate
+    /// limit.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            weight: 1,
+            qd_cap: 16,
+            backlog_cap: 64,
+            rate: None,
+        }
+    }
+
+    /// Proportional share under contention (≥ 1): at equal demand a
+    /// weight-3 tenant dispatches ~3 bytes for a weight-1 tenant's 1.
+    #[must_use]
+    pub fn weight(mut self, weight: u32) -> TenantSpec {
+        self.weight = weight;
+        self
+    }
+
+    /// Maximum ops this tenant may hold in flight at once (≥ 1).
+    #[must_use]
+    pub fn qd_cap(mut self, qd_cap: usize) -> TenantSpec {
+        self.qd_cap = qd_cap;
+        self
+    }
+
+    /// Admission bound: submits past this many queued-but-undispatched
+    /// ops fail with [`RuntimeError::AdmissionDenied`] (≥ 1).
+    #[must_use]
+    pub fn backlog_cap(mut self, backlog_cap: usize) -> TenantSpec {
+        self.backlog_cap = backlog_cap;
+        self
+    }
+
+    /// Adds token-bucket pacing in bytes.
+    #[must_use]
+    pub fn rate_limit(mut self, rate: RateLimit) -> TenantSpec {
+        self.rate = Some(rate);
+        self
+    }
+}
+
+/// Point-in-time per-tenant counters (see [`Runtime::tenant_stats`]).
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// The tenant.
+    pub id: TenantId,
+    /// Registration name.
+    pub name: String,
+    /// Configured weight.
+    pub weight: u32,
+    /// Ops accepted by admission control.
+    pub admitted_ops: u64,
+    /// Ops rejected at the backlog cap.
+    pub rejected_ops: u64,
+    /// Ops handed to the underlying queue.
+    pub dispatched_ops: u64,
+    /// Ops reaped back through the tenant's queue.
+    pub completed_ops: u64,
+    /// Payload bytes of completed ops.
+    pub completed_bytes: u64,
+    /// Ops admitted and not yet dispatched, right now.
+    pub backlog_ops: usize,
+    /// Ops dispatched and not yet reaped, right now.
+    pub in_flight_ops: usize,
+    /// Rollup of the per-op [`ExecStats`] deltas of every completed
+    /// op: counters sum, high-water marks take the max.
+    pub exec: ExecStats,
+}
+
+/// Point-in-time view of the whole runtime (see [`Runtime::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct RuntimeSnapshot {
+    /// The shared in-flight budget.
+    pub inflight_budget: usize,
+    /// Ops in flight across all tenants, right now.
+    pub in_flight_ops: usize,
+    /// Every registered tenant's counters, in registration order.
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Errors of the runtime layer, wrapping the attached queue's own
+/// error type `E`.
+#[derive(Debug)]
+pub enum RuntimeError<E> {
+    /// Admission control rejected the submit: the tenant's backlog is
+    /// at its cap. Reap some completions (or wait) and resubmit.
+    AdmissionDenied {
+        /// The rejected tenant.
+        tenant: TenantId,
+        /// Ops currently queued.
+        backlog: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A blocking reap would never return: the tenant has queued work
+    /// gated on a zero-rate token bucket with too few tokens, and
+    /// nothing in flight to wait for.
+    Starved {
+        /// The stalled tenant.
+        tenant: TenantId,
+    },
+    /// The underlying queue failed.
+    Queue(E),
+}
+
+impl<E: fmt::Display> fmt::Display for RuntimeError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::AdmissionDenied {
+                tenant,
+                backlog,
+                cap,
+            } => write!(f, "{tenant} backlog full ({backlog}/{cap})"),
+            RuntimeError::Starved { tenant } => write!(
+                f,
+                "{tenant} is out of tokens with no refill and nothing in flight"
+            ),
+            RuntimeError::Queue(e) => write!(f, "queue error: {e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for RuntimeError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Queue(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl<E> From<E> for RuntimeError<E> {
+    fn from(e: E) -> Self {
+        RuntimeError::Queue(e)
+    }
+}
+
+/// A queue the runtime can arbitrate: non-blocking submit and reap,
+/// an in-flight count, and the completion doorbell the runtime rings
+/// when a scheduling change should wake the owner. Implemented by the
+/// raw [`vdisk_rbd::IoQueue`] and the encrypted
+/// [`EncryptedIoQueue`](crate::EncryptedIoQueue).
+pub trait ArbitratedQueue {
+    /// The queue's error type.
+    type Error;
+
+    /// Submits directly to the underlying queue (dispatch).
+    ///
+    /// # Errors
+    ///
+    /// The queue's synchronous submit errors (e.g. out of bounds).
+    fn submit_direct(&mut self, op: IoOp) -> Result<Completion, Self::Error>;
+
+    /// Non-blocking reap of everything finished.
+    ///
+    /// # Errors
+    ///
+    /// The queue's reap errors.
+    fn poll_direct(&mut self) -> Result<Vec<IoResult>, Self::Error>;
+
+    /// Ops dispatched and not yet reaped.
+    fn in_flight(&self) -> usize;
+
+    /// The queue's completion doorbell.
+    fn doorbell(&self) -> Arc<Doorbell>;
+}
+
+impl ArbitratedQueue for vdisk_rbd::IoQueue {
+    type Error = vdisk_rbd::RbdError;
+
+    fn submit_direct(&mut self, op: IoOp) -> Result<Completion, Self::Error> {
+        self.submit(op)
+    }
+
+    fn poll_direct(&mut self) -> Result<Vec<IoResult>, Self::Error> {
+        self.poll()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_flight()
+    }
+
+    fn doorbell(&self) -> Arc<Doorbell> {
+        vdisk_rbd::IoQueue::doorbell(self)
+    }
+}
+
+impl ArbitratedQueue for crate::EncryptedIoQueue<'_> {
+    type Error = crate::CryptError;
+
+    fn submit_direct(&mut self, op: IoOp) -> Result<Completion, Self::Error> {
+        self.submit(op)
+    }
+
+    fn poll_direct(&mut self) -> Result<Vec<IoResult>, Self::Error> {
+        self.poll()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_flight()
+    }
+
+    fn doorbell(&self) -> Arc<Doorbell> {
+        crate::EncryptedIoQueue::doorbell(self)
+    }
+}
+
+/// The shared arbiter. Cheap to clone; all clones share one scheduler
+/// state. See the [module docs](self) for the model.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<Mutex<Arbiter>>,
+}
+
+impl Runtime {
+    /// A runtime sharing `inflight_budget` concurrent ops across all
+    /// tenants. The budget is what creates fairness: tenants contend
+    /// for slots, and the scheduler hands free slots to whoever is
+    /// furthest below its weighted share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inflight_budget` is zero.
+    #[must_use]
+    pub fn new(inflight_budget: usize) -> Runtime {
+        Runtime {
+            inner: Arc::new(Mutex::new(Arbiter::new(inflight_budget))),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Arbiter> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's weight, QD cap or backlog cap is zero.
+    #[must_use]
+    pub fn register(&self, spec: TenantSpec) -> TenantHandle {
+        let id = self.lock().register(&spec);
+        TenantHandle {
+            runtime: self.clone(),
+            id,
+        }
+    }
+
+    /// One tenant's counters, point in time.
+    #[must_use]
+    pub fn tenant_stats(&self, id: TenantId) -> TenantStats {
+        self.lock().tenant_stats(id)
+    }
+
+    /// The whole runtime's counters, point in time.
+    #[must_use]
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        let arbiter = self.lock();
+        RuntimeSnapshot {
+            inflight_budget: arbiter.budget(),
+            in_flight_ops: arbiter.in_flight_total(),
+            tenants: arbiter.all_stats(),
+        }
+    }
+
+    /// Ops in flight across all tenants, right now.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.lock().in_flight_total()
+    }
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arbiter = self.lock();
+        write!(
+            f,
+            "Runtime({} in flight / budget {})",
+            arbiter.in_flight_total(),
+            arbiter.budget()
+        )
+    }
+}
+
+/// A registered tenant: the key for attaching queues and reading
+/// stats. Clones refer to the same tenant.
+#[derive(Clone)]
+pub struct TenantHandle {
+    runtime: Runtime,
+    id: TenantId,
+}
+
+impl TenantHandle {
+    /// The tenant's id.
+    #[must_use]
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// The owning runtime.
+    #[must_use]
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// This tenant's counters, point in time.
+    #[must_use]
+    pub fn stats(&self) -> TenantStats {
+        self.runtime.tenant_stats(self.id)
+    }
+
+    /// Puts `inner` under this tenant's arbitration. All IO to the
+    /// queue now flows through admission control and the fair
+    /// scheduler; drop the [`TenantQueue`] to release the tenant for
+    /// a new attachment (undispatched work is abandoned then).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant already has an attached queue: the
+    /// arbiter's per-tenant backlog is a single FIFO, so two queues
+    /// interleaving in it would dispatch each other's grants.
+    #[must_use]
+    pub fn attach<Q: ArbitratedQueue>(&self, inner: Q) -> TenantQueue<Q> {
+        let bell = inner.doorbell();
+        self.runtime.lock().attach(self.id, Arc::clone(&bell));
+        TenantQueue {
+            runtime: self.runtime.clone(),
+            id: self.id,
+            inner,
+            bell,
+            backlog: VecDeque::new(),
+            dispatched: HashMap::new(),
+            staged: Vec::new(),
+            next_outer: 0,
+        }
+    }
+}
+
+impl fmt::Debug for TenantHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TenantHandle({})", self.id)
+    }
+}
+
+/// The payload cost of an op in bytes (min 1, so zero-length ops
+/// still advance the fairness clock).
+fn op_cost(op: &IoOp) -> u64 {
+    let bytes = match op {
+        IoOp::Write { data, .. } => data.len() as u64,
+        IoOp::Writev { buffers, .. } => buffers.iter().map(|b| b.len() as u64).sum(),
+        IoOp::Read { len, .. } => *len,
+        IoOp::Readv { lens, .. } => lens.iter().sum(),
+    };
+    bytes.max(1)
+}
+
+/// A tenant-arbitrated queue: same submit/poll/wait/fence surface as
+/// the queue it wraps, with admission control at submit and dispatch
+/// gated by the runtime's fair scheduler. Completion tokens are the
+/// wrapper's own (allotted at submit, delivered in results with the
+/// inner queue's tokens rewritten).
+///
+/// Ops whose dispatch the inner queue rejects synchronously (e.g. out
+/// of bounds) surface that error from whichever pumping call performs
+/// the dispatch — not necessarily the `submit` that queued them.
+pub struct TenantQueue<Q: ArbitratedQueue> {
+    runtime: Runtime,
+    id: TenantId,
+    inner: Q,
+    bell: Arc<Doorbell>,
+    /// Admitted, undispatched ops with their wrapper completion ids.
+    backlog: VecDeque<(u64, IoOp)>,
+    /// Inner completion id → (wrapper completion id, cost bytes).
+    dispatched: HashMap<u64, (u64, u64)>,
+    /// Reaped results not yet delivered to the caller (a dispatch
+    /// pump may reap while waiting for backlog slots).
+    staged: Vec<IoResult>,
+    next_outer: u64,
+}
+
+impl<Q: ArbitratedQueue> TenantQueue<Q> {
+    /// The wrapped queue.
+    #[must_use]
+    pub fn inner(&self) -> &Q {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped queue — for drivers that need
+    /// queue-type-specific calls between submissions (the rekey driver
+    /// advances the key-epoch boundary mid-window). Submitting to the
+    /// inner queue directly bypasses arbitration; don't.
+    #[must_use]
+    pub fn inner_mut(&mut self) -> &mut Q {
+        &mut self.inner
+    }
+
+    /// This queue's tenant.
+    #[must_use]
+    pub fn tenant(&self) -> TenantId {
+        self.id
+    }
+
+    /// Ops admitted and not yet dispatched.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Ops dispatched and not yet reaped.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight()
+    }
+
+    /// Submits one op through admission control; returns its wrapper
+    /// completion token. The op dispatches now if the scheduler grants
+    /// a slot, otherwise it queues and later pumping calls dispatch it.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::AdmissionDenied`] at the backlog cap; dispatch
+    /// errors from the inner queue if the op (or an earlier queued
+    /// one) dispatches within this call.
+    pub fn submit(&mut self, op: IoOp) -> Result<Completion, RuntimeError<Q::Error>> {
+        let cost = op_cost(&op);
+        self.runtime
+            .lock()
+            .try_admit(self.id, cost)
+            .map_err(|(backlog, cap)| RuntimeError::AdmissionDenied {
+                tenant: self.id,
+                backlog,
+                cap,
+            })?;
+        let outer = self.next_outer;
+        self.next_outer += 1;
+        self.backlog.push_back((outer, op));
+        self.pump()?;
+        Ok(Completion::from_id(outer))
+    }
+
+    /// Like [`TenantQueue::submit`], but blocks at the backlog cap
+    /// instead of failing: pumps dispatch (and reaps, staging any
+    /// results for the next reap call) until a backlog slot frees up.
+    /// The submit primitive for background drivers that prefer
+    /// throttling to error handling.
+    ///
+    /// # Errors
+    ///
+    /// As [`TenantQueue::wait_any`] — never
+    /// [`RuntimeError::AdmissionDenied`].
+    pub fn submit_blocking(&mut self, op: IoOp) -> Result<Completion, RuntimeError<Q::Error>> {
+        loop {
+            let seen = self.bell.generation();
+            let hint = self.pump()?;
+            if !self.runtime.lock().backlog_full(self.id) {
+                break;
+            }
+            let reaped = self.reap_into_staged()?;
+            if !self.runtime.lock().backlog_full(self.id) {
+                break;
+            }
+            if reaped > 0 {
+                // The reap freed slots; re-pump before parking.
+                continue;
+            }
+            self.park(seen, hint)?;
+        }
+        self.submit(op)
+    }
+
+    /// Dispatches whatever the scheduler currently grants; returns the
+    /// park hint of the final (empty) claim.
+    fn pump(&mut self) -> Result<ParkHint, RuntimeError<Q::Error>> {
+        loop {
+            let (granted, hint) = self.runtime.lock().claim(self.id);
+            if granted == 0 {
+                return Ok(hint);
+            }
+            for _ in 0..granted {
+                let (outer, op) = self.backlog.pop_front().expect("granted within backlog");
+                let cost = op_cost(&op);
+                match self.inner.submit_direct(op) {
+                    Ok(completion) => {
+                        self.dispatched.insert(completion.id(), (outer, cost));
+                    }
+                    Err(e) => {
+                        self.runtime.lock().dispatch_failed(self.id, cost);
+                        return Err(RuntimeError::Queue(e));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reaps the inner queue into the staging buffer, rewriting
+    /// completion tokens and reporting per-tenant totals. Returns the
+    /// number of ops reaped: a positive count frees scheduler slots,
+    /// so callers must re-pump before parking (the runtime rings
+    /// *other* tenants on completions — never the reaping thread,
+    /// which is already awake).
+    fn reap_into_staged(&mut self) -> Result<usize, RuntimeError<Q::Error>> {
+        let results = self.inner.poll_direct()?;
+        if results.is_empty() {
+            return Ok(0);
+        }
+        let mut ops = 0usize;
+        let mut bytes = 0u64;
+        let mut exec = ExecStats::default();
+        for mut result in results {
+            let (outer, cost) = self
+                .dispatched
+                .remove(&result.completion.id())
+                .expect("inner completion was dispatched by this wrapper");
+            result.completion = Completion::from_id(outer);
+            ops += 1;
+            bytes += cost;
+            exec.absorb(&result.stats);
+            self.staged.push(result);
+        }
+        self.runtime.lock().complete(self.id, ops, bytes, &exec);
+        Ok(ops)
+    }
+
+    fn take_staged(&mut self) -> Vec<IoResult> {
+        std::mem::take(&mut self.staged)
+    }
+
+    /// Pumps dispatch and reaps everything finished, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Dispatch and reap errors of the inner queue.
+    pub fn poll(&mut self) -> Result<Vec<IoResult>, RuntimeError<Q::Error>> {
+        self.pump()?;
+        self.reap_into_staged()?;
+        Ok(self.take_staged())
+    }
+
+    /// Blocks until at least one completion is available (parking on
+    /// the doorbell, never spinning), then reaps everything finished.
+    /// Returns empty only when the tenant has nothing queued and
+    /// nothing in flight.
+    ///
+    /// # Errors
+    ///
+    /// As [`TenantQueue::poll`], plus [`RuntimeError::Starved`] when
+    /// queued work can never dispatch (zero-rate bucket out of
+    /// tokens) and nothing is in flight to wait for.
+    pub fn wait_any(&mut self) -> Result<Vec<IoResult>, RuntimeError<Q::Error>> {
+        loop {
+            let seen = self.bell.generation();
+            let hint = self.pump()?;
+            self.reap_into_staged()?;
+            if !self.staged.is_empty() {
+                return Ok(self.take_staged());
+            }
+            if self.backlog.is_empty() && self.inner.in_flight() == 0 {
+                return Ok(Vec::new());
+            }
+            self.park(seen, hint)?;
+        }
+    }
+
+    /// Parks on the doorbell until something changes: a completion
+    /// (shard workers ring per landed part), a scheduling change (the
+    /// runtime rings on freed slots), or — for token-gated backlogs —
+    /// the refill ETA.
+    fn park(&mut self, seen: u64, hint: ParkHint) -> Result<(), RuntimeError<Q::Error>> {
+        if self.inner.in_flight() > 0 {
+            self.bell.wait_past(seen);
+            return Ok(());
+        }
+        match hint {
+            ParkHint::Tokens(eta) => {
+                self.bell.wait_past_for(seen, eta.max(MIN_TOKEN_PARK));
+            }
+            ParkHint::Starved => {
+                return Err(RuntimeError::Starved { tenant: self.id });
+            }
+            _ => {
+                self.bell.wait_past(seen);
+            }
+        }
+        Ok(())
+    }
+
+    /// Parks until every queued op has *dispatched* (not completed).
+    /// Results reaped while waiting stay staged for the next reap
+    /// call. Drivers that must order a state change after all queued
+    /// submissions use this (the rekey driver's key-epoch boundary
+    /// advance).
+    ///
+    /// # Errors
+    ///
+    /// As [`TenantQueue::wait_any`].
+    pub fn dispatch_backlog(&mut self) -> Result<(), RuntimeError<Q::Error>> {
+        loop {
+            let seen = self.bell.generation();
+            let hint = self.pump()?;
+            if self.backlog.is_empty() {
+                return Ok(());
+            }
+            let reaped = self.reap_into_staged()?;
+            if self.backlog.is_empty() {
+                return Ok(());
+            }
+            if reaped > 0 {
+                continue;
+            }
+            self.park(seen, hint)?;
+        }
+    }
+
+    /// Full barrier: dispatches and completes everything queued, then
+    /// returns all results in wrapper-submission order.
+    ///
+    /// # Errors
+    ///
+    /// As [`TenantQueue::wait_any`].
+    pub fn fence(&mut self) -> Result<Vec<IoResult>, RuntimeError<Q::Error>> {
+        loop {
+            let seen = self.bell.generation();
+            let hint = self.pump()?;
+            let reaped = self.reap_into_staged()?;
+            if self.backlog.is_empty() && self.inner.in_flight() == 0 {
+                let mut results = self.take_staged();
+                results.sort_by_key(|r| r.completion.id());
+                return Ok(results);
+            }
+            if reaped > 0 {
+                continue;
+            }
+            self.park(seen, hint)?;
+        }
+    }
+}
+
+/// Floor for timed token parks: sub-millisecond ETAs would make the
+/// park a near-spin.
+const MIN_TOKEN_PARK: std::time::Duration = std::time::Duration::from_millis(1);
+
+impl<Q: ArbitratedQueue> Drop for TenantQueue<Q> {
+    fn drop(&mut self) {
+        self.runtime.lock().detach(self.id);
+    }
+}
+
+impl<Q: ArbitratedQueue> fmt::Debug for TenantQueue<Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TenantQueue({}, {} queued, {} in flight)",
+            self.id,
+            self.backlog.len(),
+            self.inner.in_flight()
+        )
+    }
+}

@@ -1,0 +1,561 @@
+//! The arbiter: weighted fair scheduling over a shared in-flight
+//! budget, per-tenant token buckets, and the bookkeeping behind the
+//! runtime's stats snapshots.
+//!
+//! The scheduler is a classic virtual-time WFQ. Every tenant carries a
+//! virtual clock that advances by `cost / weight` per dispatched op
+//! (cost = payload bytes, min 1), so at any instant the backlogged
+//! tenant with the smallest clock is the one furthest below its fair
+//! share. Free in-flight slots are allocated by simulating that rule
+//! over *all* backlogged tenants — the claiming tenant realizes only
+//! its own share, the rest of the allocation acts as a reservation so
+//! a hot tenant cannot claim slots the clock says belong to a quieter
+//! one.
+//!
+//! Everything here runs under the runtime's single mutex; physical
+//! dispatch never happens here. A tenant claims grants and then
+//! submits on its own thread, which is what lets hundreds of queues
+//! share one arbiter without the arbiter owning any queue.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vdisk_rados::{Doorbell, ExecStats};
+
+use super::{RateLimit, TenantId, TenantSpec, TenantStats};
+
+/// Sub-byte precision for the virtual clocks: costs are scaled up
+/// before dividing by the weight so small ops under large weights
+/// still advance the clock.
+const VTIME_SHIFT: u32 = 16;
+
+/// Why a claim came back empty — tells the owning thread how to park.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ParkHint {
+    /// Nothing queued: the tenant is idle.
+    Idle,
+    /// Blocked on slots (budget, QD cap, or fair-share reservation):
+    /// a completion will ring the doorbell.
+    Completions,
+    /// Blocked on token refill: re-claim after roughly this long.
+    Tokens(Duration),
+    /// Blocked on tokens that will never refill (zero-rate bucket):
+    /// waiting is hopeless unless something is already in flight.
+    Starved,
+}
+
+/// Token bucket in bytes. `rate == 0` means no refill — the burst is
+/// all the tenant ever gets (deterministic tests rely on this).
+struct TokenBucket {
+    tokens: f64,
+    burst: f64,
+    rate: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(limit: &RateLimit) -> TokenBucket {
+        let burst = limit.burst_bytes as f64;
+        TokenBucket {
+            tokens: burst,
+            burst,
+            rate: limit.bytes_per_sec as f64,
+            last: Instant::now(),
+        }
+    }
+
+    fn refill(&mut self) {
+        if self.rate > 0.0 {
+            let now = Instant::now();
+            let dt = now.duration_since(self.last).as_secs_f64();
+            self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+            self.last = now;
+        }
+    }
+
+    /// Time until `need` tokens will have accumulated, or `None` for a
+    /// zero-rate bucket.
+    fn time_until(&self, need: f64) -> Option<Duration> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let deficit = (need - self.tokens).max(0.0);
+        Some(Duration::from_secs_f64(deficit / self.rate))
+    }
+}
+
+/// Running per-tenant totals behind [`TenantStats`].
+#[derive(Default)]
+struct Totals {
+    admitted_ops: u64,
+    rejected_ops: u64,
+    dispatched_ops: u64,
+    completed_ops: u64,
+    completed_bytes: u64,
+    exec: ExecStats,
+}
+
+struct TenantState {
+    name: String,
+    weight: u32,
+    qd_cap: usize,
+    backlog_cap: usize,
+    bucket: Option<TokenBucket>,
+    /// Cost (bytes, min 1) of each admitted-but-undispatched op, in
+    /// submission order — the arbiter-side mirror of the tenant
+    /// queue's backlog.
+    backlog: VecDeque<u64>,
+    in_flight: usize,
+    vtime: u128,
+    /// Whether a `TenantQueue` currently owns this tenant's dispatch.
+    attached: bool,
+    /// The attached queue's doorbell, rung on grant-affecting changes.
+    bell: Option<Arc<Doorbell>>,
+    totals: Totals,
+}
+
+impl TenantState {
+    /// Active tenants pin the virtual clock floor: a tenant with work
+    /// queued or in flight is competing right now.
+    fn is_active(&self) -> bool {
+        !self.backlog.is_empty() || self.in_flight > 0
+    }
+
+    fn vtime_step(&self, cost: u64) -> u128 {
+        (u128::from(cost) << VTIME_SHIFT) / u128::from(self.weight.max(1))
+    }
+}
+
+pub(crate) struct Arbiter {
+    budget: usize,
+    in_flight_total: usize,
+    tenants: Vec<TenantState>,
+}
+
+impl Arbiter {
+    pub(crate) fn new(budget: usize) -> Arbiter {
+        assert!(budget > 0, "runtime in-flight budget must be at least 1");
+        Arbiter {
+            budget,
+            in_flight_total: 0,
+            tenants: Vec::new(),
+        }
+    }
+
+    pub(crate) fn budget(&self) -> usize {
+        self.budget
+    }
+
+    pub(crate) fn in_flight_total(&self) -> usize {
+        self.in_flight_total
+    }
+
+    pub(crate) fn register(&mut self, spec: &TenantSpec) -> TenantId {
+        assert!(spec.weight >= 1, "tenant weight must be at least 1");
+        assert!(spec.qd_cap >= 1, "tenant QD cap must be at least 1");
+        assert!(
+            spec.backlog_cap >= 1,
+            "tenant backlog cap must be at least 1"
+        );
+        let id = TenantId(u32::try_from(self.tenants.len()).expect("tenant count fits u32"));
+        self.tenants.push(TenantState {
+            name: spec.name.clone(),
+            weight: spec.weight,
+            qd_cap: spec.qd_cap,
+            backlog_cap: spec.backlog_cap,
+            bucket: spec.rate.as_ref().map(TokenBucket::new),
+            backlog: VecDeque::new(),
+            in_flight: 0,
+            vtime: 0,
+            attached: false,
+            bell: None,
+            totals: Totals::default(),
+        });
+        id
+    }
+
+    pub(crate) fn attach(&mut self, id: TenantId, bell: Arc<Doorbell>) {
+        let state = &mut self.tenants[id.0 as usize];
+        assert!(
+            !state.attached,
+            "tenant {} already has an attached queue",
+            state.name
+        );
+        state.attached = true;
+        state.bell = Some(bell);
+    }
+
+    /// Releases a dropped queue's claim on the tenant: queued work
+    /// disappears and its in-flight slots return to the pool (the ops
+    /// still complete at the cluster; nobody will report them).
+    pub(crate) fn detach(&mut self, id: TenantId) {
+        let state = &mut self.tenants[id.0 as usize];
+        state.attached = false;
+        state.bell = None;
+        state.backlog.clear();
+        self.in_flight_total -= state.in_flight;
+        state.in_flight = 0;
+        self.ring_backlogged(Some(id));
+    }
+
+    /// Admission control at submit: rejects when the tenant's backlog
+    /// cap is reached, otherwise queues the op's cost.
+    pub(crate) fn try_admit(&mut self, id: TenantId, cost: u64) -> Result<(), (usize, usize)> {
+        // The virtual clock floor must be read before the borrow below.
+        let floor = self.active_vtime_floor(id);
+        let state = &mut self.tenants[id.0 as usize];
+        if state.backlog.len() >= state.backlog_cap {
+            state.totals.rejected_ops += 1;
+            return Err((state.backlog.len(), state.backlog_cap));
+        }
+        if !state.is_active() {
+            // Re-activation: an idle tenant's clock rejoins at the
+            // active floor, so sitting out does not bank credit.
+            if let Some(floor) = floor {
+                state.vtime = state.vtime.max(floor);
+            }
+        }
+        state.backlog.push_back(cost.max(1));
+        state.totals.admitted_ops += 1;
+        Ok(())
+    }
+
+    /// Whether a submit for `id` would be rejected right now.
+    pub(crate) fn backlog_full(&self, id: TenantId) -> bool {
+        let state = &self.tenants[id.0 as usize];
+        state.backlog.len() >= state.backlog_cap
+    }
+
+    fn active_vtime_floor(&self, excluding: TenantId) -> Option<u128> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| *i != excluding.0 as usize && t.is_active())
+            .map(|(_, t)| t.vtime)
+            .min()
+    }
+
+    /// Allocates the free budget over every backlogged tenant in
+    /// virtual-time order and realizes the claiming tenant's share:
+    /// its granted ops leave the backlog mirror and count in flight.
+    /// Other tenants' shares are reservations — they realize them on
+    /// their own claims.
+    pub(crate) fn claim(&mut self, id: TenantId) -> (usize, ParkHint) {
+        for tenant in &mut self.tenants {
+            if let Some(bucket) = tenant.bucket.as_mut() {
+                bucket.refill();
+            }
+        }
+        let free = self.budget - self.in_flight_total;
+        let me = id.0 as usize;
+
+        // Scratch view of every backlogged tenant for the simulation.
+        struct Scratch {
+            idx: usize,
+            vtime: u128,
+            pos: usize,
+            in_flight: usize,
+            tokens: Option<f64>,
+        }
+        let mut scratch: Vec<Scratch> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.backlog.is_empty())
+            .map(|(idx, t)| Scratch {
+                idx,
+                vtime: t.vtime,
+                pos: 0,
+                in_flight: t.in_flight,
+                tokens: t.bucket.as_ref().map(|b| b.tokens),
+            })
+            .collect();
+
+        let mut granted = 0usize;
+        for _ in 0..free {
+            let next = scratch
+                .iter_mut()
+                .filter(|s| {
+                    let t = &self.tenants[s.idx];
+                    s.pos < t.backlog.len()
+                        && s.in_flight < t.qd_cap
+                        && s.tokens
+                            .is_none_or(|tokens| tokens >= t.backlog[s.pos] as f64)
+                })
+                .min_by_key(|s| (s.vtime, s.idx));
+            let Some(next) = next else { break };
+            let tenant = &self.tenants[next.idx];
+            let cost = tenant.backlog[next.pos];
+            next.vtime += tenant.vtime_step(cost);
+            next.pos += 1;
+            next.in_flight += 1;
+            if let Some(tokens) = next.tokens.as_mut() {
+                *tokens -= cost as f64;
+            }
+            if next.idx == me {
+                granted += 1;
+            }
+        }
+
+        // Realize the claimer's share.
+        let state = &mut self.tenants[me];
+        for _ in 0..granted {
+            let cost = state.backlog.pop_front().expect("granted within backlog");
+            state.vtime += state.vtime_step(cost);
+            state.in_flight += 1;
+            state.totals.dispatched_ops += 1;
+            if let Some(bucket) = state.bucket.as_mut() {
+                bucket.tokens -= cost as f64;
+            }
+        }
+        self.in_flight_total += granted;
+
+        let hint = self.park_hint(me, granted);
+        (granted, hint)
+    }
+
+    fn park_hint(&self, me: usize, granted: usize) -> ParkHint {
+        let state = &self.tenants[me];
+        if state.backlog.is_empty() {
+            return ParkHint::Idle;
+        }
+        if granted > 0 {
+            // Progress was made; the caller will re-claim, not park.
+            return ParkHint::Completions;
+        }
+        let head = state.backlog[0] as f64;
+        if let Some(bucket) = state.bucket.as_ref() {
+            if bucket.tokens < head && state.in_flight < state.qd_cap {
+                return match bucket.time_until(head) {
+                    Some(eta) => ParkHint::Tokens(eta),
+                    None => ParkHint::Starved,
+                };
+            }
+        }
+        ParkHint::Completions
+    }
+
+    /// Records a dispatch the inner queue rejected synchronously (out
+    /// of bounds): the slot returns to the pool and the tokens are
+    /// refunded.
+    pub(crate) fn dispatch_failed(&mut self, id: TenantId, cost: u64) {
+        let state = &mut self.tenants[id.0 as usize];
+        state.in_flight -= 1;
+        state.totals.dispatched_ops -= 1;
+        if let Some(bucket) = state.bucket.as_mut() {
+            bucket.tokens = (bucket.tokens + cost.max(1) as f64).min(bucket.burst);
+        }
+        self.in_flight_total -= 1;
+        self.ring_backlogged(Some(id));
+    }
+
+    /// Folds reaped completions back in: slots free up, per-tenant
+    /// totals absorb the per-op [`ExecStats`] deltas, and every other
+    /// backlogged tenant's doorbell rings — freed slots may turn their
+    /// next claim positive.
+    pub(crate) fn complete(&mut self, id: TenantId, ops: usize, bytes: u64, exec: &ExecStats) {
+        let state = &mut self.tenants[id.0 as usize];
+        state.in_flight -= ops;
+        state.totals.completed_ops += ops as u64;
+        state.totals.completed_bytes += bytes;
+        state.totals.exec.absorb(exec);
+        self.in_flight_total -= ops;
+        self.ring_backlogged(Some(id));
+    }
+
+    /// Rings the doorbell of every attached tenant with queued work,
+    /// optionally skipping one (the caller's own thread is awake).
+    fn ring_backlogged(&self, except: Option<TenantId>) {
+        for (idx, tenant) in self.tenants.iter().enumerate() {
+            if except.is_some_and(|id| id.0 as usize == idx) {
+                continue;
+            }
+            if !tenant.backlog.is_empty() {
+                if let Some(bell) = tenant.bell.as_ref() {
+                    bell.ring();
+                }
+            }
+        }
+    }
+
+    pub(crate) fn tenant_stats(&self, id: TenantId) -> TenantStats {
+        let state = &self.tenants[id.0 as usize];
+        TenantStats {
+            id,
+            name: state.name.clone(),
+            weight: state.weight,
+            admitted_ops: state.totals.admitted_ops,
+            rejected_ops: state.totals.rejected_ops,
+            dispatched_ops: state.totals.dispatched_ops,
+            completed_ops: state.totals.completed_ops,
+            completed_bytes: state.totals.completed_bytes,
+            backlog_ops: state.backlog.len(),
+            in_flight_ops: state.in_flight,
+            exec: state.totals.exec,
+        }
+    }
+
+    pub(crate) fn all_stats(&self) -> Vec<TenantStats> {
+        (0..self.tenants.len())
+            .map(|i| self.tenant_stats(TenantId(i as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, weight: u32) -> TenantSpec {
+        TenantSpec::new(name)
+            .weight(weight)
+            .qd_cap(8)
+            .backlog_cap(1024)
+    }
+
+    /// Drives the arbiter with a deterministic completion model: every
+    /// round each tenant tops up its backlog and claims; the oldest
+    /// dispatched op then completes. Returns per-tenant dispatch
+    /// counts.
+    fn drive_rounds(weights: &[u32], budget: usize, rounds: usize) -> Vec<u64> {
+        let mut arb = Arbiter::new(budget);
+        let ids: Vec<TenantId> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| arb.register(&spec(&format!("t{i}"), *w)))
+            .collect();
+        let mut fifo: VecDeque<TenantId> = VecDeque::new();
+        for _ in 0..rounds {
+            for &id in &ids {
+                while arb.tenant_stats(id).backlog_ops < 8 {
+                    arb.try_admit(id, 4096).unwrap();
+                }
+                let (granted, _) = arb.claim(id);
+                for _ in 0..granted {
+                    fifo.push_back(id);
+                }
+            }
+            if let Some(done) = fifo.pop_front() {
+                arb.complete(done, 1, 4096, &ExecStats::default());
+            }
+        }
+        ids.iter()
+            .map(|&id| arb.tenant_stats(id).dispatched_ops)
+            .collect()
+    }
+
+    #[test]
+    fn dispatch_shares_track_weights() {
+        let counts = drive_rounds(&[3, 1], 4, 400);
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!(
+            (2.0..=4.5).contains(&ratio),
+            "3:1 weights must yield ~3:1 dispatches, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let counts = drive_rounds(&[2, 2, 2], 6, 600);
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(
+            max / min < 1.5,
+            "equal weights must dispatch evenly, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn idle_tenant_rejoins_at_the_clock_floor_without_banked_credit() {
+        let mut arb = Arbiter::new(2);
+        let a = arb.register(&spec("a", 1));
+        let b = arb.register(&spec("b", 1));
+        // A runs alone for a while, advancing its clock.
+        for _ in 0..64 {
+            arb.try_admit(a, 4096).unwrap();
+            let (granted, _) = arb.claim(a);
+            assert_eq!(granted, 1);
+            arb.complete(a, 1, 4096, &ExecStats::default());
+        }
+        // B wakes up: its zero clock must be lifted to A's, not let it
+        // monopolize the budget for 64 ops of "catch-up".
+        for _ in 0..8 {
+            arb.try_admit(a, 4096).unwrap();
+            arb.try_admit(b, 4096).unwrap();
+        }
+        let (granted_b, _) = arb.claim(b);
+        let (granted_a, _) = arb.claim(a);
+        assert_eq!(granted_b, 1, "B gets its fair half of the budget");
+        assert_eq!(granted_a, 1, "A keeps its half despite B's backlog");
+    }
+
+    #[test]
+    fn qd_cap_binds_a_single_tenant() {
+        let mut arb = Arbiter::new(16);
+        let a = arb.register(&TenantSpec::new("capped").qd_cap(2).backlog_cap(64));
+        for _ in 0..8 {
+            arb.try_admit(a, 512).unwrap();
+        }
+        let (granted, hint) = arb.claim(a);
+        assert_eq!(granted, 2, "QD cap must bind before the global budget");
+        assert_eq!(hint, ParkHint::Completions);
+        arb.complete(a, 2, 1024, &ExecStats::default());
+        let (granted, _) = arb.claim(a);
+        assert_eq!(granted, 2);
+    }
+
+    #[test]
+    fn zero_rate_bucket_grants_burst_then_starves() {
+        let mut arb = Arbiter::new(16);
+        let a = arb.register(
+            &TenantSpec::new("throttled")
+                .backlog_cap(64)
+                .qd_cap(16)
+                .rate_limit(RateLimit {
+                    bytes_per_sec: 0,
+                    burst_bytes: 8192,
+                }),
+        );
+        for _ in 0..4 {
+            arb.try_admit(a, 4096).unwrap();
+        }
+        let (granted, hint) = arb.claim(a);
+        assert_eq!(granted, 2, "the burst covers exactly two 4 KiB ops");
+        assert_eq!(hint, ParkHint::Completions, "grants made this claim");
+        let (granted, hint) = arb.claim(a);
+        assert_eq!(granted, 0);
+        assert_eq!(hint, ParkHint::Starved, "no refill will ever come");
+    }
+
+    #[test]
+    fn admission_rejects_past_the_backlog_cap() {
+        let mut arb = Arbiter::new(4);
+        let a = arb.register(&TenantSpec::new("small").backlog_cap(2));
+        arb.try_admit(a, 1).unwrap();
+        arb.try_admit(a, 1).unwrap();
+        assert_eq!(arb.try_admit(a, 1), Err((2, 2)));
+        let stats = arb.tenant_stats(a);
+        assert_eq!(stats.admitted_ops, 2);
+        assert_eq!(stats.rejected_ops, 1);
+    }
+
+    #[test]
+    fn reservation_protects_a_low_depth_tenant() {
+        // Budget 2, a hog with a deep backlog and a victim with one op:
+        // the hog's claim must leave the victim's fair slot unclaimed.
+        let mut arb = Arbiter::new(2);
+        let hog = arb.register(&spec("hog", 1));
+        let victim = arb.register(&spec("victim", 1));
+        for _ in 0..8 {
+            arb.try_admit(hog, 4096).unwrap();
+        }
+        arb.try_admit(victim, 4096).unwrap();
+        let (hog_granted, _) = arb.claim(hog);
+        assert_eq!(
+            hog_granted, 1,
+            "the victim's reserved slot must not go to the hog"
+        );
+        let (victim_granted, _) = arb.claim(victim);
+        assert_eq!(victim_granted, 1);
+    }
+}

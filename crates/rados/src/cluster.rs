@@ -126,6 +126,27 @@ pub struct ExecStats {
     pub meta_cache_write_fills: u64,
 }
 
+impl ExecStats {
+    /// Folds a per-op `delta` into an accumulator: counters add,
+    /// high-water marks take the max. The rollup primitive behind
+    /// per-tenant stats in the multi-tenant runtime — each reaped
+    /// per-op delta is absorbed into its tenant's running total.
+    pub fn absorb(&mut self, delta: &ExecStats) {
+        self.transactions += delta.transactions;
+        self.batches += delta.batches;
+        self.read_ops += delta.read_ops;
+        self.shard_fanout_max = self.shard_fanout_max.max(delta.shard_fanout_max);
+        self.shard_concurrency_peak = self
+            .shard_concurrency_peak
+            .max(delta.shard_concurrency_peak);
+        self.queue_depth_peak = self.queue_depth_peak.max(delta.queue_depth_peak);
+        self.meta_cache_hits += delta.meta_cache_hits;
+        self.meta_cache_misses += delta.meta_cache_misses;
+        self.meta_cache_invalidations += delta.meta_cache_invalidations;
+        self.meta_cache_write_fills += delta.meta_cache_write_fills;
+    }
+}
+
 /// Default client-side metadata cache budget: 4 MiB of sector
 /// metadata (256 Ki cached IV entries at 16 bytes each — enough for
 /// 1 GiB of hot data at a 4 KiB sector size).
@@ -734,6 +755,27 @@ impl Cluster {
     #[must_use]
     pub fn exec_stats(&self) -> ExecStats {
         self.control.stats.snapshot()
+    }
+
+    /// Submissions currently issued and not yet reaped, cluster-wide —
+    /// the *instantaneous* client queue depth (the peak is in
+    /// [`ExecStats::queue_depth_peak`]). Advisory: the value is racy
+    /// by nature and meaningful as a pressure signal, not a precise
+    /// accounting.
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.control.stats.open_submissions()
+    }
+
+    /// Returns the queue-depth high water observed since the previous
+    /// call and resets the window (to the current depth — open
+    /// submissions remain observed). Background services use this to
+    /// sample *recent* client pressure: the rekey driver takes the
+    /// window before each migration window and shrinks its own
+    /// submission depth when foreground tenants were queuing.
+    #[must_use]
+    pub fn take_queue_depth_window_peak(&self) -> u64 {
+        self.control.stats.take_queue_depth_window_peak()
     }
 
     /// Number of state shards batches fan out over.

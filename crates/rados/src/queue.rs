@@ -307,6 +307,35 @@ impl Doorbell {
         }
         *generation
     }
+
+    /// [`Doorbell::wait_past`] with a deadline: parks until the
+    /// generation moves past `seen` **or** `timeout` elapses. The
+    /// escape hatch for waiters whose readiness can change without
+    /// anyone ringing — a token-bucket refill is a function of wall
+    /// time, so a rate-limited tenant parks with the time-to-next-token
+    /// as its deadline. Returns the generation observed on wakeup.
+    pub fn wait_past_for(&self, seen: u64, timeout: std::time::Duration) -> u64 {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut generation = self
+            .generation
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *generation == seen {
+            let now = std::time::Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (guard, _timed_out) = self
+                .cv
+                .wait_timeout(generation, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            generation = guard;
+        }
+        *generation
+    }
 }
 
 /// Completion state shared between a submission's jobs and its ticket:

@@ -22,7 +22,9 @@ fn scratch(label: &str) -> PathBuf {
 }
 
 fn file_builder(dir: &Path) -> vdisk_rados::ClusterBuilder {
-    Cluster::builder().backend(BackendKind::File { dir: dir.to_path_buf() })
+    Cluster::builder().backend(BackendKind::File {
+        dir: dir.to_path_buf(),
+    })
 }
 
 #[test]

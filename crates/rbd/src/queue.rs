@@ -228,6 +228,10 @@ pub struct ReapQueue<P> {
     /// busy-wait implementation would count thousands of passes per
     /// delayed completion; parking counts one per wakeup).
     idle_passes: u64,
+    /// Where the next [`ReapQueue::wait_any`] pass starts its advance
+    /// scan; incremented every pass so service order rotates over the
+    /// pending set instead of always favouring the oldest submission.
+    scan_start: usize,
 }
 
 impl<P> Default for ReapQueue<P> {
@@ -238,6 +242,7 @@ impl<P> Default for ReapQueue<P> {
             next_id: 0,
             bell: Doorbell::new(),
             idle_passes: 0,
+            scan_start: 0,
         }
     }
 }
@@ -268,6 +273,16 @@ impl<P> ReapQueue<P> {
     #[must_use]
     pub fn idle_passes(&self) -> u64 {
         self.idle_passes
+    }
+
+    /// The queue's completion doorbell. Shard workers ring it as parts
+    /// of submissions land; runtimes layered above (the multi-tenant
+    /// arbiter in `vdisk-core`) ring it to wake a reaper parked here
+    /// when a scheduling decision — not a completion — changes what
+    /// the owning thread should do next.
+    #[must_use]
+    pub fn doorbell(&self) -> Arc<Doorbell> {
+        Arc::clone(&self.bell)
     }
 
     /// Reaps every op `advance` reports finished, without blocking, in
@@ -345,13 +360,18 @@ impl<P> ReapQueue<P> {
         loop {
             let seen = self.bell.generation();
             let mut any_finished = false;
-            let mut i = 0;
-            while i < self.pending.len() {
+            // Rotate the scan start each pass. `advance` may do real
+            // work (an encrypted read decrypts extents as they land),
+            // so a fixed submission-order scan would service a hot
+            // early ticket first on every pass while a fully-landed
+            // later ticket waits behind that work indefinitely.
+            let len = self.pending.len();
+            let start = self.scan_start % len;
+            self.scan_start = self.scan_start.wrapping_add(1);
+            for step in 0..len {
+                let i = (start + step) % len;
                 match advance(&mut self.pending[i].1) {
-                    Ok(finished) => {
-                        any_finished |= finished;
-                        i += 1;
-                    }
+                    Ok(finished) => any_finished |= finished,
                     Err(e) => {
                         self.pending.remove(i);
                         return Err(e);
@@ -476,6 +496,14 @@ impl IoQueue {
     #[must_use]
     pub fn idle_passes(&self) -> u64 {
         self.reap.idle_passes()
+    }
+
+    /// The queue's completion doorbell: shard workers ring it as parts
+    /// of submissions land, and runtimes layered above ring it when a
+    /// scheduling change should wake a parked owner.
+    #[must_use]
+    pub fn doorbell(&self) -> Arc<Doorbell> {
+        self.reap.doorbell()
     }
 
     /// Submits one operation; returns its completion token
@@ -781,6 +809,49 @@ mod tests {
         }
         assert_eq!(reaped, 9);
         assert_eq!(q.wait_any().unwrap().len(), 0, "idle queue returns empty");
+    }
+
+    #[test]
+    fn wait_any_rotates_its_scan_start_across_passes() {
+        // Regression: wait_any used to scan strictly in submission
+        // order, so ticket 0 was always serviced first — a hot early
+        // ticket could shadow later completions forever. With the
+        // rotating start, the first-probed slot must cycle.
+        struct Slot(usize);
+        impl PendingOp for Slot {
+            fn subscribe(&self, _bell: &Arc<Doorbell>) {}
+        }
+        let mut q: ReapQueue<Slot> = ReapQueue::default();
+        let mut first_probed = Vec::new();
+        for _ in 0..4 {
+            for slot in 0..3 {
+                q.push(Slot(slot));
+            }
+            let mut first = None;
+            let done = q
+                .wait_any::<()>(
+                    &mut |p| {
+                        first.get_or_insert(p.0);
+                        Ok(true)
+                    },
+                    &mut |completion, _| {
+                        Ok(IoResult {
+                            completion,
+                            plan: Plan::seq([]),
+                            payload: IoPayload::None,
+                            stats: ExecStats::default(),
+                        })
+                    },
+                )
+                .unwrap();
+            assert_eq!(done.len(), 3);
+            first_probed.push(first.unwrap());
+        }
+        assert_eq!(
+            first_probed,
+            vec![0, 1, 2, 0],
+            "the wait_any scan start must rotate over the pending set"
+        );
     }
 
     #[test]

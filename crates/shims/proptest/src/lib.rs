@@ -234,6 +234,18 @@ macro_rules! range_strategy {
                 (self.start as u64).wrapping_add(rng.below(span)) as $t
             }
         }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            #[allow(clippy::cast_possible_wrap, clippy::cast_lossless)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as u64)
+                    .wrapping_sub(*self.start() as u64)
+                    .wrapping_add(1);
+                (*self.start() as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
     )*};
 }
 range_strategy!(u8, u16, u32, u64, usize);
