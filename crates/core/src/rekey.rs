@@ -202,12 +202,17 @@ impl RekeyDriver {
     ///
     /// Before each window the driver samples the cluster's
     /// queue-depth peak since its previous step
-    /// ([`vdisk_rados::Cluster::take_queue_depth_window_peak`]). A
-    /// peak above the pressure threshold means client IO was queuing —
-    /// the window halves (down to one chunk); quiet samples double it
-    /// back toward the configured depth. Background rekey thereby
-    /// yields to foreground tenants instead of competing at full
-    /// depth.
+    /// ([`vdisk_rados::Cluster::take_queue_depth_window_peak`]); in
+    /// tenant mode it additionally samples the runtime's per-tenant
+    /// demand peaks excluding its own tenant
+    /// ([`crate::runtime::Runtime::take_demand_peak_excluding`]), a
+    /// signal that keeps client-tenant bursts landing *during* a
+    /// window visible even though the shared cluster window is reset
+    /// after each window. A peak above the pressure threshold means
+    /// client IO was queuing — the window halves (down to one chunk);
+    /// quiet samples double it back toward the configured depth.
+    /// Background rekey thereby yields to foreground tenants instead
+    /// of competing at full depth.
     ///
     /// # Errors
     ///
@@ -221,7 +226,21 @@ impl RekeyDriver {
             return Ok(progress);
         }
         // Adapt to client pressure observed since the previous step.
-        self.last_pressure = disk.image().cluster().take_queue_depth_window_peak();
+        // The shared cluster window is reset after every window
+        // (below) so the driver's own submissions never read as
+        // pressure — at the cost of discarding client bursts that
+        // landed *during* a window. In tenant mode the runtime's
+        // per-tenant demand peaks restore that signal: they never
+        // include this driver's own tenant, so they survive the reset
+        // and keep mid-window foreground bursts visible to the
+        // backoff.
+        let cluster_peak = disk.image().cluster().take_queue_depth_window_peak();
+        self.last_pressure = match &self.tenant {
+            Some(tenant) => {
+                cluster_peak.max(tenant.runtime().take_demand_peak_excluding(tenant.id()))
+            }
+            None => cluster_peak,
+        };
         self.effective_depth = if self.last_pressure > self.pressure_threshold {
             (self.effective_depth / 2).max(1)
         } else {

@@ -378,6 +378,17 @@ impl Runtime {
     pub fn in_flight(&self) -> usize {
         self.lock().in_flight_total()
     }
+
+    /// The highest open-op count (backlog + in flight) any tenant
+    /// other than `excluding` has reached since the previous call,
+    /// restarting the sampling window (each tenant's window restarts
+    /// at its current open count, so still-open pressure remains
+    /// visible). Background drivers use this to sense foreground
+    /// client pressure without counting their own tenant's
+    /// submissions — the rekey driver's backoff signal in tenant mode.
+    pub fn take_demand_peak_excluding(&self, excluding: TenantId) -> u64 {
+        self.lock().take_demand_peak_excluding(excluding)
+    }
 }
 
 impl fmt::Debug for Runtime {
@@ -530,7 +541,10 @@ impl<Q: ArbitratedQueue> TenantQueue<Q> {
     ///
     /// [`RuntimeError::AdmissionDenied`] at the backlog cap; dispatch
     /// errors from the inner queue if the op (or an earlier queued
-    /// one) dispatches within this call.
+    /// one) dispatches within this call. When the dispatch error
+    /// belongs to an *earlier* queued op, the op this call queued is
+    /// un-admitted again — an error return never leaves behind an
+    /// admitted op whose completion token the caller did not receive.
     pub fn submit(&mut self, op: IoOp) -> Result<Completion, RuntimeError<Q::Error>> {
         let cost = op_cost(&op);
         self.runtime
@@ -544,7 +558,20 @@ impl<Q: ArbitratedQueue> TenantQueue<Q> {
         let outer = self.next_outer;
         self.next_outer += 1;
         self.backlog.push_back((outer, op));
-        self.pump()?;
+        if let Err(e) = self.pump() {
+            // Dispatch is FIFO and aborts on the first failure, so if
+            // the op queued above is still the newest backlog entry
+            // the error was an earlier op's: revoke the fresh
+            // admission (and its token) instead of stranding it. If
+            // the failing op *was* this one, pump already refunded it
+            // everywhere and the error speaks for itself.
+            if self.backlog.back().is_some_and(|&(id, _)| id == outer) {
+                self.backlog.pop_back();
+                self.next_outer = outer;
+                self.runtime.lock().unadmit_newest(self.id);
+            }
+            return Err(e);
+        }
         Ok(Completion::from_id(outer))
     }
 
@@ -586,7 +613,7 @@ impl<Q: ArbitratedQueue> TenantQueue<Q> {
             if granted == 0 {
                 return Ok(hint);
             }
-            for _ in 0..granted {
+            for done in 0..granted {
                 let (outer, op) = self.backlog.pop_front().expect("granted within backlog");
                 let cost = op_cost(&op);
                 match self.inner.submit_direct(op) {
@@ -594,7 +621,21 @@ impl<Q: ArbitratedQueue> TenantQueue<Q> {
                         self.dispatched.insert(completion.id(), (outer, cost));
                     }
                     Err(e) => {
-                        self.runtime.lock().dispatch_failed(self.id, cost);
+                        // The failing op's slot is refunded outright;
+                        // the rest of this grant — still at the front
+                        // of `self.backlog` — goes back to the
+                        // arbiter's backlog mirror, or those ops would
+                        // count in flight forever while no longer
+                        // being tracked for dispatch.
+                        let leftover: Vec<u64> = self
+                            .backlog
+                            .iter()
+                            .take(granted - done - 1)
+                            .map(|(_, op)| op_cost(op))
+                            .collect();
+                        let mut arbiter = self.runtime.lock();
+                        arbiter.dispatch_failed(self.id, cost);
+                        arbiter.dispatch_aborted(self.id, &leftover);
                         return Err(RuntimeError::Queue(e));
                     }
                 }

@@ -107,6 +107,11 @@ struct TenantState {
     backlog: VecDeque<u64>,
     in_flight: usize,
     vtime: u128,
+    /// Highest open-op count (backlog + in flight) since the last
+    /// [`Arbiter::take_demand_peak_excluding`] sample — the runtime's
+    /// own pressure signal, per tenant, so a background driver can
+    /// sense foreground demand without counting its own submissions.
+    demand_peak: u64,
     /// Whether a `TenantQueue` currently owns this tenant's dispatch.
     attached: bool,
     /// The attached queue's doorbell, rung on grant-affecting changes.
@@ -123,6 +128,15 @@ impl TenantState {
 
     fn vtime_step(&self, cost: u64) -> u128 {
         (u128::from(cost) << VTIME_SHIFT) / u128::from(self.weight.max(1))
+    }
+
+    /// Folds the current open-op count into the demand-peak window.
+    /// Demand only grows at admission (dispatch moves an op from
+    /// backlog to in-flight without changing the sum), so this is
+    /// called from `try_admit` alone.
+    fn note_demand(&mut self) {
+        let demand = (self.backlog.len() + self.in_flight) as u64;
+        self.demand_peak = self.demand_peak.max(demand);
     }
 }
 
@@ -167,6 +181,7 @@ impl Arbiter {
             backlog: VecDeque::new(),
             in_flight: 0,
             vtime: 0,
+            demand_peak: 0,
             attached: false,
             bell: None,
             totals: Totals::default(),
@@ -217,7 +232,18 @@ impl Arbiter {
         }
         state.backlog.push_back(cost.max(1));
         state.totals.admitted_ops += 1;
+        state.note_demand();
         Ok(())
+    }
+
+    /// Revokes the most recent admission for `id`: the tenant queue's
+    /// `submit` un-admits the op it just queued when pumping an
+    /// *earlier* op's dispatch fails, so an error return never strands
+    /// an admitted op whose completion token the caller never saw.
+    pub(crate) fn unadmit_newest(&mut self, id: TenantId) {
+        let state = &mut self.tenants[id.0 as usize];
+        state.backlog.pop_back().expect("an admitted op to revoke");
+        state.totals.admitted_ops -= 1;
     }
 
     /// Whether a submit for `id` would be rejected right now.
@@ -347,6 +373,49 @@ impl Arbiter {
         }
         self.in_flight_total -= 1;
         self.ring_backlogged(Some(id));
+    }
+
+    /// Returns a claim's granted-but-undispatched remainder after a
+    /// dispatch failure aborted it mid-grant: each cost goes back to
+    /// the *front* of the backlog mirror in submission order (the ops
+    /// are still the oldest entries of the wrapper's backlog), and the
+    /// realized slots, clock advance and tokens are all refunded —
+    /// leaving wrapper and arbiter state in sync so the ops dispatch
+    /// on a later pump instead of leaking shared budget forever.
+    pub(crate) fn dispatch_aborted(&mut self, id: TenantId, costs: &[u64]) {
+        if costs.is_empty() {
+            return;
+        }
+        let state = &mut self.tenants[id.0 as usize];
+        for &cost in costs.iter().rev() {
+            let step = state.vtime_step(cost);
+            state.backlog.push_front(cost);
+            state.vtime = state.vtime.saturating_sub(step);
+            if let Some(bucket) = state.bucket.as_mut() {
+                bucket.tokens = (bucket.tokens + cost as f64).min(bucket.burst);
+            }
+        }
+        state.in_flight -= costs.len();
+        state.totals.dispatched_ops -= costs.len() as u64;
+        self.in_flight_total -= costs.len();
+        self.ring_backlogged(Some(id));
+    }
+
+    /// The highest open-op count (backlog + in flight) any tenant
+    /// other than `excluding` reached since its window last restarted,
+    /// maxed across those tenants; every sampled window then restarts
+    /// at the tenant's current open count, so still-open pressure
+    /// stays visible to the next sample.
+    pub(crate) fn take_demand_peak_excluding(&mut self, excluding: TenantId) -> u64 {
+        let mut peak = 0;
+        for (idx, tenant) in self.tenants.iter_mut().enumerate() {
+            if idx == excluding.0 as usize {
+                continue;
+            }
+            peak = peak.max(tenant.demand_peak);
+            tenant.demand_peak = (tenant.backlog.len() + tenant.in_flight) as u64;
+        }
+        peak
     }
 
     /// Folds reaped completions back in: slots free up, per-tenant
@@ -537,6 +606,66 @@ mod tests {
         let stats = arb.tenant_stats(a);
         assert_eq!(stats.admitted_ops, 2);
         assert_eq!(stats.rejected_ops, 1);
+    }
+
+    #[test]
+    fn aborted_grants_return_to_the_backlog_mirror() {
+        let mut arb = Arbiter::new(4);
+        let a = arb.register(&spec("a", 1));
+        for _ in 0..3 {
+            arb.try_admit(a, 4096).unwrap();
+        }
+        let (granted, _) = arb.claim(a);
+        assert_eq!(granted, 3);
+        // The first dispatch failed synchronously; the two remaining
+        // grants were never handed to the inner queue.
+        arb.dispatch_failed(a, 4096);
+        arb.dispatch_aborted(a, &[4096, 4096]);
+        assert_eq!(arb.in_flight_total(), 0, "aborted grants leaked budget");
+        let stats = arb.tenant_stats(a);
+        assert_eq!(stats.in_flight_ops, 0);
+        assert_eq!(stats.backlog_ops, 2, "aborted grants left the mirror");
+        assert_eq!(stats.dispatched_ops, 0);
+        // The refunded ops are claimable again.
+        let (granted, _) = arb.claim(a);
+        assert_eq!(granted, 2);
+    }
+
+    #[test]
+    fn unadmit_newest_revokes_the_last_admission() {
+        let mut arb = Arbiter::new(4);
+        let a = arb.register(&spec("a", 1));
+        arb.try_admit(a, 4096).unwrap();
+        arb.try_admit(a, 8192).unwrap();
+        arb.unadmit_newest(a);
+        let stats = arb.tenant_stats(a);
+        assert_eq!(stats.admitted_ops, 1);
+        assert_eq!(stats.backlog_ops, 1);
+        let (granted, _) = arb.claim(a);
+        assert_eq!(granted, 1);
+    }
+
+    #[test]
+    fn demand_peak_excludes_the_sampler_and_restarts_at_open_demand() {
+        let mut arb = Arbiter::new(8);
+        let rekey = arb.register(&spec("rekey", 1));
+        let client = arb.register(&spec("client", 1));
+        for _ in 0..4 {
+            arb.try_admit(client, 4096).unwrap();
+        }
+        for _ in 0..6 {
+            arb.try_admit(rekey, 4096).unwrap();
+        }
+        // The sampler's own demand never counts toward its reading.
+        assert_eq!(arb.take_demand_peak_excluding(client), 6);
+        assert_eq!(arb.take_demand_peak_excluding(rekey), 4);
+        // Still-open demand survives the window restart…
+        let (granted, _) = arb.claim(client);
+        assert_eq!(granted, 4);
+        arb.complete(client, 4, 4 * 4096, &ExecStats::default());
+        assert_eq!(arb.take_demand_peak_excluding(rekey), 4);
+        // …and a fully drained tenant finally samples as quiet.
+        assert_eq!(arb.take_demand_peak_excluding(rekey), 0);
     }
 
     #[test]

@@ -342,6 +342,128 @@ fn admission_denies_past_the_backlog_cap() {
     assert_eq!(stats.completed_ops, 3);
 }
 
+/// A dispatch failure mid-grant must refund the rest of the grant:
+/// the granted-but-undispatched ops return to the arbiter's backlog
+/// mirror instead of counting in flight forever (which would leak the
+/// shared budget across every tenant and deadlock later fences).
+#[test]
+fn dispatch_failure_mid_grant_refunds_the_undispatched_remainder() {
+    // Inline application keeps grant timing deterministic.
+    let cluster = Cluster::builder().concurrent_apply(false).build();
+    let image = Image::create(&cluster, "abort", 1 << 20).unwrap();
+    let runtime = Runtime::new(4);
+    let tenant = runtime.register(TenantSpec::new("abort").qd_cap(8).backlog_cap(16));
+    let mut queue = tenant.attach(vdisk_rbd::IoQueue::new(&image));
+
+    // Fill the whole budget with valid ops…
+    for i in 0..4u64 {
+        queue
+            .submit(IoOp::Write {
+                offset: i * SECTOR,
+                data: vec![1; SECTOR as usize],
+            })
+            .unwrap();
+    }
+    // …then queue a poisoned op (out of bounds at dispatch) with two
+    // valid ops behind it. No free slots, so all three stay queued.
+    queue
+        .submit(IoOp::Write {
+            offset: 2 << 20,
+            data: vec![2; SECTOR as usize],
+        })
+        .unwrap();
+    for _ in 0..2 {
+        queue
+            .submit(IoOp::Write {
+                offset: 0,
+                data: vec![3; SECTOR as usize],
+            })
+            .unwrap();
+    }
+    assert_eq!(queue.backlog(), 3);
+
+    // Reap the first four; the next pump claims all three queued ops
+    // in one grant and the poisoned dispatch aborts it.
+    assert_eq!(queue.poll().unwrap().len(), 4);
+    match queue.poll() {
+        Err(RuntimeError::Queue(_)) => {}
+        other => panic!("expected the poisoned dispatch to fail, got {other:?}"),
+    }
+
+    // The two undispatched grants must be refunded, not leaked.
+    assert_eq!(
+        runtime.in_flight(),
+        0,
+        "aborted grants leaked shared budget"
+    );
+    let stats = tenant.stats();
+    assert_eq!(stats.in_flight_ops, 0);
+    assert_eq!(stats.backlog_ops, 2);
+    assert_eq!(queue.backlog(), 2);
+
+    // And they still dispatch and complete: no deadlock, no loss.
+    let results = queue.fence().unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(tenant.stats().completed_ops, 6);
+}
+
+/// When `submit` queues an op and its pump then fails dispatching an
+/// *earlier* queued op, the error return un-admits the fresh op: the
+/// caller never received its token, so leaving it admitted would
+/// later complete an op nobody can match.
+#[test]
+fn submit_error_for_an_earlier_op_unadmits_the_fresh_op() {
+    let cluster = Cluster::builder().concurrent_apply(false).build();
+    let image = Image::create(&cluster, "unadmit", 1 << 20).unwrap();
+    let runtime = Runtime::new(4);
+    let tenant = runtime.register(TenantSpec::new("unadmit").qd_cap(8).backlog_cap(16));
+    let mut queue = tenant.attach(vdisk_rbd::IoQueue::new(&image));
+
+    for i in 0..4u64 {
+        queue
+            .submit(IoOp::Write {
+                offset: i * SECTOR,
+                data: vec![1; SECTOR as usize],
+            })
+            .unwrap();
+    }
+    // The poisoned op queues behind the full budget…
+    queue
+        .submit(IoOp::Write {
+            offset: 2 << 20,
+            data: vec![2; SECTOR as usize],
+        })
+        .unwrap();
+    assert_eq!(queue.poll().unwrap().len(), 4);
+
+    // …so this submit's pump dispatches it first and hits its error.
+    let err = queue.submit(IoOp::Write {
+        offset: 0,
+        data: vec![3; SECTOR as usize],
+    });
+    assert!(
+        matches!(err, Err(RuntimeError::Queue(_))),
+        "expected the earlier op's dispatch error, got {err:?}"
+    );
+
+    // The fresh op must be gone as if never admitted.
+    assert_eq!(queue.backlog(), 0);
+    assert_eq!(tenant.stats().backlog_ops, 0);
+    assert_eq!(runtime.in_flight(), 0);
+
+    // A retry is admitted cleanly and its token matches its result.
+    let token = queue
+        .submit(IoOp::Write {
+            offset: 0,
+            data: vec![4; SECTOR as usize],
+        })
+        .unwrap();
+    let results = queue.fence().unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].completion.id(), token.id());
+    assert_eq!(tenant.stats().completed_ops, 5);
+}
+
 /// A zero-rate bucket grants its burst and then starves: waiting on
 /// work that can never dispatch is an error, not a hang.
 #[test]
@@ -453,6 +575,84 @@ fn rekey_driver_yields_under_client_pressure_and_recovers() {
     let mut readback = vec![0u8; 64 * SECTOR as usize];
     disk.read(0, &mut readback).unwrap();
     assert_eq!(readback[..], pattern[..64 * SECTOR as usize]);
+}
+
+/// Client-tenant pressure that lands while a rekey window is open is
+/// wiped from the shared cluster window by the driver's own
+/// post-window reset; the runtime's per-tenant demand peaks must
+/// carry it into the next sample anyway.
+#[test]
+fn tenant_rekey_sees_client_bursts_hidden_by_its_own_window_reset() {
+    let cluster = workers_on();
+    let mut disk = encrypted_disk(&cluster, "rekey-press", 9);
+    let pattern: Vec<u8> = (0..IMAGE_SIZE).map(|i| (i % 233) as u8).collect();
+    disk.write(0, &pattern).unwrap();
+
+    let runtime = Runtime::new(16);
+    let rekey_tenant =
+        runtime.register(TenantSpec::new("rekey").weight(1).qd_cap(8).backlog_cap(16));
+    let client_tenant = runtime.register(
+        TenantSpec::new("client")
+            .weight(3)
+            .qd_cap(8)
+            .backlog_cap(16),
+    );
+
+    let mut driver = disk
+        .rekey_begin_with_iterations(OLD_PASS, NEW_PASS, 25)
+        .unwrap()
+        .with_chunk_sectors(4)
+        .with_queue_depth(8)
+        .with_pressure_threshold(4)
+        .with_runtime_tenant(rekey_tenant);
+
+    // Settle the cluster window: setup traffic is not client load.
+    let _ = cluster.take_queue_depth_window_peak();
+
+    // Quiet step: the full configured window.
+    let before = driver.progress(&disk).unwrap().migrated_sectors;
+    let after = driver.step(&mut disk).unwrap().migrated_sectors;
+    assert!(
+        driver.last_pressure() <= 4,
+        "quiet runtime sampled as busy: {}",
+        driver.last_pressure()
+    );
+    assert_eq!(after - before, 32);
+
+    // A client tenant bursts eight queued writes on another image and
+    // fully drains them…
+    let mut client_disk = encrypted_disk(&cluster, "client-press", 10);
+    let mut client_q = client_tenant.attach(client_disk.io_queue());
+    for i in 0..8u64 {
+        client_q
+            .submit(IoOp::Write {
+                offset: i * SECTOR,
+                data: vec![0xCC; SECTOR as usize],
+            })
+            .unwrap();
+    }
+    assert_eq!(client_q.fence().unwrap().len(), 8);
+
+    // …and the cluster-wide window is then reset, exactly as the tail
+    // of a rekey window does — the burst is gone from that signal.
+    let _ = cluster.take_queue_depth_window_peak();
+
+    // The next step must still see the burst through the runtime's
+    // per-tenant demand peaks and halve its window.
+    let before = after;
+    let after = driver.step(&mut disk).unwrap().migrated_sectors;
+    assert!(
+        driver.last_pressure() >= 8,
+        "client-tenant burst lost to the window reset: {}",
+        driver.last_pressure()
+    );
+    assert_eq!(driver.effective_queue_depth(), 4);
+    assert_eq!(after - before, 16);
+
+    // Data stays intact through the pressured window.
+    let mut readback = vec![0u8; 48 * SECTOR as usize];
+    disk.read(0, &mut readback).unwrap();
+    assert_eq!(readback[..], pattern[..48 * SECTOR as usize]);
 }
 
 /// Rekey as an ordinary low-weight runtime tenant: drives to
