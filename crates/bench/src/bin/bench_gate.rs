@@ -13,9 +13,11 @@
 //! asserts the cache's reason to exist: the cache-on read job must
 //! beat its cache-off twin and must actually register hits.
 //!
-//! One exception: groups prefixed `filestore-` are wall-clock smoke
-//! rows for the durable file backend. They appear in the results
-//! artifact but are never gated and never enter the baseline.
+//! One exception: groups prefixed `filestore-` (wall-clock smoke on
+//! the durable file backend) or `faulty-` (randwrite under a low
+//! transient-fault rate, retries absorbed with real backoff sleeps)
+//! appear in the results artifact but are never gated and never
+//! enter the baseline.
 //!
 //! Usage (CI runs the default; run it locally the same way):
 //!
@@ -37,12 +39,18 @@ use vdisk_sim::ClosedLoopStats;
 /// fails the gate.
 const TOLERANCE: f64 = 0.15;
 
-/// Groups with this prefix are **smoke** rows: they measure wall
-/// clock (here, the file backend's real fsync traffic), so they are
-/// written to the results artifact for visibility but never compared
-/// against the baseline and never written into it — host IO latency
-/// is exactly the CI-runner noise the simulated gate exists to avoid.
-const SMOKE_PREFIX: &str = "filestore-";
+/// Groups with these prefixes are **smoke** rows: wall clock leaks
+/// into them (the file backend's real fsync traffic; the fault
+/// plane's real backoff sleeps), so they are written to the results
+/// artifact for visibility but never compared against the baseline
+/// and never written into it — host IO latency is exactly the
+/// CI-runner noise the simulated gate exists to avoid.
+const SMOKE_PREFIXES: [&str; 2] = ["filestore-", "faulty-"];
+
+/// Whether `group` is a reported-only smoke row (see [`SMOKE_PREFIXES`]).
+fn is_smoke(group: &str) -> bool {
+    SMOKE_PREFIXES.iter().any(|p| group.starts_with(p))
+}
 
 const BASELINE_DEFAULT: &str = "BENCH_baseline.json";
 const RESULTS_DEFAULT: &str = "BENCH_results.json";
@@ -313,7 +321,7 @@ fn run_groups() -> BTreeMap<String, u64> {
     // FileStore smoke: the same 16 KiB random-write spec driven
     // against the durable backend, measured in **wall clock** (the
     // metric that actually contains the fsyncs). Reported only — see
-    // [`SMOKE_PREFIX`].
+    // [`SMOKE_PREFIXES`].
     let scratch = std::path::PathBuf::from("target/backend-scratch")
         .join(format!("bench-gate-{}", std::process::id()));
     let mut disk = testbed::filestore_bench_disk(&object_end, IMAGE, 17, scratch.clone());
@@ -336,6 +344,31 @@ fn run_groups() -> BTreeMap<String, u64> {
     );
     drop(disk);
     let _ = std::fs::remove_dir_all(&scratch);
+
+    // Fault-plane smoke: the batch_pipeline randwrite spec again, on
+    // a cluster injecting transient shard errors at a low 2% rate.
+    // The retry layer must absorb every injection — the job completes
+    // and the row shows what transparent replay costs. Reported only
+    // (the backoff between replays is a real wall-clock sleep); the
+    // replays themselves are asserted, so the row can't silently
+    // measure a fault-free run.
+    let mut disk = testbed::faulty_bench_disk(&object_end, IMAGE, 7, 0.02);
+    fio::precondition(&mut disk).expect("precondition under faults");
+    let ns = job(&mut disk, &write_spec);
+    let stats = disk.image().cluster().exec_stats();
+    assert!(
+        stats.retries > 0,
+        "a 2% transient rate across the job must force at least one replay"
+    );
+    println!(
+        "  [faulty] randwrite qd8 64k @ 2% transients: {ns:.0} ns/op, {} retries (smoke, not gated)",
+        stats.retries
+    );
+    record(
+        &mut results,
+        "faulty-randwrite-qd8-64k/object-end/transient-2pct".to_string(),
+        ns,
+    );
 
     results
 }
@@ -386,7 +419,7 @@ fn compare(results: &BTreeMap<String, u64>, baseline: &BTreeMap<String, u64>) ->
         "group", "baseline", "result", "delta"
     );
     for (group, &base) in baseline {
-        if group.starts_with(SMOKE_PREFIX) {
+        if is_smoke(group) {
             // A stale baseline may carry a smoke row; never gate on it.
             continue;
         }
@@ -408,7 +441,7 @@ fn compare(results: &BTreeMap<String, u64>, baseline: &BTreeMap<String, u64>) ->
         }
     }
     for group in results.keys() {
-        if group.starts_with(SMOKE_PREFIX) {
+        if is_smoke(group) {
             continue;
         }
         if !baseline.contains_key(group) {
@@ -446,7 +479,7 @@ fn main() -> ExitCode {
     if update_baseline {
         let gated: BTreeMap<String, u64> = results
             .iter()
-            .filter(|(k, _)| !k.starts_with(SMOKE_PREFIX))
+            .filter(|(k, _)| !is_smoke(k))
             .map(|(k, &v)| (k.clone(), v))
             .collect();
         std::fs::write(&baseline_path, to_json(&gated)).expect("write baseline");
@@ -497,6 +530,8 @@ mod tests {
 
     #[test]
     fn smoke_groups_are_never_gated() {
+        assert!(is_smoke("filestore-x") && is_smoke("faulty-x"));
+        assert!(!is_smoke("randwrite-qd8-64k/luks2"));
         let base: BTreeMap<String, u64> = [("filestore-x".to_string(), 100u64)].into();
         // A smoke row is ignored wherever it appears: regressed,
         // missing from the results, or absent from the baseline.

@@ -225,6 +225,35 @@ pub fn filestore_bench_disk(
     )
 }
 
+/// A [`cached_bench_disk`] whose cluster carries a **fault plane**
+/// injecting transient shard errors at `rate`, absorbed by the
+/// default retry policy. Inline apply keeps the injection schedule —
+/// a pure function of (seed, shard, draw index) — identical across
+/// hosts, but the retry layer's backoff is real wall-clock sleep, so
+/// rows built on this disk are reported, never regression-gated.
+///
+/// # Panics
+///
+/// Panics if image creation or formatting fails (benchmark setup).
+#[must_use]
+pub fn faulty_bench_disk(
+    config: &EncryptionConfig,
+    size: u64,
+    seed: u64,
+    rate: f64,
+) -> EncryptedImage {
+    disk_on(
+        bench_builder()
+            .meta_cache_bytes(vdisk_rados::DEFAULT_META_CACHE_BYTES)
+            .concurrent_apply(false)
+            .fault_plane(vdisk_rados::FaultConfig::new(seed).transient_rate(rate))
+            .build(),
+        config,
+        size,
+        seed,
+    )
+}
+
 /// Builds `n` encrypted disks named `tenant-0..n` on **one shared**
 /// inline-mode cached bench cluster — the multi-tenant analogue of
 /// [`cached_bench_disk`]: every image's IO contends for the same

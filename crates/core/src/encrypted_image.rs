@@ -5,13 +5,13 @@ use crate::batch::{IoBatch, SectorExtent};
 use crate::config::{EncryptionConfig, MetaLayout};
 use crate::keychain::{EpochMap, KeyChain};
 use crate::layout::Geometry;
-use crate::luks::{DerivedKeys, LuksHeader, RekeyState};
+use crate::luks::{DerivedKeys, LuksHeader, RekeyState, WindowIntent};
 use crate::meta_cache::MetaCache;
 use crate::rekey::RekeyDriver;
 use crate::sector::SectorCodec;
 use crate::{CryptError, Result};
 use std::borrow::Cow;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Mutex, PoisonError};
 use vdisk_crypto::mem::SecretBytes;
 use vdisk_crypto::rng::{IvSource, OsIvSource};
@@ -63,6 +63,14 @@ pub struct EncryptedImage {
     /// writes split their sector run across this many scoped encrypt
     /// threads (see [`crate::crypto_pool`]); small IOs stay serial.
     crypto_lanes: usize,
+    /// Rekey-migration proof markers armed by [`crate::RekeyDriver`]:
+    /// the next write matching `(offset, len)` stamps the named xattr
+    /// onto its (single) transaction, so the chunk's data and its
+    /// migrated-proof land atomically. Keyed by the submitted request
+    /// shape because the tenant runtime may defer a driver write into
+    /// its backlog — arming at actual submission time, not driver
+    /// dispatch time, keeps the marker glued to the right write.
+    armed_markers: HashMap<(u64, usize), String>,
 }
 
 /// Requests below this size encrypt serially: thread-spawn overhead
@@ -254,6 +262,7 @@ impl EncryptedImage {
             meta_cache,
             snap_epochs: Mutex::new(BTreeMap::new()),
             crypto_lanes,
+            armed_markers: HashMap::new(),
         })
     }
 
@@ -362,6 +371,7 @@ impl EncryptedImage {
             meta_cache,
             snap_epochs: Mutex::new(snap_epochs),
             crypto_lanes,
+            armed_markers: HashMap::new(),
         })
     }
 
@@ -664,9 +674,88 @@ impl EncryptedImage {
     }
 
     /// Driver-only: persists the advanced watermark (CASed like every
-    /// header update).
+    /// header update). A persisted window intent is cleared in the
+    /// *same* header update: the watermark covering the window is the
+    /// proof the window landed, so the two must move atomically. On
+    /// failure the in-memory header (watermark *and* intent) is
+    /// restored, so a retried or resumed rekey still sees the
+    /// uncommitted window as in doubt.
     pub(crate) fn persist_rekey_watermark(&mut self) -> Result<()> {
-        self.persist_header()
+        let saved = self.header.clone();
+        if self.header.rekey().is_some_and(|s| s.intent.is_some()) {
+            self.header.clear_rekey_intent();
+        }
+        self.persist_header_or_restore(saved)
+    }
+
+    /// The crashed (persisted-but-uncleared) rekey window intent, if
+    /// any: evidence that a prior handle started migrating this window
+    /// but never proved it complete. [`crate::RekeyDriver`] recovers
+    /// it chunk by chunk before migrating anything new.
+    pub(crate) fn rekey_window_intent(&self) -> Option<WindowIntent> {
+        self.header.rekey().and_then(|state| state.intent)
+    }
+
+    /// Driver-only: durably records the window the driver is *about*
+    /// to migrate, before any chunk of it is rewritten. Crash-safety
+    /// contract: once this persists, a reopened image either finds the
+    /// watermark advanced past the window (it landed) or finds this
+    /// intent and re-proves each chunk individually.
+    pub(crate) fn persist_rekey_intent(&mut self, intent: WindowIntent) -> Result<()> {
+        let saved = self.header.clone();
+        self.header.set_rekey_intent(intent);
+        self.persist_header_or_restore(saved)
+    }
+
+    fn rekey_marker_name(to: u32, chunk_offset: u64) -> String {
+        format!("rekey.mark.{to}.{chunk_offset}")
+    }
+
+    /// Driver-only: arms a migration-proof marker for the chunk write
+    /// the driver is about to submit at `(offset, len)`. When that
+    /// exact write reaches [`EncryptedImage::submit_write_owned`] it
+    /// stamps the marker xattr into the same transaction as the chunk
+    /// data — the driver clamps chunks to object boundaries, so the
+    /// chunk is one transaction and marker + ciphertext commit (or
+    /// tear) together. The marker name is epoch-keyed, so stale
+    /// markers from an earlier rekey can never vouch for this one.
+    pub(crate) fn arm_rekey_marker(&mut self, offset: u64, len: usize) {
+        let to = self
+            .header
+            .rekey()
+            .expect("rekey markers are only armed mid-rekey")
+            .to;
+        self.armed_markers
+            .insert((offset, len), Self::rekey_marker_name(to, offset));
+    }
+
+    /// Driver-only: drops every armed-but-unconsumed marker after a
+    /// window fails mid-flight. Without this, a later *client* write
+    /// that happens to match an armed `(offset, len)` would get
+    /// stamped as migration proof for data it never migrated.
+    pub(crate) fn clear_rekey_markers(&mut self) {
+        self.armed_markers.clear();
+    }
+
+    /// Whether the chunk starting at byte `chunk_offset` carries the
+    /// migration-proof marker for epoch `to` — i.e. whether its
+    /// rewrite under the new key durably landed before a crash. A
+    /// missing object proves nothing landed there (`false`), which is
+    /// still safe: re-migration is idempotent.
+    pub(crate) fn rekey_chunk_proven(&self, to: u32, chunk_offset: u64) -> Result<bool> {
+        let object = self
+            .image
+            .object_name(chunk_offset / self.image.object_size());
+        let marker = Self::rekey_marker_name(to, chunk_offset);
+        match self
+            .image
+            .cluster()
+            .read(&object, None, &[ReadOp::GetXattr(marker)])
+        {
+            Ok((results, _)) => Ok(matches!(&results[0], ReadResult::Xattr(Some(_)))),
+            Err(RadosError::NoSuchObject(_)) => Ok(false),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// The epoch map governing a snapshot's ciphertext (recorded at
@@ -1065,6 +1154,7 @@ impl EncryptedImage {
         data: Vec<u8>,
     ) -> Result<SubmittedWrite> {
         self.check_bounds(offset, data.len() as u64)?;
+        let armed_marker = self.armed_markers.remove(&(offset, data.len()));
         let aligned = self.is_sector_aligned(offset, data.len() as u64);
         let (aligned_off, owned, rmw) = if aligned || data.is_empty() {
             (offset, data, None)
@@ -1076,7 +1166,15 @@ impl EncryptedImage {
             Some(rmw) => (Some(Plan::par(rmw.plans)), rmw.hits, rmw.misses),
             None => (None, 0, 0),
         };
-        let (txs, len, invalidated, fills) = self.encrypt_batch(aligned_off, owned)?;
+        let (mut txs, len, invalidated, fills) = self.encrypt_batch(aligned_off, owned)?;
+        if let Some(marker) = armed_marker {
+            // Rekey migration proof: ride the chunk's own transaction
+            // (the driver clamps chunks to one object, so `txs` is a
+            // single atomic commit of ciphertext + marker).
+            if let Some(tx) = txs.first_mut() {
+                tx.set_xattr(marker, vec![1]);
+            }
+        }
         let fills = self.capture_fill_epochs(fills);
         let ticket = self.image.cluster().submit_batch(txs)?;
         let crypto = self

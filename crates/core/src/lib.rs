@@ -79,7 +79,7 @@ mod sector;
 
 pub use config::{Cipher, EncryptionConfig, MetaLayout, KEY_EPOCH_TAG_LEN};
 pub use encrypted_image::EncryptedImage;
-pub use luks::RekeyState;
+pub use luks::{RekeyState, WindowIntent};
 pub use queue::EncryptedIoQueue;
 pub use rekey::{
     RekeyDriver, RekeyProgress, DEFAULT_CHUNK_SECTORS, DEFAULT_PRESSURE_THRESHOLD,

@@ -93,6 +93,27 @@ struct RetiredKey {
     wrapped: [u8; MASTER_KEY_LEN],
 }
 
+/// The persisted record of a rekey window the driver had in flight
+/// when the header was last written: sectors `[start, end)` were being
+/// rewritten in `chunk_sectors`-sized chunks. While an intent is
+/// present the window's migration state on disk is unknown — some
+/// chunks may have been rewritten under the new epoch, some not. Each
+/// chunk's rewrite transaction stamps a proof marker on its object
+/// atomically, so a restarted driver can interrogate the store chunk
+/// by chunk and re-migrate exactly the unproven ones (see
+/// `RekeyDriver` in `rekey.rs`). Cleared in the same header update
+/// that advances the watermark past `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowIntent {
+    /// First sector of the window (equals the persisted watermark).
+    pub start: u64,
+    /// One past the window's last sector.
+    pub end: u64,
+    /// The chunk granularity the window was migrated (and its proof
+    /// markers stamped) at.
+    pub chunk_sectors: u64,
+}
+
 /// The persisted state of an in-flight online rekey.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RekeyState {
@@ -104,6 +125,9 @@ pub struct RekeyState {
     /// sectors `>= watermark` still carry `from`. Advanced only by the
     /// rekey driver, strictly monotonically.
     pub watermark: u64,
+    /// The window the driver was migrating when the header was last
+    /// persisted, if it had one in flight — the crash-recovery record.
+    pub intent: Option<WindowIntent>,
 }
 
 /// The parsed encryption header.
@@ -240,6 +264,29 @@ impl LuksHeader {
     pub(crate) fn rollback_rekey_watermark(&mut self, watermark: u64) {
         let state = self.rekey.as_mut().expect("no rekey in flight");
         state.watermark = watermark;
+    }
+
+    /// Records a window the driver is about to migrate (see
+    /// [`WindowIntent`]); persisted before any of the window's
+    /// rewrites are submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rekey is in flight.
+    pub(crate) fn set_rekey_intent(&mut self, intent: WindowIntent) {
+        let state = self.rekey.as_mut().expect("no rekey in flight");
+        state.intent = Some(intent);
+    }
+
+    /// Clears the window-intent record (the window's watermark advance
+    /// is being persisted in the same update, proving it landed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rekey is in flight.
+    pub(crate) fn clear_rekey_intent(&mut self) {
+        let state = self.rekey.as_mut().expect("no rekey in flight");
+        state.intent = None;
     }
 
     /// Number of active keyslots.
@@ -442,6 +489,7 @@ impl LuksHeader {
             from,
             to,
             watermark: 0,
+            intent: None,
         });
         Ok((from_master, to_master))
     }
@@ -567,10 +615,19 @@ impl LuksHeader {
                 out.extend_from_slice(&[0u8; 16]);
             }
             Some(state) => {
-                out.push(1);
+                // Flag 2 appends the 24-byte window-intent record after
+                // the fixed rekey triple; flag-0/1 layouts are
+                // unchanged, so headers without an in-flight window
+                // stay readable by older decoders.
+                out.push(if state.intent.is_some() { 2 } else { 1 });
                 out.extend_from_slice(&state.from.to_le_bytes());
                 out.extend_from_slice(&state.to.to_le_bytes());
                 out.extend_from_slice(&state.watermark.to_le_bytes());
+                if let Some(intent) = state.intent {
+                    out.extend_from_slice(&intent.start.to_le_bytes());
+                    out.extend_from_slice(&intent.end.to_le_bytes());
+                    out.extend_from_slice(&intent.chunk_sectors.to_le_bytes());
+                }
             }
         }
         out.push(u8::try_from(self.epochs.len()).expect("few epochs"));
@@ -620,14 +677,24 @@ impl LuksHeader {
                 cursor.take(16)?;
                 None
             }
-            1 => {
+            flag @ (1 | 2) => {
                 let from = cursor.u32()?;
                 let to = cursor.u32()?;
                 let watermark = cursor.u64()?;
+                let intent = if flag == 2 {
+                    Some(WindowIntent {
+                        start: cursor.u64()?,
+                        end: cursor.u64()?,
+                        chunk_sectors: cursor.u64()?,
+                    })
+                } else {
+                    None
+                };
                 Some(RekeyState {
                     from,
                     to,
                     watermark,
+                    intent,
                 })
             }
             _ => return Err(corrupt("bad rekey flag")),
@@ -918,7 +985,8 @@ mod tests {
             Some(RekeyState {
                 from: 0,
                 to: 1,
-                watermark: 0
+                watermark: 0,
+                intent: None,
             })
         );
         // Old passphrase is revoked immediately; the new one unlocks
@@ -952,6 +1020,37 @@ mod tests {
         // Round-trips through the wire form, chain included.
         let decoded = LuksHeader::decode(&header.encode()).unwrap();
         assert_eq!(decoded, header);
+    }
+
+    #[test]
+    fn window_intent_roundtrips_and_clears() {
+        let (mut header, _master) = format_default();
+        let mut rng = SeededIvSource::new(21);
+        header
+            .begin_rekey(b"correct horse", b"new pass", 50, &mut rng)
+            .unwrap();
+        header.set_rekey_intent(WindowIntent {
+            start: 128,
+            end: 256,
+            chunk_sectors: 16,
+        });
+        // A header persisted mid-window round-trips the intent.
+        let decoded = LuksHeader::decode(&header.encode()).unwrap();
+        assert_eq!(decoded, header);
+        assert_eq!(
+            decoded.rekey().and_then(|s| s.intent),
+            Some(WindowIntent {
+                start: 128,
+                end: 256,
+                chunk_sectors: 16,
+            })
+        );
+        // The watermark advance and the intent clear are one update.
+        header.set_rekey_watermark(256);
+        header.clear_rekey_intent();
+        let decoded = LuksHeader::decode(&header.encode()).unwrap();
+        assert_eq!(decoded.rekey().map(|s| s.watermark), Some(256));
+        assert_eq!(decoded.rekey().and_then(|s| s.intent), None);
     }
 
     #[test]

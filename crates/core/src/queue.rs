@@ -171,6 +171,14 @@ impl<'d> EncryptedIoQueue<'d> {
         self.reap.doorbell()
     }
 
+    /// Drains the completion ids of operations consumed by reap errors
+    /// since the last call (each failed reap consumes exactly one op).
+    /// Runtimes that account per-op budget use this to refund exactly
+    /// the ops that died.
+    pub fn take_failed(&mut self) -> Vec<u64> {
+        self.reap.take_failed()
+    }
+
     /// Submits one operation; returns its completion token with the
     /// work in flight on the shard queues. Writes encrypt on ingest in
     /// the submitted buffer; gather-writes coalesce their buffers into

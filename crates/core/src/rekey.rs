@@ -27,8 +27,32 @@
 //! paper's thesis applied to key management: because the virtual-disk
 //! layer owns per-sector metadata, key rotation becomes an online
 //! background activity instead of a device-level outage.
+//!
+//! # Crash recovery
+//!
+//! Two CASed header updates bracket every window: a **window intent**
+//! (`[start, end)` plus the chunk size) persists *before* any chunk is
+//! rewritten, and the watermark advance that *clears* it persists only
+//! after the window is quiet — one atomic header update, so "intent
+//! gone" and "watermark past the window" are the same fact. Each
+//! chunk is clamped to one object and its rewrite transaction carries
+//! an epoch-keyed **migration-proof marker** xattr, committed (or torn)
+//! atomically with the chunk's ciphertext. A handle that reopens the
+//! image after a crash — or retries after a failed window — finds the
+//! uncleared intent via [`EncryptedImage::rekey_resume`] and replays
+//! the window chunk by chunk: a marked chunk provably landed and is
+//! skipped; an unmarked chunk is re-read under the old epoch and
+//! rewritten (idempotent — the crashed attempt never got its marker
+//! down, so for tagged layouts its data never left the old epoch's
+//! readable state, and for the baseline the watermark still maps it to
+//! the old key). Baseline caveat: the baseline layout cannot tag
+//! sectors, so *client* writes landing inside a crashed window between
+//! the crash and the recovery are re-migrated from their marker-less
+//! state — correct only if no such writes occurred (tagged layouts
+//! have no such window; their entries route by epoch).
 
 use crate::encrypted_image::EncryptedImage;
+use crate::luks::WindowIntent;
 use crate::runtime::{RuntimeError, TenantHandle};
 use crate::{CryptError, IoOp, IoPayload, Result};
 use std::collections::HashMap;
@@ -225,6 +249,22 @@ impl RekeyDriver {
         if progress.is_complete() {
             return Ok(progress);
         }
+        // A persisted-but-uncleared window intent means a prior attempt
+        // (this handle's failed window, or a crashed handle this one
+        // reopened after) started rewriting the window without proving
+        // it landed. Recover it — skip chunks whose migration-proof
+        // marker committed, re-migrate the rest — before any new work.
+        if let Some(intent) = disk.rekey_window_intent() {
+            if let Err(e) = self.recover_window(disk, intent) {
+                disk.rollback_rekey_boundary(intent.start);
+                disk.clear_rekey_markers();
+                return Err(e);
+            }
+            // Publishing the recovered watermark clears the intent in
+            // the same header update.
+            disk.persist_rekey_watermark()?;
+            return self.progress(disk);
+        }
         // Adapt to client pressure observed since the previous step.
         // The shared cluster window is reset after every window
         // (below) so the driver's own submissions never read as
@@ -250,18 +290,28 @@ impl RekeyDriver {
         let window_end =
             (start + self.chunk_sectors * self.effective_depth as u64).min(progress.total_sectors);
 
+        // Durably record the window before touching any of it: from
+        // here until the watermark advance clears it, every chunk in
+        // [start, window_end) is "in doubt" and a crash recovers it
+        // through the marker protocol above.
+        disk.persist_rekey_intent(WindowIntent {
+            start,
+            end: window_end,
+            chunk_sectors: self.chunk_sectors,
+        })?;
+
         // A window that fails mid-flight rolls the in-memory watermark
-        // back to the last fully-migrated prefix, so a retried step
-        // re-migrates it instead of silently skipping it (re-rewriting
-        // already-migrated sectors is safe: tagged layouts route by
-        // entry, and the baseline's only fallible phase-3 paths are
-        // MAC/binding failures, which require a tagged layout).
+        // back to the last fully-migrated prefix and drops any armed
+        // (not yet consumed) markers; the persisted intent stays, so a
+        // retried step recovers the window through the proof markers
+        // instead of silently skipping it.
         let migrated = match self.tenant.clone() {
             Some(tenant) => self.migrate_window_tenant(disk, start, window_end, &tenant),
             None => self.migrate_window(disk, start, window_end),
         };
         if let Err(e) = migrated {
             disk.rollback_rekey_boundary(start);
+            disk.clear_rekey_markers();
             return Err(e);
         }
         // Our own window's submissions must not read as "pressure" in
@@ -274,16 +324,25 @@ impl RekeyDriver {
         self.progress(disk)
     }
 
+    /// Sectors the chunk at `chunk` may cover: the configured size,
+    /// clamped to the window end **and to the object boundary** — a
+    /// chunk confined to one object is one transaction, so its
+    /// ciphertext and its migration-proof marker commit atomically.
+    fn chunk_span(chunk_sectors: u64, spo: u64, chunk: u64, end: u64) -> u64 {
+        chunk_sectors.min(end - chunk).min(spo - (chunk % spo))
+    }
+
     /// Phases 1–3 of one [`RekeyDriver::step`] window.
     fn migrate_window(&self, disk: &mut EncryptedImage, start: u64, window_end: u64) -> Result<()> {
         let ss = disk.sector_size();
+        let spo = disk.geometry().sectors_per_object;
         let mut queue = disk.io_queue();
         // Phase 1: submit every chunk's read. Each captures the
         // pre-advance epoch map; FIFO pins it to the right data.
         let mut chunk_offsets: HashMap<u64, u64> = HashMap::new();
         let mut chunk = start;
         while chunk < window_end {
-            let sectors = self.chunk_sectors.min(window_end - chunk);
+            let sectors = Self::chunk_span(self.chunk_sectors, spo, chunk, window_end);
             let completion = queue.submit(IoOp::Read {
                 offset: chunk * ss,
                 len: sectors * ss,
@@ -294,7 +353,8 @@ impl RekeyDriver {
         // Phase 2: the window's rewrites encrypt under the new epoch.
         queue.disk_mut().advance_rekey_boundary(window_end);
         // Phase 3: pipeline — whichever read lands first is rewritten
-        // first; writes drain alongside the remaining reads.
+        // first; writes drain alongside the remaining reads. Each
+        // rewrite is armed with its chunk's migration-proof marker.
         while queue.in_flight() > 0 {
             for result in queue.wait_any()? {
                 let Some(offset) = chunk_offsets.remove(&result.completion.id()) else {
@@ -303,11 +363,64 @@ impl RekeyDriver {
                 let IoPayload::Data(plaintext) = result.payload else {
                     unreachable!("chunk reads carry data payloads");
                 };
+                queue.disk_mut().arm_rekey_marker(offset, plaintext.len());
                 queue.submit(IoOp::Write {
                     offset,
                     data: plaintext,
                 })?;
             }
+        }
+        Ok(())
+    }
+
+    /// Replays a window a prior attempt left in doubt (its intent
+    /// persisted, its clearing watermark not): walk the window's
+    /// chunks **in order**, skipping each chunk whose migration-proof
+    /// marker committed and synchronously re-migrating the rest. The
+    /// in-memory watermark advances chunk by chunk, so at the moment
+    /// an unproven chunk is read the boundary sits exactly at its
+    /// first sector — the read decrypts under the retiring epoch even
+    /// on the baseline layout, and the rewrite (marker re-armed)
+    /// encrypts under the new one. Re-entrant: a crash *during*
+    /// recovery leaves strictly more markers for the next attempt.
+    fn recover_window(&self, disk: &mut EncryptedImage, intent: WindowIntent) -> Result<()> {
+        let ss = disk.sector_size();
+        let spo = disk.geometry().sectors_per_object;
+        // A watermark persist that failed *after* its window fully
+        // migrated leaves this handle's in-memory boundary already at
+        // the window end while the intent survives in the restored
+        // header. Realign to the intent: every chunk of such a window
+        // is proven (each marker committed atomically with its
+        // rewrite), so the walk below re-advances without a single
+        // read and merely retries the publish.
+        if disk
+            .rekey_status()
+            .is_some_and(|s| s.watermark != intent.start)
+        {
+            disk.rollback_rekey_boundary(intent.start);
+        }
+        let mut chunk = intent.start;
+        while chunk < intent.end {
+            let sectors = Self::chunk_span(intent.chunk_sectors, spo, chunk, intent.end);
+            let offset = chunk * ss;
+            let len = (sectors * ss) as usize;
+            if disk.rekey_chunk_proven(self.to, offset)? {
+                // The marker committed with the chunk's rewrite: it
+                // provably landed under the new epoch.
+                disk.advance_rekey_boundary(chunk + sectors);
+            } else {
+                let mut plaintext = vec![0u8; len];
+                disk.read(offset, &mut plaintext)?;
+                disk.advance_rekey_boundary(chunk + sectors);
+                disk.arm_rekey_marker(offset, len);
+                let mut queue = disk.io_queue();
+                queue.submit(IoOp::Write {
+                    offset,
+                    data: plaintext,
+                })?;
+                queue.wait()?;
+            }
+            chunk += sectors;
         }
         Ok(())
     }
@@ -325,13 +438,14 @@ impl RekeyDriver {
         tenant: &TenantHandle,
     ) -> Result<()> {
         let ss = disk.sector_size();
+        let spo = disk.geometry().sectors_per_object;
         let mut queue = tenant.attach(disk.io_queue());
         // Phase 1: queue every chunk's read, blocking (and reaping)
         // at the tenant's backlog cap rather than failing.
         let mut chunk_offsets: HashMap<u64, u64> = HashMap::new();
         let mut chunk = start;
         while chunk < window_end {
-            let sectors = self.chunk_sectors.min(window_end - chunk);
+            let sectors = Self::chunk_span(self.chunk_sectors, spo, chunk, window_end);
             let completion = queue
                 .submit_blocking(IoOp::Read {
                     offset: chunk * ss,
@@ -360,6 +474,14 @@ impl RekeyDriver {
                 let IoPayload::Data(plaintext) = result.payload else {
                     unreachable!("chunk reads carry data payloads");
                 };
+                // Arm the chunk's migration-proof marker keyed by the
+                // write's (offset, len): the arbiter may defer this
+                // write into the backlog, and the marker is consumed
+                // only when the write actually submits.
+                queue
+                    .inner_mut()
+                    .disk_mut()
+                    .arm_rekey_marker(offset, plaintext.len());
                 queue
                     .submit_blocking(IoOp::Write {
                         offset,

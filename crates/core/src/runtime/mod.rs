@@ -166,6 +166,10 @@ pub struct TenantStats {
     pub dispatched_ops: u64,
     /// Ops reaped back through the tenant's queue.
     pub completed_ops: u64,
+    /// Ops that died with a reap error (e.g. retry-budget exhaustion
+    /// under fault injection). Their slots and backlog were refunded;
+    /// they never count as completed.
+    pub failed_ops: u64,
     /// Payload bytes of completed ops.
     pub completed_bytes: u64,
     /// Ops admitted and not yet dispatched, right now.
@@ -273,6 +277,14 @@ pub trait ArbitratedQueue {
 
     /// The queue's completion doorbell.
     fn doorbell(&self) -> Arc<Doorbell>;
+
+    /// Drains the completion ids of ops consumed by reap errors since
+    /// the last call, so the runtime can refund their budget. The
+    /// default (for queues that never consume ops on error) reports
+    /// none.
+    fn take_failed(&mut self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 impl ArbitratedQueue for vdisk_rbd::IoQueue {
@@ -293,6 +305,10 @@ impl ArbitratedQueue for vdisk_rbd::IoQueue {
     fn doorbell(&self) -> Arc<Doorbell> {
         vdisk_rbd::IoQueue::doorbell(self)
     }
+
+    fn take_failed(&mut self) -> Vec<u64> {
+        self.take_failed()
+    }
 }
 
 impl ArbitratedQueue for crate::EncryptedIoQueue<'_> {
@@ -312,6 +328,10 @@ impl ArbitratedQueue for crate::EncryptedIoQueue<'_> {
 
     fn doorbell(&self) -> Arc<Doorbell> {
         crate::EncryptedIoQueue::doorbell(self)
+    }
+
+    fn take_failed(&mut self) -> Vec<u64> {
+        self.take_failed()
     }
 }
 
@@ -650,7 +670,25 @@ impl<Q: ArbitratedQueue> TenantQueue<Q> {
     /// *other* tenants on completions — never the reaping thread,
     /// which is already awake).
     fn reap_into_staged(&mut self) -> Result<usize, RuntimeError<Q::Error>> {
-        let results = self.inner.poll_direct()?;
+        let results = match self.inner.poll_direct() {
+            Ok(results) => results,
+            Err(e) => {
+                // The inner queue consumed the failing op(s) with the
+                // error; refund their slots (and drop their dispatch
+                // tracking) or the shared budget leaks one slot per
+                // failure and the tenant's in-flight count never
+                // drains.
+                let failed = self.inner.take_failed();
+                let mut ops = 0usize;
+                for id in failed {
+                    if self.dispatched.remove(&id).is_some() {
+                        ops += 1;
+                    }
+                }
+                self.runtime.lock().fail(self.id, ops);
+                return Err(RuntimeError::Queue(e));
+            }
+        };
         if results.is_empty() {
             return Ok(0);
         }

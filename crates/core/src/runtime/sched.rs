@@ -91,6 +91,7 @@ struct Totals {
     rejected_ops: u64,
     dispatched_ops: u64,
     completed_ops: u64,
+    failed_ops: u64,
     completed_bytes: u64,
     exec: ExecStats,
 }
@@ -432,6 +433,23 @@ impl Arbiter {
         self.ring_backlogged(Some(id));
     }
 
+    /// Folds ops the inner queue consumed with a reap error back in:
+    /// their slots free up exactly like completions (freeing the
+    /// shared budget and ringing other backlogged tenants), but the
+    /// ops count as failed — no bytes, no exec stats, nothing
+    /// finished. Tokens stay spent: the op really dispatched and
+    /// consumed cluster work before dying.
+    pub(crate) fn fail(&mut self, id: TenantId, ops: usize) {
+        if ops == 0 {
+            return;
+        }
+        let state = &mut self.tenants[id.0 as usize];
+        state.in_flight -= ops;
+        state.totals.failed_ops += ops as u64;
+        self.in_flight_total -= ops;
+        self.ring_backlogged(Some(id));
+    }
+
     /// Rings the doorbell of every attached tenant with queued work,
     /// optionally skipping one (the caller's own thread is awake).
     fn ring_backlogged(&self, except: Option<TenantId>) {
@@ -457,6 +475,7 @@ impl Arbiter {
             rejected_ops: state.totals.rejected_ops,
             dispatched_ops: state.totals.dispatched_ops,
             completed_ops: state.totals.completed_ops,
+            failed_ops: state.totals.failed_ops,
             completed_bytes: state.totals.completed_bytes,
             backlog_ops: state.backlog.len(),
             in_flight_ops: state.in_flight,

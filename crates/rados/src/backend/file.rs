@@ -23,6 +23,7 @@
 
 use super::{MemStore, ObjectStore};
 use crate::cluster::PayloadMode;
+use crate::fault::{FaultKind, FaultPlane};
 use crate::object::Object;
 use crate::placement::OsdId;
 use crate::transaction::SnapContext;
@@ -31,6 +32,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Suffix of every object file.
 const OBJ_SUFFIX: &str = ".obj";
@@ -43,12 +45,24 @@ pub(crate) struct FileStore {
     dir: PathBuf,
     osd_count: usize,
     mem: MemStore,
+    /// This shard's index in the cluster (reported in injected errors).
+    shard: usize,
+    /// The cluster's fault plane, when one is installed: commits crash
+    /// at the configured point, and everything fails fast afterwards.
+    faults: Option<Arc<FaultPlane>>,
 }
 
 impl FileStore {
     /// Opens (or creates) the store for one shard at `dir`, loading
     /// every object file already present into the in-memory mirror.
-    pub(crate) fn open(dir: PathBuf, osd_count: usize) -> io::Result<Self> {
+    /// When a [`FaultPlane`] is installed, durable commits consult it
+    /// for the injected crash point.
+    pub(crate) fn open_faulted(
+        dir: PathBuf,
+        osd_count: usize,
+        shard: usize,
+        faults: Option<Arc<FaultPlane>>,
+    ) -> io::Result<Self> {
         let mut mem = MemStore::new(osd_count);
         for osd in 0..osd_count {
             let osd_dir = dir.join(format!("osd-{osd}"));
@@ -72,6 +86,8 @@ impl FileStore {
             dir,
             osd_count,
             mem,
+            shard,
+            faults,
         })
     }
 
@@ -79,6 +95,41 @@ impl FileStore {
         self.dir
             .join(format!("osd-{osd}"))
             .join(format!("{}{OBJ_SUFFIX}", escape_name(name)))
+    }
+
+    fn crash_error(&self) -> RadosError {
+        RadosError::Injected {
+            kind: FaultKind::Crash,
+            shard: self.shard,
+        }
+    }
+
+    /// One replica's durable write, with the fault plane's crash point
+    /// threaded through: the temp file is written and synced, then the
+    /// plane decides whether this commit is the one that dies — if so
+    /// the rename never happens and the torn `.tmp` stays on disk,
+    /// exactly what a host crash between those two syscalls leaves.
+    fn commit_write(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let Some(plane) = &self.faults else {
+            return write_durable(path, bytes)
+                .map_err(|e| RadosError::Io(format!("commit write: {e}")));
+        };
+        let dir = path.parent().expect("object paths have a parent");
+        let tmp = path.with_extension("tmp");
+        (|| -> io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()
+        })()
+        .map_err(|e| RadosError::Io(format!("commit write: {e}")))?;
+        if plane.commit_crashes() {
+            return Err(self.crash_error());
+        }
+        (|| -> io::Result<()> {
+            fs::rename(&tmp, path)?;
+            sync_dir(dir)
+        })()
+        .map_err(|e| RadosError::Io(format!("commit write: {e}")))
     }
 }
 
@@ -118,18 +169,28 @@ impl ObjectStore for FileStore {
     }
 
     fn commit(&mut self, name: &str, acting: &[OsdId]) -> Result<()> {
+        // A crashed cluster writes nothing more — the process is dead;
+        // fail fast before touching any file.
+        if self.faults.as_ref().is_some_and(|p| p.crashed()) {
+            return Err(self.crash_error());
+        }
         for osd in acting {
             let path = self.object_path(osd.0, name);
             match self.mem.get(osd.0, name) {
-                Some(object) => write_durable(&path, &object.encode()),
-                None => remove_durable(&path),
+                Some(object) => self.commit_write(&path, &object.encode())?,
+                None => remove_durable(&path)
+                    .map_err(|e| RadosError::Io(format!("commit of {name}: {e}")))?,
             }
-            .map_err(|e| RadosError::Io(format!("commit of {name}: {e}")))?;
         }
         Ok(())
     }
 
     fn flush(&mut self) -> Result<()> {
+        // A crashed cluster has nothing left to promise; flushing it is
+        // a no-op so teardown paths never panic on an injected crash.
+        if self.faults.as_ref().is_some_and(|p| p.crashed()) {
+            return Ok(());
+        }
         // Commits already fsync file data and directory entries; the
         // flush barrier re-syncs the directory tree so even metadata
         // of empty/untouched OSD dirs is on disk.
@@ -346,7 +407,7 @@ mod tests {
         let dir = scratch("reopen");
         let acting = [OsdId(0), OsdId(1)];
         {
-            let mut store = FileStore::open(dir.clone(), 2).unwrap();
+            let mut store = FileStore::open_faulted(dir.clone(), 2, 0, None).unwrap();
             for osd in &acting {
                 let obj = store.entry(osd.0, "a/b c", true, snapc(0));
                 obj.head.write(0, b"payload");
@@ -356,7 +417,7 @@ mod tests {
             store.commit("a/b c", &acting).unwrap();
             store.flush().unwrap();
         }
-        let store = FileStore::open(dir.clone(), 2).unwrap();
+        let store = FileStore::open_faulted(dir.clone(), 2, 0, None).unwrap();
         for osd in &acting {
             let obj = store.get(osd.0, "a/b c").expect("object survives reopen");
             assert_eq!(obj.head.read(0, 7), b"payload");
@@ -371,13 +432,13 @@ mod tests {
         let dir = scratch("delete");
         let acting = [OsdId(0)];
         {
-            let mut store = FileStore::open(dir.clone(), 1).unwrap();
+            let mut store = FileStore::open_faulted(dir.clone(), 1, 0, None).unwrap();
             store.entry(0, "gone", true, snapc(0)).head.write(0, b"x");
             store.commit("gone", &acting).unwrap();
             store.remove(0, "gone");
             store.commit("gone", &acting).unwrap();
         }
-        let store = FileStore::open(dir.clone(), 1).unwrap();
+        let store = FileStore::open_faulted(dir.clone(), 1, 0, None).unwrap();
         assert!(!store.contains(0, "gone"));
         assert!(store.names().is_empty());
         fs::remove_dir_all(dir).unwrap();
@@ -388,7 +449,7 @@ mod tests {
         let dir = scratch("corrupt");
         fs::create_dir_all(dir.join("osd-0")).unwrap();
         fs::write(dir.join("osd-0/bad.obj"), b"not a codec blob").unwrap();
-        let err = FileStore::open(dir.clone(), 1).unwrap_err();
+        let err = FileStore::open_faulted(dir.clone(), 1, 0, None).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         fs::remove_dir_all(dir).unwrap();
     }
@@ -399,7 +460,7 @@ mod tests {
         fs::create_dir_all(dir.join("osd-0")).unwrap();
         // A crash between temp-write and rename leaves a .tmp behind.
         fs::write(dir.join("osd-0/torn.tmp"), b"half a write").unwrap();
-        let store = FileStore::open(dir.clone(), 1).unwrap();
+        let store = FileStore::open_faulted(dir.clone(), 1, 0, None).unwrap();
         assert!(store.names().is_empty());
         fs::remove_dir_all(dir).unwrap();
     }

@@ -29,6 +29,7 @@
 
 use crate::backend::{BackendKind, ClusterMeta, FileStore, MemStore, ObjectStore};
 use crate::cost::{ResourceHandles, TestbedProfile};
+use crate::fault::{FaultConfig, FaultPlane, RetryPolicy};
 use crate::placement::PlacementMap;
 use crate::queue::{
     self, ApplyShared, ApplyTicket, DepthGuard, Job, Progress, ReadOutcome, ReadShared, ReadTicket,
@@ -124,6 +125,11 @@ pub struct ExecStats {
     /// knows the entries it persisted, so the first subsequent read
     /// skips the metadata fetch without ever paying a miss.
     pub meta_cache_write_fills: u64,
+    /// Attempts replayed inside the shard workers after a retryable
+    /// injected fault (see [`crate::fault::RetryPolicy`]): each retry
+    /// is one extra apply/read attempt that never surfaced to the
+    /// client. Always zero on clusters without a fault plane.
+    pub retries: u64,
 }
 
 impl ExecStats {
@@ -144,6 +150,7 @@ impl ExecStats {
         self.meta_cache_misses += delta.meta_cache_misses;
         self.meta_cache_invalidations += delta.meta_cache_invalidations;
         self.meta_cache_write_fills += delta.meta_cache_write_fills;
+        self.retries += delta.retries;
     }
 }
 
@@ -170,6 +177,8 @@ pub struct ClusterBuilder {
     /// override: the store directory is session scratch, removed when
     /// the last [`Cluster`] handle drops.
     scratch: bool,
+    faults: Option<FaultConfig>,
+    retry: RetryPolicy,
 }
 
 impl Default for ClusterBuilder {
@@ -188,6 +197,8 @@ impl Default for ClusterBuilder {
             crypto_lanes: None,
             backend,
             scratch,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -325,6 +336,27 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a deterministic fault plane: the cluster injects
+    /// per-shard transient/persistent errors, delayed completions, and
+    /// (file backend) torn-commit crashes exactly as the seeded
+    /// [`FaultConfig`] dictates. Default: no fault plane — nothing is
+    /// ever injected and [`ExecStats::retries`] stays zero.
+    #[must_use]
+    pub fn fault_plane(mut self, config: FaultConfig) -> Self {
+        self.faults = Some(config);
+        self
+    }
+
+    /// How the shard workers replay attempts that drew a retryable
+    /// injected fault (see [`RetryPolicy`]; default: 4 replays with
+    /// exponential backoff). Only consulted when a fault plane is
+    /// installed — without one there is nothing to retry.
+    #[must_use]
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Builds the cluster, panicking on invalid configuration — the
     /// ergonomic entry point for tests and examples whose knobs are
     /// literals. Fallible callers use [`ClusterBuilder::try_build`].
@@ -433,13 +465,21 @@ impl ClusterBuilder {
             }
         };
 
+        let faults = self
+            .faults
+            .map(|config| Arc::new(FaultPlane::new(config, self.shard_count)));
         let shards: Arc<[Shard]> = (0..self.shard_count)
             .map(|s| -> Result<Shard> {
                 let store: Box<dyn ObjectStore> = match &self.backend {
                     BackendKind::Memory => Box::new(MemStore::new(self.osd_count)),
                     BackendKind::File { dir } => Box::new(
-                        FileStore::open(dir.join(format!("shard-{s}")), self.osd_count)
-                            .map_err(|e| RadosError::Io(format!("open shard {s}: {e}")))?,
+                        FileStore::open_faulted(
+                            dir.join(format!("shard-{s}")),
+                            self.osd_count,
+                            s,
+                            faults.clone(),
+                        )
+                        .map_err(|e| RadosError::Io(format!("open shard {s}: {e}")))?,
                     ),
                 };
                 Ok(Shard::new(store))
@@ -460,6 +500,8 @@ impl ClusterBuilder {
             self.meta_cache_bytes,
             crypto_lanes,
             initial_snap_seq,
+            faults,
+            self.retry,
         ));
         let runtime = if workers {
             WorkerRuntime::spawn(&control, &shards)
@@ -670,6 +712,7 @@ impl Cluster {
             default_seq: cp.snap_seq(),
             progress: Progress::new(txs.len()),
             txs,
+            retries: AtomicU64::new(0),
         });
         let depth = if is_empty {
             DepthGuard::noop(Arc::clone(cp))
@@ -755,6 +798,13 @@ impl Cluster {
     #[must_use]
     pub fn exec_stats(&self) -> ExecStats {
         self.control.stats.snapshot()
+    }
+
+    /// The installed fault plane (observability: crash latch, injected
+    /// counts), or `None` when the cluster was built without one.
+    #[must_use]
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.control.faults.as_deref()
     }
 
     /// Submissions currently issued and not yet reaped, cluster-wide —
@@ -873,6 +923,7 @@ impl Cluster {
             snap,
             progress: Progress::new(requests.len()),
             requests,
+            retries: AtomicU64::new(0),
         });
         let depth = if is_empty {
             DepthGuard::noop(Arc::clone(cp))

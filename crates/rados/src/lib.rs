@@ -57,6 +57,7 @@
 mod backend;
 pub mod cluster;
 pub mod cost;
+pub mod fault;
 pub mod object;
 pub mod placement;
 mod queue;
@@ -69,6 +70,7 @@ pub use cluster::{
     Cluster, ClusterBuilder, ExecStats, PayloadMode, ScrubReport, DEFAULT_META_CACHE_BYTES,
 };
 pub use cost::{ResourceHandles, TestbedProfile};
+pub use fault::{FaultConfig, FaultKind, FaultPlane, RetryPolicy};
 pub use object::{ObjectStat, PHYS_BLOCK};
 pub use placement::{OsdId, PlacementMap};
 pub use queue::{ApplyTicket, Doorbell, ReadTicket, ShardHold};
@@ -126,6 +128,17 @@ pub enum RadosError {
     /// rendered `std::io::Error`, kept as a string so the variant stays
     /// `Clone`/`Eq` like the rest of the enum.
     Io(String),
+    /// An injected fault from the cluster's [`fault::FaultPlane`]
+    /// surfaced to the client: a transient fault that exhausted the
+    /// [`fault::RetryPolicy`] budget, a persistent fault (never
+    /// retried), or an injected crash. Never produced on clusters
+    /// built without a fault plane.
+    Injected {
+        /// The class of the injected fault.
+        kind: fault::FaultKind,
+        /// The state shard the faulted operation targeted.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for RadosError {
@@ -147,7 +160,29 @@ impl fmt::Display for RadosError {
             }
             RadosError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             RadosError::Io(msg) => write!(f, "io error: {msg}"),
+            RadosError::Injected { kind, shard } => {
+                write!(f, "injected {kind} fault on shard {shard}")
+            }
         }
+    }
+}
+
+impl RadosError {
+    /// Whether replaying the failed submission may succeed. Only
+    /// injected **transient** faults qualify: they are injected before
+    /// the attempt touches any state, so a replay is idempotent.
+    /// Everything else either already decided (`CompareFailed`,
+    /// `NoSuchObject`, …) or cannot be replayed safely (host-IO errors
+    /// may have partially applied).
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            RadosError::Injected {
+                kind: fault::FaultKind::Transient,
+                ..
+            }
+        )
     }
 }
 

@@ -23,6 +23,7 @@ use crate::transaction::{ObjectReads, ReadResult, Transaction};
 use crate::{RadosError, SnapId};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use vdisk_sim::Plan;
@@ -173,6 +174,14 @@ impl Drop for WorkerRuntime {
 /// per-shard pending counter (entered at enqueue time by the
 /// submitter) is *exited* here, after the shard's work completes.
 pub(crate) fn run_job(cp: &ControlPlane, shards: &[Shard], shard_idx: usize, job: Job) {
+    // Injected delayed completion: the worker sleeps before serving
+    // the job. Per-shard FIFO is preserved — everything queued behind
+    // simply waits — so a delay slows a completion without reordering.
+    if matches!(job, Job::Apply { .. } | Job::Read { .. }) {
+        if let Some(delay) = cp.faults.as_ref().and_then(|f| f.job_delay(shard_idx)) {
+            std::thread::sleep(delay);
+        }
+    }
     match job {
         Job::Apply { shared, idxs } => {
             let result = {
@@ -180,7 +189,11 @@ pub(crate) fn run_job(cp: &ControlPlane, shards: &[Shard], shard_idx: usize, job
                 catch_unwind(AssertUnwindSafe(|| {
                     idxs.iter()
                         .map(|&i| {
-                            let applied = guard.apply_tx(cp, shared.default_seq, &shared.txs[i]);
+                            let tx = &shared.txs[i];
+                            let applied =
+                                with_retries(cp, shard_idx, &tx.object, &shared.retries, || {
+                                    guard.apply_tx(cp, shared.default_seq, tx)
+                                });
                             (i, applied)
                         })
                         .collect::<Vec<_>>()
@@ -199,12 +212,14 @@ pub(crate) fn run_job(cp: &ControlPlane, shards: &[Shard], shard_idx: usize, job
                     idxs.iter()
                         .map(|&i| {
                             let request = &shared.requests[i];
-                            let outcome = match guard.read_one(
+                            let served = with_retries(
                                 cp,
+                                shard_idx,
                                 &request.object,
-                                shared.snap,
-                                &request.ops,
-                            ) {
+                                &shared.retries,
+                                || guard.read_one(cp, &request.object, shared.snap, &request.ops),
+                            );
+                            let outcome = match served {
                                 Ok((results, plan)) => ReadOutcome::Hit(results, plan),
                                 Err(
                                     e @ (RadosError::NoSuchObject(_)
@@ -241,6 +256,48 @@ pub(crate) fn run_job(cp: &ControlPlane, shards: &[Shard], shard_idx: usize, job
 
 fn exit_shard(cp: &ControlPlane, shards: &[Shard], shard_idx: usize) {
     shards[shard_idx].job_done(&cp.stats);
+}
+
+/// Runs one item's attempt under the cluster's fault plane and retry
+/// policy — the retryable-IO core. The fault check happens **before**
+/// `attempt` touches any state, so replaying a failed draw is
+/// idempotent: nothing of the failed attempt ever applied, and the job
+/// never leaves the worker, so per-shard FIFO order (and the
+/// write-epoch protocol client caches rely on) is untouched. A
+/// retryable draw replays in place with bounded exponential backoff;
+/// budget exhaustion and non-retryable faults surface as
+/// [`RadosError::Injected`]. Real errors from `attempt` itself (e.g. a
+/// torn durable commit) are never replayed — they may have partially
+/// applied.
+fn with_retries<T>(
+    cp: &ControlPlane,
+    shard_idx: usize,
+    object: &str,
+    retries: &AtomicU64,
+    mut attempt: impl FnMut() -> crate::Result<T>,
+) -> crate::Result<T> {
+    let mut replays: u32 = 0;
+    loop {
+        match cp.fault_for(shard_idx, object) {
+            None => return attempt(),
+            Some(kind) => {
+                let err = RadosError::Injected {
+                    kind,
+                    shard: shard_idx,
+                };
+                if !err.is_retryable() || replays >= cp.retry.budget() {
+                    return Err(err);
+                }
+                replays += 1;
+                retries.fetch_add(1, Ordering::Relaxed);
+                cp.stats.record_retries(1);
+                let backoff = cp.retry.backoff_for(replays);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
 }
 
 /// A parking/wakeup completion signal shared between a reaping client
@@ -478,6 +535,9 @@ pub(crate) struct ApplyShared {
     /// of the submission sees one consistent snapshot context.
     pub(crate) default_seq: u64,
     pub(crate) progress: Progress<crate::Result<Plan>>,
+    /// In-worker replays of this submission's items under the fault
+    /// plane; folded into the ticket's `stats_delta`.
+    pub(crate) retries: AtomicU64,
 }
 
 /// Shared state of one read submission.
@@ -485,6 +545,9 @@ pub(crate) struct ReadShared {
     pub(crate) requests: Vec<ObjectReads>,
     pub(crate) snap: Option<SnapId>,
     pub(crate) progress: Progress<ReadOutcome>,
+    /// In-worker replays of this submission's items under the fault
+    /// plane; folded into the ticket's `stats_delta`.
+    pub(crate) retries: AtomicU64,
 }
 
 /// What one object's read request produced.
@@ -629,7 +692,9 @@ impl ApplyTicket {
     /// zero here; read them from [`crate::Cluster::exec_stats`]).
     #[must_use]
     pub fn stats_delta(&self) -> crate::cluster::ExecStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.retries = self.shared.retries.load(Ordering::Relaxed);
+        stats
     }
 }
 
@@ -737,7 +802,9 @@ impl ReadTicket {
     /// Exact operation counts attributable to this submission.
     #[must_use]
     pub fn stats_delta(&self) -> crate::cluster::ExecStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.retries = self.shared.retries.load(Ordering::Relaxed);
+        stats
     }
 
     /// Blocks for completion and hands back the raw per-request
@@ -820,6 +887,7 @@ mod tests {
             txs: Vec::new(),
             default_seq: 0,
             progress: Progress::new(0),
+            retries: AtomicU64::new(0),
         });
         for i in 0..3 {
             q.push(Job::Apply {

@@ -10,8 +10,10 @@
 
 use crate::cluster::{ExecStats, PayloadMode};
 use crate::cost::{ResourceHandles, TestbedProfile};
+use crate::fault::{FaultKind, FaultPlane, RetryPolicy};
 use crate::placement::PlacementMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use vdisk_kv::CostProfile;
 
 /// Immutable cluster configuration plus the atomic counters. One
@@ -49,6 +51,13 @@ pub(crate) struct ControlPlane {
     /// submission order rather than wall clock (per-shard FIFO makes
     /// submission order the apply order).
     write_seqs: Vec<AtomicU64>,
+    /// The installed fault plane, if any (see
+    /// [`crate::ClusterBuilder::fault_plane`]): consulted by every
+    /// shard worker before each apply/read attempt.
+    pub(crate) faults: Option<Arc<FaultPlane>>,
+    /// How shard workers replay attempts that drew a retryable
+    /// injected fault (see [`crate::ClusterBuilder::retry_policy`]).
+    pub(crate) retry: RetryPolicy,
     pub(crate) stats: StatCounters,
 }
 
@@ -67,6 +76,8 @@ impl ControlPlane {
         meta_cache_bytes: u64,
         crypto_lanes: usize,
         initial_snap_seq: u64,
+        faults: Option<Arc<FaultPlane>>,
+        retry: RetryPolicy,
     ) -> Self {
         ControlPlane {
             placement,
@@ -83,8 +94,16 @@ impl ControlPlane {
             // seqs, so the sequence must continue, not restart.
             snap_seq: AtomicU64::new(initial_snap_seq),
             write_seqs: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+            faults,
+            retry,
             stats: StatCounters::default(),
         }
+    }
+
+    /// The fault (if any) governing one apply/read attempt on `shard`
+    /// against `object`; `None` on clusters without a fault plane.
+    pub(crate) fn fault_for(&self, shard: usize, object: &str) -> Option<FaultKind> {
+        self.faults.as_ref()?.fault_for(shard, object)
     }
 
     /// The shard an object's placement group maps to.
@@ -148,6 +167,9 @@ pub(crate) struct StatCounters {
     meta_cache_misses: AtomicU64,
     meta_cache_invalidations: AtomicU64,
     meta_cache_write_fills: AtomicU64,
+    /// Attempts replayed in the shard workers after a retryable
+    /// injected fault (see [`crate::fault::RetryPolicy`]).
+    retries: AtomicU64,
 }
 
 impl StatCounters {
@@ -224,6 +246,13 @@ impl StatCounters {
         }
     }
 
+    /// Accumulates attempts replayed after a retryable injected fault.
+    pub(crate) fn record_retries(&self, n: u64) {
+        if n > 0 {
+            self.retries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Accumulates write-through cache fills (see
     /// [`crate::Cluster::record_meta_cache_write_fills`]).
     pub(crate) fn record_meta_cache_write_fills(&self, fills: u64) {
@@ -245,6 +274,7 @@ impl StatCounters {
             meta_cache_misses: self.meta_cache_misses.load(Ordering::Relaxed),
             meta_cache_invalidations: self.meta_cache_invalidations.load(Ordering::Relaxed),
             meta_cache_write_fills: self.meta_cache_write_fills.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,0 +1,305 @@
+//! The fault plane under test: seeded transient/persistent/delay
+//! injection, the in-worker retry layer (bounded, visible in stats),
+//! and the durable backend's torn-commit crash point.
+//!
+//! CI's fault matrix runs this suite across backends and seeds:
+//! `VDISK_BACKEND=memory|file` selects the store and
+//! `VDISK_FAULT_SEED` reseeds every cluster's fault stream, so each
+//! matrix cell exercises a different deterministic schedule.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use vdisk_rados::{
+    BackendKind, Cluster, FaultConfig, FaultKind, RadosError, ReadOp, RetryPolicy, Transaction,
+};
+
+/// The matrix seed: every cluster in this suite derives its fault
+/// stream from it, so one env var re-rolls the whole schedule.
+fn matrix_seed() -> u64 {
+    std::env::var("VDISK_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xFA_17)
+}
+
+fn scratch(label: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/backend-scratch")
+        .join(format!(
+            "{label}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+}
+
+fn write_tx(object: &str, fill: u8) -> Transaction {
+    let mut tx = Transaction::new(object.to_string());
+    tx.write(0, vec![fill; 4096]);
+    tx
+}
+
+/// Transient faults at a high rate are absorbed by the retry layer:
+/// every op still succeeds, and the injections and replays are both
+/// visible — in the plane's counters and in `ExecStats::retries`.
+#[test]
+fn transient_faults_are_retried_and_visible_in_stats() {
+    let cluster = Cluster::builder()
+        .fault_plane(FaultConfig::new(matrix_seed()).transient_rate(0.4))
+        .build();
+    for i in 0..64 {
+        cluster
+            .execute(write_tx(&format!("obj-{i}"), i as u8))
+            .unwrap();
+    }
+    for i in 0..64 {
+        let (results, _) = cluster
+            .read(
+                &format!("obj-{i}"),
+                None,
+                &[ReadOp::Read {
+                    offset: 0,
+                    len: 4096,
+                }],
+            )
+            .unwrap();
+        assert_eq!(
+            results[0].as_data()[0],
+            i as u8,
+            "retried IO must replay intact"
+        );
+    }
+    let plane = cluster.fault_plane().expect("plane configured");
+    assert!(plane.injected_transients() > 0, "a 40% rate must fire");
+    assert!(
+        cluster.exec_stats().retries >= plane.injected_transients(),
+        "every absorbed transient is at least one recorded retry"
+    );
+}
+
+/// Per-ticket stats carry the retries their own op absorbed: a
+/// submitted batch against a high transient rate replays in the
+/// worker and reports those replays in its `stats_delta`.
+#[test]
+fn ticket_stats_count_their_own_retries() {
+    let cluster = Cluster::builder()
+        .fault_plane(
+            FaultConfig::new(matrix_seed())
+                .transient_rate(0.9)
+                .max_consecutive(3),
+        )
+        .build();
+    let mut ticket_retries = 0;
+    for i in 0..16 {
+        let ticket = cluster
+            .submit_batch(vec![write_tx(&format!("hot-{i}"), i as u8)])
+            .unwrap();
+        while !ticket.is_complete() {
+            std::thread::yield_now();
+        }
+        ticket_retries += ticket.stats_delta().retries;
+        ticket.wait().unwrap();
+    }
+    assert!(
+        ticket_retries > 0,
+        "a 90% transient rate must replay at least one of 16 batches"
+    );
+    assert_eq!(
+        cluster.exec_stats().retries,
+        ticket_retries,
+        "the cluster-wide counter is the sum of the tickets'"
+    );
+}
+
+/// A persistent fault is not retried: it surfaces immediately as a
+/// typed, non-retryable error naming the faulted shard.
+#[test]
+fn persistent_faults_surface_without_retries() {
+    let cluster = Cluster::builder()
+        .fault_plane(FaultConfig::new(matrix_seed()).fail_objects("poison", FaultKind::Persistent))
+        .build();
+    let err = cluster.execute(write_tx("poison-pill", 1)).unwrap_err();
+    match &err {
+        RadosError::Injected { kind, .. } => assert_eq!(*kind, FaultKind::Persistent),
+        other => panic!("expected an injected fault, got {other}"),
+    }
+    assert!(!err.is_retryable());
+    assert_eq!(
+        cluster.exec_stats().retries,
+        0,
+        "persistent faults must not burn retry budget"
+    );
+    // Unmatched objects are untouched.
+    cluster.execute(write_tx("healthy", 2)).unwrap();
+}
+
+/// `RetryPolicy::none` turns even transient faults into surfaced
+/// errors — the knob callers use to see every injection.
+#[test]
+fn retry_policy_none_surfaces_transients() {
+    let cluster = Cluster::builder()
+        .fault_plane(FaultConfig::new(matrix_seed()).fail_objects("victim", FaultKind::Transient))
+        .retry_policy(RetryPolicy::none())
+        .build();
+    let err = cluster.execute(write_tx("victim-0", 1)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            RadosError::Injected {
+                kind: FaultKind::Transient,
+                ..
+            }
+        ),
+        "got {err}"
+    );
+    assert!(err.is_retryable(), "transients stay typed as retryable");
+}
+
+/// A bounded budget exhausts against an always-faulting object: the
+/// op fails with the transient error after exactly budget replays.
+#[test]
+fn retry_budget_exhaustion_fails_the_op() {
+    let cluster = Cluster::builder()
+        .fault_plane(FaultConfig::new(matrix_seed()).fail_objects("cursed", FaultKind::Transient))
+        .retry_policy(
+            RetryPolicy::default()
+                .max_retries(3)
+                .backoff(Duration::ZERO, Duration::ZERO),
+        )
+        .build();
+    let err = cluster.execute(write_tx("cursed-obj", 1)).unwrap_err();
+    assert!(matches!(
+        err,
+        RadosError::Injected {
+            kind: FaultKind::Transient,
+            ..
+        }
+    ));
+    assert_eq!(
+        cluster.exec_stats().retries,
+        3,
+        "exactly the budget's replays are recorded"
+    );
+}
+
+/// Delay injection slows completions without failing them.
+#[test]
+fn delays_are_injected_and_counted() {
+    let cluster = Cluster::builder()
+        .fault_plane(FaultConfig::new(matrix_seed()).delay(1.0, Duration::from_micros(50)))
+        .build();
+    for i in 0..8 {
+        cluster
+            .execute(write_tx(&format!("slow-{i}"), i as u8))
+            .unwrap();
+    }
+    let plane = cluster.fault_plane().unwrap();
+    assert!(plane.injected_delays() >= 8, "rate 1.0 delays every job");
+}
+
+/// The same seed yields the same injection schedule: fault decisions
+/// are a pure function of (seed, shard, draw index), independent of
+/// wall-clock or thread timing.
+#[test]
+fn fault_schedule_is_deterministic_per_seed() {
+    let run = |seed: u64| -> (u64, Vec<bool>) {
+        let cluster = Cluster::builder()
+            .shard_count(1)
+            .fault_plane(FaultConfig::new(seed).transient_rate(0.5))
+            .retry_policy(RetryPolicy::none())
+            .build();
+        let outcomes: Vec<bool> = (0..32)
+            .map(|i| cluster.execute(write_tx(&format!("d-{i}"), 0)).is_ok())
+            .collect();
+        (
+            cluster.fault_plane().unwrap().injected_transients(),
+            outcomes,
+        )
+    };
+    let seed = matrix_seed();
+    assert_eq!(run(seed), run(seed), "same seed, same schedule");
+    assert_ne!(
+        run(seed).1,
+        run(seed ^ 0xDEAD_BEEF).1,
+        "different seeds must diverge (astronomically unlikely to collide)"
+    );
+}
+
+/// The durable backend's torn-commit crash: the crash point sits
+/// between the temp-file write and the rename, so the store directory
+/// is left with the *pre-crash* object content plus a stray `.tmp` —
+/// exactly what a kill -9 between those syscalls leaves. A reopened
+/// cluster sees the last fully renamed state.
+#[test]
+fn file_backend_crash_leaves_torn_commit_and_recovers_prior_state() {
+    let dir = scratch("crash-commit");
+    {
+        // One replica, so each transaction is exactly one durable
+        // commit and the crash ordinal addresses transactions.
+        let cluster = Cluster::builder()
+            .backend(BackendKind::File { dir: dir.clone() })
+            .replicas(1)
+            .fault_plane(FaultConfig::new(matrix_seed()).crash_at_commit(1))
+            .build();
+        cluster.execute(write_tx("obj", 0xAA)).unwrap(); // commit #0 lands
+        let err = cluster.execute(write_tx("obj", 0xBB)).unwrap_err(); // #1 crashes
+        assert!(
+            matches!(
+                err,
+                RadosError::Injected {
+                    kind: FaultKind::Crash,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+        assert!(cluster.fault_plane().unwrap().crashed());
+        // The latch holds: everything after the crash fails fast.
+        assert!(cluster.execute(write_tx("other", 1)).is_err());
+        cluster.flush();
+    }
+    // Evidence of the tear on disk, then recovery to state #0.
+    let torn = walk(&dir)
+        .into_iter()
+        .any(|p| p.extension().is_some_and(|e| e == "tmp"));
+    assert!(torn, "the crashed commit must leave its temp file behind");
+    let cluster = Cluster::builder()
+        .backend(BackendKind::File { dir })
+        .replicas(1)
+        .build();
+    let (results, _) = cluster
+        .read(
+            "obj",
+            None,
+            &[ReadOp::Read {
+                offset: 0,
+                len: 4096,
+            }],
+        )
+        .unwrap();
+    assert_eq!(
+        results[0].as_data()[0],
+        0xAA,
+        "recovery must surface the last renamed commit, not the torn one"
+    );
+}
+
+fn walk(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                out.push(path);
+            }
+        }
+    }
+    out
+}

@@ -232,6 +232,12 @@ pub struct ReapQueue<P> {
     /// scan; incremented every pass so service order rotates over the
     /// pending set instead of always favouring the oldest submission.
     scan_start: usize,
+    /// Completion ids of ops consumed by a reap error and not yet
+    /// collected via [`ReapQueue::take_failed`]. Runtimes layered
+    /// above (the multi-tenant arbiter in `vdisk-core`) account
+    /// in-flight budget per op, so they need to know exactly which
+    /// ops died with an error to refund their slots.
+    failed: Vec<u64>,
 }
 
 impl<P> Default for ReapQueue<P> {
@@ -243,6 +249,7 @@ impl<P> Default for ReapQueue<P> {
             bell: Doorbell::new(),
             idle_passes: 0,
             scan_start: 0,
+            failed: Vec::new(),
         }
     }
 }
@@ -285,6 +292,15 @@ impl<P> ReapQueue<P> {
         Arc::clone(&self.bell)
     }
 
+    /// Drains the completion ids of ops consumed by reap errors since
+    /// the last call (each reap error consumes exactly one op — see
+    /// the error-retention rule in the type docs). A runtime that
+    /// accounts per-op budget calls this after a failed reap to refund
+    /// exactly the ops that died.
+    pub fn take_failed(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.failed)
+    }
+
     /// Reaps every op `advance` reports finished, without blocking, in
     /// submission order. `advance` may make incremental progress on an
     /// op (it is called repeatedly and must be idempotent once the op
@@ -305,12 +321,18 @@ impl<P> ReapQueue<P> {
             match advance(&mut self.pending[i].1) {
                 Ok(true) => {
                     let (id, state) = self.pending.remove(i).expect("index in range");
-                    let result = finalize(Completion(id), state)?;
-                    self.completed.push(result);
+                    match finalize(Completion(id), state) {
+                        Ok(result) => self.completed.push(result),
+                        Err(e) => {
+                            self.failed.push(id);
+                            return Err(e);
+                        }
+                    }
                 }
                 Ok(false) => i += 1,
                 Err(e) => {
-                    self.pending.remove(i);
+                    let (id, _) = self.pending.remove(i).expect("index in range");
+                    self.failed.push(id);
                     return Err(e);
                 }
             }
@@ -332,8 +354,13 @@ impl<P> ReapQueue<P> {
         if !self.pending.is_empty() {
             self.park_until_front_finishes(advance)?;
             let (id, state) = self.pending.pop_front().expect("checked non-empty");
-            let result = finalize(Completion(id), state)?;
-            self.completed.push(result);
+            match finalize(Completion(id), state) {
+                Ok(result) => self.completed.push(result),
+                Err(e) => {
+                    self.failed.push(id);
+                    return Err(e);
+                }
+            }
         }
         self.poll(advance, finalize)
     }
@@ -373,7 +400,8 @@ impl<P> ReapQueue<P> {
                 match advance(&mut self.pending[i].1) {
                     Ok(finished) => any_finished |= finished,
                     Err(e) => {
-                        self.pending.remove(i);
+                        let (id, _) = self.pending.remove(i).expect("index in range");
+                        self.failed.push(id);
                         return Err(e);
                     }
                 }
@@ -401,8 +429,13 @@ impl<P> ReapQueue<P> {
         while !self.pending.is_empty() {
             self.park_until_front_finishes(advance)?;
             let (id, state) = self.pending.pop_front().expect("checked non-empty");
-            let result = finalize(Completion(id), state)?;
-            self.completed.push(result);
+            match finalize(Completion(id), state) {
+                Ok(result) => self.completed.push(result),
+                Err(e) => {
+                    self.failed.push(id);
+                    return Err(e);
+                }
+            }
         }
         Ok(std::mem::take(&mut self.completed))
     }
@@ -422,7 +455,8 @@ impl<P> ReapQueue<P> {
                     self.bell.wait_past(seen);
                 }
                 Err(e) => {
-                    self.pending.pop_front();
+                    let (id, _) = self.pending.pop_front().expect("checked non-empty");
+                    self.failed.push(id);
                     return Err(e);
                 }
             }
@@ -504,6 +538,14 @@ impl IoQueue {
     #[must_use]
     pub fn doorbell(&self) -> Arc<Doorbell> {
         self.reap.doorbell()
+    }
+
+    /// Drains the completion ids of operations consumed by reap errors
+    /// since the last call (each failed reap consumes exactly one op).
+    /// Runtimes that account per-op budget use this to refund exactly
+    /// the ops that died.
+    pub fn take_failed(&mut self) -> Vec<u64> {
+        self.reap.take_failed()
     }
 
     /// Submits one operation; returns its completion token
