@@ -67,10 +67,20 @@ impl EpochMap {
 /// the decrypt side routes each sector to the epoch that encrypted it,
 /// the encrypt side stamps the epoch chosen by the caller's
 /// [`EpochMap`].
-#[derive(Debug)]
 pub(crate) struct KeyChain {
     codecs: BTreeMap<u32, SectorCodec>,
     current: u32,
+}
+
+impl std::fmt::Debug for KeyChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The installed epochs and the write epoch are the routing
+        // state worth printing; the codecs hold live subkeys.
+        f.debug_struct("KeyChain")
+            .field("epochs", &self.codecs.keys().collect::<Vec<_>>())
+            .field("current", &self.current)
+            .finish()
+    }
 }
 
 impl KeyChain {

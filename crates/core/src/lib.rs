@@ -146,6 +146,11 @@ pub enum CryptError {
     Rbd(vdisk_rbd::RbdError),
     /// An error from a cryptographic primitive.
     Crypto(vdisk_crypto::CryptoError),
+    /// An internal invariant the IO path depends on failed to hold.
+    /// Always a bug — reported as an error rather than a panic so a
+    /// rekey driver or shard worker survives to surface it instead of
+    /// poisoning queue state.
+    Internal(String),
 }
 
 impl fmt::Display for CryptError {
@@ -175,6 +180,7 @@ impl fmt::Display for CryptError {
             CryptError::RuntimeStalled(why) => write!(f, "runtime stalled: {why}"),
             CryptError::Rbd(e) => write!(f, "image layer: {e}"),
             CryptError::Crypto(e) => write!(f, "crypto: {e}"),
+            CryptError::Internal(why) => write!(f, "internal invariant violated: {why}"),
         }
     }
 }

@@ -361,7 +361,9 @@ impl RekeyDriver {
                     continue; // a rewrite completing
                 };
                 let IoPayload::Data(plaintext) = result.payload else {
-                    unreachable!("chunk reads carry data payloads");
+                    return Err(CryptError::Internal(
+                        "chunk read completed without a data payload".into(),
+                    ));
                 };
                 queue.disk_mut().arm_rekey_marker(offset, plaintext.len());
                 queue.submit(IoOp::Write {
@@ -472,7 +474,9 @@ impl RekeyDriver {
                     continue; // a rewrite completing
                 };
                 let IoPayload::Data(plaintext) = result.payload else {
-                    unreachable!("chunk reads carry data payloads");
+                    return Err(CryptError::Internal(
+                        "chunk read completed without a data payload".into(),
+                    ));
                 };
                 // Arm the chunk's migration-proof marker keyed by the
                 // write's (offset, len): the arbiter may defer this

@@ -634,6 +634,7 @@ impl<Q: ArbitratedQueue> TenantQueue<Q> {
                 return Ok(hint);
             }
             for done in 0..granted {
+                // vdisk-lint: allow(hot-path-panic) reason="the arbiter granted against this wrapper's own backlog mirror under the runtime lock"
                 let (outer, op) = self.backlog.pop_front().expect("granted within backlog");
                 let cost = op_cost(&op);
                 match self.inner.submit_direct(op) {
@@ -699,6 +700,7 @@ impl<Q: ArbitratedQueue> TenantQueue<Q> {
             let (outer, cost) = self
                 .dispatched
                 .remove(&result.completion.id())
+                // vdisk-lint: allow(hot-path-panic) reason="the inner queue only completes ops this wrapper submitted; ids are recorded at dispatch"
                 .expect("inner completion was dispatched by this wrapper");
             result.completion = Completion::from_id(outer);
             ops += 1;

@@ -8,7 +8,7 @@ use vdisk_crypto::cbc::CbcEssiv;
 use vdisk_crypto::eme2::Eme2;
 use vdisk_crypto::gcm::AesGcm;
 use vdisk_crypto::hmac::HmacSha256;
-use vdisk_crypto::mem::ct_eq;
+use vdisk_crypto::mem::{ct_eq, zeroize};
 use vdisk_crypto::rng::IvSource;
 use vdisk_crypto::xts::XtsCipher;
 
@@ -34,13 +34,31 @@ enum CipherInstance {
 /// under the subkeys of **one key epoch** (see [`crate::luks`]): the
 /// epoch is stamped into every entry it writes and asserted on every
 /// entry it reads. Epoch routing lives in `KeyChain`.
-#[derive(Debug)]
 pub(crate) struct SectorCodec {
     config: EncryptionConfig,
     instance: CipherInstance,
     mac_key: Vec<u8>,
     /// The key epoch these subkeys belong to.
     epoch: u32,
+}
+
+impl std::fmt::Debug for SectorCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SectorCodec")
+            .field("cipher", &self.config.cipher)
+            .field("epoch", &self.epoch)
+            .field("mac_key", &"(32 bytes)")
+            .finish()
+    }
+}
+
+impl Drop for SectorCodec {
+    fn drop(&mut self) {
+        // The raw MAC subkey is the one field here that is not already
+        // a self-zeroizing type; wipe it so a dropped codec (epoch
+        // uninstall, rekey rollback) leaves no key bytes behind.
+        zeroize(&mut self.mac_key);
+    }
 }
 
 impl SectorCodec {

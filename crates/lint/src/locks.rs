@@ -1,0 +1,759 @@
+//! Lock-order analysis: every guard-acquisition site per function, an
+//! approximate intra-workspace call graph by name resolution over the
+//! token stream, and cycle detection over the resulting lock-order
+//! graph.
+//!
+//! **Lock classes.** A class is one `Mutex` field of one struct
+//! (`Shard::state`, `ShardQueue::inner`, ...): struct fields whose
+//! type mentions `Mutex` are discovered from the parsed shape. The
+//! analysis is class-level, not instance-level — two different
+//! `ShardQueue`s share a class, so instance self-deadlocks are out of
+//! scope (self-edges are excluded from the graph) and the cycle check
+//! answers the ordering question only.
+//!
+//! **Acquisition sites.** Direct sites are `<recv>.<field>.lock()`
+//! token patterns resolved against the enclosing impl's struct (or
+//! any struct in the file declaring that Mutex field). Helper methods
+//! whose return type mentions `MutexGuard` (e.g. `Shard::lock`)
+//! propagate their acquisitions to let-bound callers. A guard is
+//! modeled as held until its enclosing block closes, or until
+//! `drop(<binding>)`; un-bound temporaries release at the next `;`.
+//!
+//! **Call resolution.** `self.f()` prefers the enclosing file;
+//! otherwise candidates named `f` are filtered by a receiver-vs-impl
+//! type-name hint (`shard.lock()` → `Shard::lock`); an unhinted call
+//! resolves only when the name is workspace-unique and not a common
+//! std collection method. Unresolvable calls contribute no edges —
+//! the approximation under-reports rather than fabricating cycles.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parse::FnDef;
+use crate::{Finding, PreparedFile, Rule};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Method names too generic to resolve by uniqueness alone (std
+/// collection vocabulary that would alias workspace methods).
+const COMMON_METHODS: &[&str] = &[
+    "pop",
+    "push",
+    "get",
+    "insert",
+    "remove",
+    "take",
+    "wait",
+    "next",
+    "len",
+    "iter",
+    "lock",
+    "drop",
+    "clone",
+    "new",
+    "into_inner",
+    "unwrap",
+    "expect",
+    "clear",
+    "contains",
+    "extend",
+    "flush",
+    "write",
+    "read",
+    "send",
+    "recv",
+    "min",
+    "max",
+    "is_empty",
+    "get_mut",
+    "push_back",
+    "pop_front",
+    "push_front",
+    "pop_back",
+    "first",
+    "last",
+    "split",
+    "join",
+    "find",
+    "map",
+];
+
+/// One directed lock-order edge: `from` was held while `to` was
+/// acquired at `site`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// The held lock class.
+    pub from: String,
+    /// The acquired lock class.
+    pub to: String,
+    /// `file:line` of the acquiring site.
+    pub site: String,
+    /// The function containing the site.
+    pub via: String,
+}
+
+/// The lock-order graph plus everything needed to render it.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Every discovered lock class (`Struct::field (file)`).
+    pub classes: Vec<String>,
+    /// Deduplicated ordering edges.
+    pub edges: Vec<Edge>,
+    /// Cycles found (each a list of classes along the cycle).
+    pub cycles: Vec<Vec<String>>,
+    /// Edges dropped by `allow(lock-order)` directives.
+    pub suppressed_edges: Vec<Edge>,
+    /// Findings (one per cycle).
+    pub findings: Vec<Finding>,
+}
+
+/// A site-level suppression: `(file, line)` pairs carrying a reasoned
+/// `allow(lock-order)`.
+pub type AllowedSites = BTreeSet<(String, usize)>;
+
+struct FnInfo {
+    /// Index into the global fn list.
+    file: usize,
+    def: FnDef,
+    /// Whether the return type mentions `MutexGuard` (guard-returning
+    /// helper: its acquisitions transfer to let-bound callers).
+    returns_guard: bool,
+}
+
+/// Runs the analysis over every prepared file.
+pub fn analyze(files: &[PreparedFile], allowed: &AllowedSites) -> LockGraph {
+    // 1. Lock classes: Mutex-typed struct fields, struct-qualified.
+    //    field name -> candidate classes (struct, class name) per file.
+    let mut classes: Vec<String> = Vec::new();
+    // (file idx, struct name, field name) -> class
+    let mut field_class: HashMap<(usize, String, String), String> = HashMap::new();
+    // file idx -> every Mutex field name in that file
+    let mut file_fields: HashMap<usize, Vec<(String, String)>> = HashMap::new();
+    for (fi, pf) in files.iter().enumerate() {
+        for s in &pf.shape.structs {
+            if s.in_test {
+                continue;
+            }
+            for f in &s.fields {
+                if f.type_idents.iter().any(|t| t == "Mutex") {
+                    let class = format!("{}::{} ({})", s.name, f.name, short_path(&pf.path));
+                    classes.push(class.clone());
+                    field_class.insert((fi, s.name.clone(), f.name.clone()), class.clone());
+                    file_fields
+                        .entry(fi)
+                        .or_default()
+                        .push((f.name.clone(), class));
+                }
+            }
+        }
+    }
+
+    // 2. Global function index: name -> [FnInfo].
+    let mut fn_index: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut fns: Vec<FnInfo> = Vec::new();
+    for (fi, pf) in files.iter().enumerate() {
+        for def in &pf.shape.fns {
+            if def.in_test {
+                continue;
+            }
+            let sig = &pf.lexed.tokens[def.sig_start..def.body_start];
+            let returns_guard = sig.iter().any(|t| t.is_ident("MutexGuard"));
+            fn_index
+                .entry(def.name.clone())
+                .or_default()
+                .push(fns.len());
+            fns.push(FnInfo {
+                file: fi,
+                def: def.clone(),
+                returns_guard,
+            });
+        }
+    }
+
+    // 3a. Pre-pass: every function's direct acquisitions, so
+    //     guard-returning helpers are known before any caller that
+    //     appears earlier in the file order is scanned.
+    let mut direct_acquires: Vec<BTreeSet<String>> = vec![BTreeSet::new(); fns.len()];
+    for (me, info) in fns.iter().enumerate() {
+        let pf = &files[info.file];
+        let body = &pf.lexed.tokens[info.def.body_start..info.def.body_end];
+        for i in 0..body.len() {
+            if let Some(class) = direct_acquire_at(body, i, info, &field_class, &file_fields) {
+                direct_acquires[me].insert(class);
+            }
+        }
+    }
+
+    // 3b. Full scan: ordering edges, call records with held sets.
+    let mut calls: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+    // (caller fn, held classes, callee fn, site line)
+    let mut call_records: Vec<(usize, Vec<String>, usize, usize)> = Vec::new();
+    let mut raw_edges: Vec<Edge> = Vec::new();
+
+    for (me, info) in fns.iter().enumerate() {
+        scan_body(
+            me,
+            info,
+            files,
+            &fns,
+            &fn_index,
+            &field_class,
+            &file_fields,
+            &mut direct_acquires,
+            &mut calls,
+            &mut call_records,
+            &mut raw_edges,
+        );
+    }
+
+    // 4. Transitive acquire sets by fixpoint over the call graph.
+    let mut trans: Vec<BTreeSet<String>> = direct_acquires.clone();
+    loop {
+        let mut changed = false;
+        for me in 0..fns.len() {
+            let mut add: Vec<String> = Vec::new();
+            for &callee in &calls[me] {
+                for c in &trans[callee] {
+                    if !trans[me].contains(c) {
+                        add.push(c.clone());
+                    }
+                }
+            }
+            if !add.is_empty() {
+                changed = true;
+                trans[me].extend(add);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 5. Interprocedural edges: held locks vs everything a callee may
+    //    acquire transitively.
+    for (caller, held, callee, line) in &call_records {
+        for from in held {
+            for to in &trans[*callee] {
+                if from != to {
+                    raw_edges.push(Edge {
+                        from: from.clone(),
+                        to: to.clone(),
+                        site: format!("{}:{}", short_path(&files[fns[*caller].file].path), line),
+                        via: format!("{} -> {}", fns[*caller].def.name, fns[*callee].def.name),
+                    });
+                }
+            }
+        }
+    }
+
+    // 6. Apply site-level suppressions, dedup, detect cycles.
+    let mut suppressed = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    for e in raw_edges {
+        let site_key = site_to_key(&e.site, files);
+        if site_key.is_some_and(|k| allowed.contains(&k)) {
+            suppressed.push(e);
+        } else {
+            edges.push(e);
+        }
+    }
+    edges.sort();
+    edges.dedup_by(|a, b| a.from == b.from && a.to == b.to && a.site == b.site);
+    classes.sort();
+    classes.dedup();
+
+    let cycles = find_cycles(&classes, &edges);
+    let mut findings = Vec::new();
+    for cycle in &cycles {
+        // Anchor the finding at the first contributing edge's site.
+        let site = edges
+            .iter()
+            .find(|e| cycle.contains(&e.from) && cycle.contains(&e.to))
+            .map(|e| e.site.clone())
+            .unwrap_or_default();
+        let (file, line) = split_site(&site, files);
+        findings.push(Finding {
+            rule: Rule::LockOrder,
+            file,
+            line,
+            message: format!(
+                "lock-order cycle: {} — acquisition order must be globally consistent \
+                 (see the DOT artifact for every contributing site)",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+
+    LockGraph {
+        classes,
+        edges,
+        cycles,
+        suppressed_edges: suppressed,
+        findings,
+    }
+}
+
+/// Maps an edge's `short:line` site back to `(full path, line)`.
+fn site_to_key(site: &str, files: &[PreparedFile]) -> Option<(String, usize)> {
+    let (short, line) = site.rsplit_once(':')?;
+    let line: usize = line.parse().ok()?;
+    let full = files
+        .iter()
+        .find(|f| short_path(&f.path) == short)
+        .map(|f| f.path.clone())?;
+    Some((full, line))
+}
+
+fn split_site(site: &str, files: &[PreparedFile]) -> (String, usize) {
+    site_to_key(site, files).unwrap_or_else(|| (site.to_string(), 0))
+}
+
+/// `crates/rados/src/queue.rs` → `rados/src/queue.rs` (display form).
+fn short_path(path: &str) -> String {
+    path.strip_prefix("crates/").unwrap_or(path).to_string()
+}
+
+/// One live guard while scanning a body.
+#[derive(Debug, Clone)]
+struct Guard {
+    class: String,
+    /// The let-binding holding it (`None` for temporaries that die at
+    /// the next `;`).
+    binding: Option<String>,
+    /// Scope depth it was acquired at (released when that scope pops).
+    depth: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_body(
+    me: usize,
+    info: &FnInfo,
+    files: &[PreparedFile],
+    fns: &[FnInfo],
+    fn_index: &HashMap<String, Vec<usize>>,
+    field_class: &HashMap<(usize, String, String), String>,
+    file_fields: &HashMap<usize, Vec<(String, String)>>,
+    direct_acquires: &mut [BTreeSet<String>],
+    calls: &mut [Vec<usize>],
+    call_records: &mut Vec<(usize, Vec<String>, usize, usize)>,
+    raw_edges: &mut Vec<Edge>,
+) {
+    let pf = &files[info.file];
+    let toks = &pf.lexed.tokens;
+    let body = &toks[info.def.body_start..info.def.body_end];
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    // Start of the current statement (for let-binding lookback).
+    let mut stmt_start = 0usize;
+
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i].kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                stmt_start = i + 1;
+            }
+            TokenKind::Punct('}') => {
+                guards.retain(|g| g.depth < depth);
+                depth = depth.saturating_sub(1);
+                stmt_start = i + 1;
+            }
+            TokenKind::Punct(';') => {
+                guards.retain(|g| g.binding.is_some() || g.depth < depth);
+                stmt_start = i + 1;
+            }
+            // drop(binding) releases a named guard early.
+            TokenKind::Ident(id)
+                if id == "drop" && body.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                if let Some(name) = body.get(i + 2).and_then(|t| t.ident()) {
+                    guards.retain(|g| g.binding.as_deref() != Some(name));
+                }
+            }
+            _ => {}
+        }
+
+        // Direct acquisition: `<field>.lock()` where field is a Mutex
+        // field resolvable in this file.
+        if let Some(class) = direct_acquire_at(body, i, info, field_class, file_fields) {
+            acquire(
+                me,
+                &class,
+                body,
+                i,
+                stmt_start,
+                depth,
+                &mut guards,
+                pf,
+                &info.def.name,
+                direct_acquires,
+                raw_edges,
+            );
+            i += 4; // past `field . lock (`
+            continue;
+        }
+
+        // Calls: `.name(` methods and `name(` free functions.
+        if let Some((callee, recv_hint)) = call_at(body, i) {
+            if let Some(target) = resolve_call(&callee, recv_hint.as_deref(), info, fns, fn_index) {
+                calls[me].push(target);
+                let held: Vec<String> = guards.iter().map(|g| g.class.clone()).collect();
+                if !held.is_empty() {
+                    call_records.push((me, held, target, body[i].line));
+                }
+                // A guard-returning helper bound by `let` hands its
+                // guard to the caller.
+                if fns[target].returns_guard {
+                    for class in direct_acquires[target].clone() {
+                        acquire(
+                            me,
+                            &class,
+                            body,
+                            i,
+                            stmt_start,
+                            depth,
+                            &mut guards,
+                            pf,
+                            &info.def.name,
+                            direct_acquires,
+                            raw_edges,
+                        );
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Registers an acquisition: edges from everything held, then the new
+/// guard (let-bound if the statement starts with `let`).
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    me: usize,
+    class: &str,
+    body: &[Token],
+    i: usize,
+    stmt_start: usize,
+    depth: usize,
+    guards: &mut Vec<Guard>,
+    pf: &PreparedFile,
+    fn_name: &str,
+    direct_acquires: &mut [BTreeSet<String>],
+    raw_edges: &mut Vec<Edge>,
+) {
+    for g in guards.iter() {
+        if g.class != class {
+            raw_edges.push(Edge {
+                from: g.class.clone(),
+                to: class.to_string(),
+                site: format!("{}:{}", short_path(&pf.path), body[i].line),
+                via: fn_name.to_string(),
+            });
+        }
+    }
+    direct_acquires[me].insert(class.to_string());
+    guards.push(Guard {
+        class: class.to_string(),
+        binding: let_binding(body, stmt_start, i),
+        depth,
+    });
+}
+
+/// If the statement containing `i` starts with `let`, the bound
+/// identifier (the first plain ident after `let [mut]`, skipping
+/// `Some`/`Ok`/`Err` wrappers in patterns).
+fn let_binding(body: &[Token], stmt_start: usize, i: usize) -> Option<String> {
+    let mut j = stmt_start;
+    while j < i {
+        if body[j].is_ident("let") {
+            let mut k = j + 1;
+            while k < i {
+                match body[k].ident() {
+                    Some("mut") | Some("Some") | Some("Ok") | Some("Err") | None => k += 1,
+                    Some(name) => return Some(name.to_string()),
+                }
+            }
+            return None;
+        }
+        // A `let` only heads the statement (or an if/while-let).
+        j += 1;
+    }
+    None
+}
+
+/// Detects `field.lock()` at `i` and resolves the field to a lock
+/// class: first against the enclosing impl's struct, then any struct
+/// in the file; a bare `x.lock()` in a file declaring exactly one
+/// Mutex field resolves to it (closure-hidden receivers like the
+/// meta-cache's `m.lock()`).
+fn direct_acquire_at(
+    body: &[Token],
+    i: usize,
+    info: &FnInfo,
+    field_class: &HashMap<(usize, String, String), String>,
+    file_fields: &HashMap<usize, Vec<(String, String)>>,
+) -> Option<String> {
+    let field = body[i].ident()?;
+    if !body.get(i + 1)?.is_punct('.')
+        || !body.get(i + 2)?.is_ident("lock")
+        || !body.get(i + 3)?.is_punct('(')
+    {
+        return None;
+    }
+    // Prefer the enclosing impl's own field.
+    if let Some(ty) = &info.def.impl_type {
+        if let Some(c) = field_class.get(&(info.file, ty.clone(), field.to_string())) {
+            return Some(c.clone());
+        }
+    }
+    // Any struct in this file declaring that Mutex field.
+    let fields = file_fields.get(&info.file)?;
+    if let Some((_, c)) = fields.iter().find(|(name, _)| name == field) {
+        return Some(c.clone());
+    }
+    // Unknown receiver, but the file has exactly one Mutex field.
+    if fields.len() == 1 {
+        return Some(fields[0].1.clone());
+    }
+    None
+}
+
+/// Detects a call at `i`: returns `(name, receiver hint)`. The hint is
+/// the identifier heading the receiver chain for method calls, the
+/// path qualifier for `Type::name(...)` calls, `None` for free calls.
+fn call_at(body: &[Token], i: usize) -> Option<(String, Option<String>)> {
+    let name = body[i].ident()?;
+    if !body.get(i + 1)?.is_punct('(') {
+        return None;
+    }
+    if matches!(
+        name,
+        "fn" | "if" | "while" | "for" | "match" | "return" | "drop" | "let"
+    ) {
+        return None;
+    }
+    // Macro input, not a call.
+    if i > 0 && body[i - 1].is_punct('!') {
+        return None;
+    }
+    if i > 0 && body[i - 1].is_punct('.') {
+        // Method call: walk the receiver chain back to its head ident.
+        let mut j = i - 1;
+        let mut hint = None;
+        while j > 0 {
+            j -= 1;
+            match &body[j].kind {
+                TokenKind::Ident(id) => {
+                    hint = Some(id.clone());
+                    if j == 0 || !body[j - 1].is_punct('.') && !body[j - 1].is_punct(':') {
+                        break;
+                    }
+                    j = j.saturating_sub(1);
+                }
+                TokenKind::Punct(')') | TokenKind::Punct(']') => break,
+                TokenKind::Punct('.') | TokenKind::Punct(':') => continue,
+                _ => break,
+            }
+        }
+        return Some((name.to_string(), hint));
+    }
+    if i > 1 && body[i - 1].is_punct(':') && body[i - 2].is_punct(':') {
+        // `Type::name(...)`: the type is the hint.
+        let hint = body.get(i.wrapping_sub(3)).and_then(|t| t.ident());
+        return Some((name.to_string(), hint.map(str::to_string)));
+    }
+    Some((name.to_string(), None))
+}
+
+/// Resolves a call to at most one workspace function.
+fn resolve_call(
+    name: &str,
+    recv_hint: Option<&str>,
+    caller: &FnInfo,
+    fns: &[FnInfo],
+    fn_index: &HashMap<String, Vec<usize>>,
+) -> Option<usize> {
+    let candidates = fn_index.get(name)?;
+    // `self.f()` prefers the caller's own file (same impl or module).
+    if recv_hint == Some("self") {
+        if let Some(&idx) = candidates
+            .iter()
+            .find(|&&c| fns[c].file == caller.file && fns[c].def.impl_type == caller.def.impl_type)
+        {
+            return Some(idx);
+        }
+        if let Some(&idx) = candidates.iter().find(|&&c| fns[c].file == caller.file) {
+            return Some(idx);
+        }
+    }
+    // Receiver/type-name hint: `shard.lock()` → impl type `Shard`.
+    if let Some(hint) = recv_hint {
+        let hint_l = hint.to_lowercase().replace('_', "");
+        let hinted: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| {
+                fns[c].def.impl_type.as_deref().is_some_and(|ty| {
+                    let ty_l = ty.to_lowercase();
+                    hint_l.contains(&ty_l) || ty_l.contains(hint_l.trim_end_matches('s'))
+                })
+            })
+            .collect();
+        if hinted.len() == 1 {
+            return Some(hinted[0]);
+        }
+    }
+    // Workspace-unique, non-generic names resolve unhinted; `lock`
+    // helpers additionally resolve through the one-Mutex-file rule in
+    // `direct_acquire_at`, so skipping them here is safe.
+    if candidates.len() == 1 && !COMMON_METHODS.contains(&name) {
+        return Some(candidates[0]);
+    }
+    None
+}
+
+/// Tarjan SCC over the class graph; components with 2+ nodes are
+/// cycles (class-level self-edges are excluded by construction).
+fn find_cycles(classes: &[String], edges: &[Edge]) -> Vec<Vec<String>> {
+    let idx: BTreeMap<&str, usize> = classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.as_str(), i))
+        .collect();
+    let n = classes.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        if let (Some(&a), Some(&b)) = (idx.get(e.from.as_str()), idx.get(e.to.as_str())) {
+            adj[a].push(b);
+        }
+    }
+
+    // Iterative Tarjan.
+    let mut index_counter = 0usize;
+    let mut indices = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+
+    // (node, child cursor)
+    for start in 0..n {
+        if indices[start] != usize::MAX {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, cursor)) = work.last() {
+            if cursor == 0 && indices[v] == usize::MAX {
+                indices[v] = index_counter;
+                lowlink[v] = index_counter;
+                index_counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if cursor < adj[v].len() {
+                if let Some(top) = work.last_mut() {
+                    top.1 += 1;
+                }
+                let w = adj[v][cursor];
+                if indices[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(indices[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == indices[v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        component.push(classes[w].clone());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if component.len() > 1 {
+                        component.reverse();
+                        cycles.push(component);
+                    }
+                }
+            }
+        }
+    }
+    cycles
+}
+
+impl LockGraph {
+    /// Renders the graph as DOT (the CI artifact).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph lock_order {\n");
+        out.push_str("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+        let cyclic: BTreeSet<&String> = self.cycles.iter().flatten().collect();
+        for class in &self.classes {
+            if cyclic.contains(class) {
+                out.push_str(&format!("  \"{class}\" [color=red, penwidth=2];\n"));
+            } else {
+                out.push_str(&format!("  \"{class}\";\n"));
+            }
+        }
+        let mut seen = BTreeSet::new();
+        for e in &self.edges {
+            if seen.insert((&e.from, &e.to)) {
+                out.push_str(&format!(
+                    "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+                    e.from, e.to, e.site
+                ));
+            }
+        }
+        for e in &self.suppressed_edges {
+            if seen.insert((&e.from, &e.to)) {
+                out.push_str(&format!(
+                    "  \"{}\" -> \"{}\" [label=\"{} (allowed)\", style=dashed];\n",
+                    e.from, e.to, e.site
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The human-readable lock-order report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "lock-order analysis: {} classes, {} edges, {} cycles\n\n",
+            self.classes.len(),
+            self.edges.len(),
+            self.cycles.len()
+        ));
+        out.push_str("lock classes:\n");
+        for c in &self.classes {
+            out.push_str(&format!("  {c}\n"));
+        }
+        out.push_str("\nordering edges (held -> acquired @ site):\n");
+        if self.edges.is_empty() {
+            out.push_str("  (none: no site acquires one class while holding another)\n");
+        }
+        for e in &self.edges {
+            out.push_str(&format!(
+                "  {} -> {}  @ {} (in {})\n",
+                e.from, e.to, e.site, e.via
+            ));
+        }
+        for e in &self.suppressed_edges {
+            out.push_str(&format!(
+                "  {} -> {}  @ {} (suppressed by allow)\n",
+                e.from, e.to, e.site
+            ));
+        }
+        out.push('\n');
+        if self.cycles.is_empty() {
+            out.push_str("no cycles: a globally consistent acquisition order exists.\n");
+        } else {
+            for cycle in &self.cycles {
+                out.push_str(&format!("CYCLE: {}\n", cycle.join(" -> ")));
+            }
+        }
+        out
+    }
+}

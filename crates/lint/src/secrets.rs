@@ -1,0 +1,393 @@
+//! Secret hygiene: key material must never leak through `Debug`,
+//! `Clone`, or formatting, and raw key bytes must be zeroized on the
+//! drop/shred path (the cold-boot line of attack the paper's
+//! crypto-shred guarantee depends on).
+//!
+//! Three rules, driven by the registry in [`crate::Config`]:
+//!
+//! - [`Rule::SecretDerive`]: `#[derive(Debug)]`/`#[derive(Clone)]` on
+//!   a registry type, or on any struct embedding one. Redacted manual
+//!   `Debug` impls (like `SecretBytes`'s `"(n bytes)"`) are the fix;
+//!   a load-bearing `Clone` carries an allow with its reason.
+//! - [`Rule::SecretFormat`]: a registry-typed binding (or an
+//!   `.expose()` call) interpolated into a format-like macro.
+//! - [`Rule::SecretZeroize`]: a raw byte field (`[u8; N]`/`Vec<u8>`)
+//!   of a registry struct that no `zeroize(...)` call in the crate
+//!   ever names — a gap on the shred path.
+
+use crate::lexer::TokenKind;
+use crate::parse::matching;
+use crate::{Config, Finding, PreparedFile, Rule};
+
+/// Macros whose arguments are formatted (and therefore leak).
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "todo",
+    "unimplemented",
+    "unreachable",
+];
+
+/// Runs the secret-hygiene rules over one file. `all` is the full
+/// prepared set (zeroize coverage is checked crate-wide, so a shred
+/// path in `luks.rs` covers fields declared there).
+pub fn check(pf: &PreparedFile, all: &[PreparedFile], cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_derives(pf, cfg, &mut findings);
+    check_format_interpolation(pf, cfg, &mut findings);
+    check_zeroize_coverage(pf, all, cfg, &mut findings);
+    findings
+}
+
+fn is_secret_type(cfg: &Config, name: &str) -> bool {
+    cfg.secret_types.iter().any(|t| t == name)
+}
+
+/// A struct is secret-bearing if it IS a registry type or any field's
+/// type mentions one.
+fn struct_is_secret(cfg: &Config, s: &crate::parse::StructDef) -> bool {
+    is_secret_type(cfg, &s.name)
+        || s.fields
+            .iter()
+            .any(|f| f.type_idents.iter().any(|t| is_secret_type(cfg, t)))
+}
+
+fn check_derives(pf: &PreparedFile, cfg: &Config, findings: &mut Vec<Finding>) {
+    for s in &pf.shape.structs {
+        if s.in_test || !struct_is_secret(cfg, s) {
+            continue;
+        }
+        for attr in &s.attrs {
+            for trait_name in ["Debug", "Clone"] {
+                if attr.derives(trait_name) {
+                    findings.push(Finding {
+                        rule: Rule::SecretDerive,
+                        file: pf.path.clone(),
+                        line: attr.line,
+                        message: format!(
+                            "`{}` holds key material; `#[derive({trait_name})]` can leak \
+                             it (write a redacted manual impl, or allow with a reason)",
+                            s.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Finds format-macro invocations whose arguments interpolate a
+/// secret: a binding of registry type in the enclosing function, an
+/// inline `{name}` capture of one, or an `.expose()` call.
+fn check_format_interpolation(pf: &PreparedFile, cfg: &Config, findings: &mut Vec<Finding>) {
+    let toks = &pf.lexed.tokens;
+    for f in &pf.shape.fns {
+        if f.in_test {
+            continue;
+        }
+        let secret_bindings = collect_secret_bindings(pf, f, cfg);
+        let body = &toks[f.body_start..f.body_end];
+        let mut i = 0;
+        while i + 2 < body.len() {
+            let is_macro = body[i]
+                .ident()
+                .is_some_and(|id| FORMAT_MACROS.contains(&id))
+                && body[i + 1].is_punct('!')
+                && (body[i + 2].is_punct('(') || body[i + 2].is_punct('['));
+            if !is_macro {
+                i += 1;
+                continue;
+            }
+            let open = i + 2;
+            let close = matching(body, open, body.len());
+            let line = body[i].line;
+            let mut leaked: Option<String> = None;
+            let mut j = open + 1;
+            while j < close {
+                match &body[j].kind {
+                    // Inline captures in the format string: `{key}`.
+                    TokenKind::Str(text) => {
+                        for cap in inline_captures(text) {
+                            if secret_bindings.contains(&cap) {
+                                leaked = Some(cap);
+                            }
+                        }
+                    }
+                    // Positional/named args naming a secret binding.
+                    TokenKind::Ident(id) if secret_bindings.contains(id) => {
+                        leaked = Some(id.clone());
+                    }
+                    // `.expose()` / `.expose_mut()` anywhere in the args.
+                    TokenKind::Ident(id)
+                        if cfg.expose_methods.iter().any(|m| m == id)
+                            && j > 0
+                            && body[j - 1].is_punct('.') =>
+                    {
+                        leaked = Some(format!(".{id}()"));
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(what) = leaked {
+                findings.push(Finding {
+                    rule: Rule::SecretFormat,
+                    file: pf.path.clone(),
+                    line,
+                    message: format!(
+                        "secret `{what}` interpolated into `{}!` — key material must \
+                         never reach formatted output",
+                        body[i].ident().unwrap_or("format")
+                    ),
+                });
+            }
+            i = close + 1;
+        }
+    }
+}
+
+/// Identifiers bound to a registry type inside one function: params
+/// typed with a registry type, and `let` bindings whose declared type
+/// or initializer mentions one.
+fn collect_secret_bindings(
+    pf: &PreparedFile,
+    f: &crate::parse::FnDef,
+    cfg: &Config,
+) -> Vec<String> {
+    let toks = &pf.lexed.tokens;
+    let mut out: Vec<String> = Vec::new();
+
+    // Parameters: scan `name : ...Type...` pairs in the signature.
+    let sig = &toks[f.sig_start..f.body_start];
+    let mut i = 0;
+    while i + 1 < sig.len() {
+        if sig[i].ident().is_some() && sig[i + 1].is_punct(':') {
+            let name = sig[i].ident().unwrap_or("").to_string();
+            // Type tokens run until `,` or `)` at depth 0.
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while j < sig.len() {
+                match sig[j].kind {
+                    TokenKind::Punct('<') | TokenKind::Punct('(') => depth += 1,
+                    TokenKind::Punct('>') | TokenKind::Punct(')') if depth > 0 => depth -= 1,
+                    TokenKind::Punct(',') | TokenKind::Punct(')') => break,
+                    _ => {}
+                }
+                if let Some(id) = sig[j].ident() {
+                    if is_secret_type(cfg, id) {
+                        out.push(name.clone());
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Let bindings: `let [mut] name [: Type] = init ;` — secret if the
+    // type annotation or the initializer mentions a registry type.
+    let body = &toks[f.body_start..f.body_end];
+    let mut i = 0;
+    while i < body.len() {
+        if !body[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < body.len() && body[j].is_ident("mut") {
+            j += 1;
+        }
+        let Some(name) = body.get(j).and_then(|t| t.ident().map(str::to_string)) else {
+            i += 1;
+            continue;
+        };
+        // Scan to the statement end, looking for registry mentions.
+        let mut secret = false;
+        let mut k = j + 1;
+        let mut depth = 0i32;
+        while k < body.len() {
+            match body[k].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+                TokenKind::Punct(';') if depth <= 0 => break,
+                _ => {}
+            }
+            if let Some(id) = body[k].ident() {
+                if is_secret_type(cfg, id) {
+                    secret = true;
+                }
+            }
+            k += 1;
+        }
+        if secret {
+            out.push(name);
+        }
+        i = k + 1;
+    }
+    out
+}
+
+/// For each registry struct, every raw byte field (`[u8; N]` or
+/// `Vec<u8>`) must be named by some `zeroize(...)` call in the crate,
+/// or be of a self-zeroizing registry type.
+fn check_zeroize_coverage(
+    pf: &PreparedFile,
+    all: &[PreparedFile],
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    // The crate root is the path up to `/src/`; zeroize coverage
+    // anywhere in the same crate counts.
+    let crate_root = pf.path.split("/src/").next().unwrap_or("").to_string();
+    let crate_files: Vec<&PreparedFile> = all
+        .iter()
+        .filter(|other| other.path.split("/src/").next().unwrap_or("") == crate_root)
+        .collect();
+    let zeroized: Vec<String> = crate_files
+        .iter()
+        .flat_map(|other| zeroize_arguments(other))
+        .collect();
+
+    for s in &pf.shape.structs {
+        if s.in_test || !is_secret_type(cfg, &s.name) {
+            continue;
+        }
+        // A method of the struct wiping through `self` (the Drop-impl
+        // idiom, `zeroize(&mut self.0)`) covers every field — tuple
+        // fields have no nameable identifier for the per-field check.
+        if self_zeroizing(&crate_files, &s.name) {
+            continue;
+        }
+        for field in &s.fields {
+            let raw_bytes = field.type_idents.iter().any(|t| t == "u8");
+            if !raw_bytes {
+                continue;
+            }
+            // Self-zeroizing container types are already covered.
+            if field.type_idents.iter().any(|t| is_secret_type(cfg, t)) {
+                continue;
+            }
+            if !zeroized.contains(&field.name) {
+                findings.push(Finding {
+                    rule: Rule::SecretZeroize,
+                    file: pf.path.clone(),
+                    line: field.line,
+                    message: format!(
+                        "`{}.{}` holds raw key bytes but no `zeroize(...)` call in \
+                         this crate names it — a gap on the drop/shred path",
+                        s.name, field.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whether any method with `impl_type == name` calls `zeroize(...)`
+/// with `self` among the arguments (a self-wiping Drop or shred
+/// method).
+fn self_zeroizing(crate_files: &[&PreparedFile], name: &str) -> bool {
+    for pf in crate_files {
+        for f in &pf.shape.fns {
+            if f.in_test || f.impl_type.as_deref() != Some(name) {
+                continue;
+            }
+            let body = &pf.lexed.tokens[f.body_start..f.body_end];
+            let mut i = 0;
+            while i + 1 < body.len() {
+                if body[i].is_ident("zeroize") && body[i + 1].is_punct('(') {
+                    let close = matching(body, i + 1, body.len());
+                    if body[i + 2..close].iter().any(|t| t.is_ident("self")) {
+                        return true;
+                    }
+                    i = close + 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Field identifiers appearing inside `zeroize(...)` call arguments
+/// anywhere in a file (`zeroize(&mut slot.wrapped)` → `wrapped`).
+fn zeroize_arguments(pf: &PreparedFile) -> Vec<String> {
+    let toks = &pf.lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("zeroize") && toks[i + 1].is_punct('(') {
+            let close = matching(toks, i + 1, toks.len());
+            for t in &toks[i + 2..close] {
+                if let Some(id) = t.ident() {
+                    out.push(id.to_string());
+                }
+            }
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses `{name}` / `{name:?}` inline captures out of a format
+/// string; `{{` escapes and positional `{}` / `{0}` are skipped.
+fn inline_captures(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if bytes.get(i + 1) == Some(&b'{') {
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'}' && bytes[j] != b':' {
+                j += 1;
+            }
+            let name = &text[i + 1..j];
+            if !name.is_empty()
+                && name.chars().all(|c| c.is_alphanumeric() || c == '_')
+                && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
+            {
+                out.push(name.to_string());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_capture_parsing() {
+        assert_eq!(
+            inline_captures("value {key:?} and {other}"),
+            ["key", "other"]
+        );
+        assert!(inline_captures("{{escaped}} {} {0}").is_empty());
+        assert_eq!(inline_captures("{a}{b}"), ["a", "b"]);
+    }
+}

@@ -369,6 +369,7 @@ impl ClusterBuilder {
     #[must_use]
     pub fn build(self) -> Cluster {
         self.try_build()
+            // vdisk-lint: allow(hot-path-panic) reason="documented panicking constructor for literal-knob tests; fallible callers use try_build"
             .unwrap_or_else(|e| panic!("invalid cluster configuration: {e}"))
     }
 
@@ -587,6 +588,7 @@ impl Cluster {
 
     /// The shard holding `object`, and its index.
     fn shard_for(&self, object: &str) -> &Shard {
+        // vdisk-lint: allow(hot-path-index) reason="shard_of reduces the object hash modulo shards.len()"
         &self.shards[self.control.shard_of(object)]
     }
 
@@ -702,7 +704,9 @@ impl Cluster {
         // read's submit→reap window never miss an overwrite.
         let mut touched = vec![false; self.shards.len()];
         for &shard in &shard_keys {
+            // vdisk-lint: allow(hot-path-index) reason="shard_of reduces modulo shards.len(), which sized `touched`"
             if !touched[shard] {
+                // vdisk-lint: allow(hot-path-index) reason="shard_of reduces modulo shards.len(), which sized `touched`"
                 touched[shard] = true;
                 cp.bump_shard_write_seq(shard);
             }
@@ -758,6 +762,7 @@ impl Cluster {
     ) -> u64 {
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, &shard) in shard_keys.iter().enumerate() {
+            // vdisk-lint: allow(hot-path-index) reason="shard keys come from shard_of, which reduces modulo shards.len(); groups was sized to match"
             groups[shard].push(i);
         }
         let touched: Vec<(usize, Vec<usize>)> = groups
@@ -772,6 +777,7 @@ impl Cluster {
         self.control.stats.record_shard_fanout(fanout);
         let was_idle: Vec<bool> = touched
             .iter()
+            // vdisk-lint: allow(hot-path-index) reason="shard indices are enumerate() positions over a vec sized shards.len()"
             .map(|(shard, _)| self.shards[*shard].job_admitted(&self.control.stats))
             .collect();
         match self.runtime.queues() {
@@ -781,6 +787,7 @@ impl Cluster {
                     if inline_if_idle && idle {
                         queue::run_job(&self.control, &self.shards, shard, job);
                     } else {
+                        // vdisk-lint: allow(hot-path-index) reason="one queue per shard; index is an enumerate() position over a vec sized shards.len()"
                         queues[shard].push(job);
                     }
                 }
@@ -868,6 +875,7 @@ impl Cluster {
     ) -> Result<(Vec<ReadResult>, Plan)> {
         let requests = vec![ObjectReads::new(object, ops.to_vec())];
         let mut outcomes = self.submit_reads(snap, requests, true).into_outcomes();
+        // vdisk-lint: allow(hot-path-panic) reason="submit_reads returns exactly one outcome per request and we submitted exactly one"
         match outcomes.pop().expect("one request, one outcome") {
             ReadOutcome::Hit(results, plan) => Ok((results, plan)),
             ReadOutcome::Miss(e, _) | ReadOutcome::Fail(e) => Err(e),
@@ -976,6 +984,7 @@ impl Cluster {
         }
         if self.durable.is_some() {
             for shard in self.shards.iter() {
+                // vdisk-lint: allow(hot-path-panic) reason="documented panicking path: a failed directory sync voids the durability promise"
                 shard.lock().store.flush().expect("backend flush failed");
             }
             self.persist_snap_seq(self.control.snap_seq());
@@ -1000,6 +1009,7 @@ impl Cluster {
     /// durable backend; no-op on the in-memory one.
     fn persist_snap_seq(&self, seq: u64) {
         if let Some(durable) = &self.durable {
+            // vdisk-lint: allow(hot-path-panic) reason="reopening with a stale snap seq silently corrupts clone visibility; failing loudly is the contract"
             durable.persist(seq).expect("cluster.meta update failed");
         }
     }
@@ -1052,6 +1062,7 @@ impl Cluster {
         let gate = Arc::new(Progress::new(1));
         match self.runtime.queues() {
             Some(queues) => {
+                // vdisk-lint: allow(hot-path-index) reason="asserted in range above, honoring the documented panic contract"
                 queues[shard].push(Job::Hold {
                     gate: Arc::clone(&gate),
                 });
@@ -1161,6 +1172,7 @@ impl Cluster {
         let total = plans.len() as u64;
         let mut plans = plans.into_iter();
         sim.run_closed_loop(queue_depth, total, move |_| {
+            // vdisk-lint: allow(hot-path-panic) reason="total was computed as plans.len(), so the sim requests exactly that many"
             plans.next().expect("plan count matches total_ops")
         })
     }
@@ -1188,7 +1200,9 @@ impl Cluster {
                     .iter()
                     .map(|osd| guard.store.get(osd.0, &name).map(|o| o.head.fingerprint()))
                     .collect();
-                let first = &prints[0];
+                let Some(first) = prints.first() else {
+                    continue;
+                };
                 if prints.iter().any(|p| p != first) {
                     report.divergent.push(name);
                 }
@@ -1215,6 +1229,7 @@ impl Cluster {
                 acting.len()
             )));
         }
+        // vdisk-lint: allow(hot-path-index) reason="replica_index was range-checked against acting.len() just above"
         let osd = acting[replica_index];
         let mut shard = self.shard_for(object).lock();
         let obj = shard
@@ -1240,12 +1255,15 @@ impl Cluster {
         let mut shard = self.shard_for(object).lock();
         let primary_copy = shard
             .store
+            // vdisk-lint: allow(hot-path-index) reason="acting_set always places at least the primary; an empty acting set is unconstructible"
             .get(acting[0].0, object)
             .cloned()
             .ok_or_else(|| RadosError::NoSuchObject(object.to_string()))?;
+        // vdisk-lint: allow(hot-path-index) reason="acting is non-empty (primary copy was just read), so the [1..] slice is in range"
         for osd in &acting[1..] {
             shard.store.insert(osd.0, object, primary_copy.clone());
         }
+        // vdisk-lint: allow(hot-path-index) reason="acting is non-empty (primary copy was just read), so the [1..] slice is in range"
         shard.store.commit(object, &acting[1..])?;
         Ok(())
     }

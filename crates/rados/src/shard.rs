@@ -110,6 +110,7 @@ impl ShardState {
             if let TxOp::CompareXattr { name, expected } = op {
                 let actual = self
                     .store
+                    // vdisk-lint: allow(hot-path-index) reason="acting_set always places at least the primary; an empty acting set is unconstructible"
                     .get(acting[0].0, &tx.object)
                     .and_then(|o| o.head.xattrs.get(name));
                 if actual != expected.as_ref() {

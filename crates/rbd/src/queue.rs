@@ -129,6 +129,7 @@ impl IoPayload {
     pub fn data(&self) -> &[u8] {
         match self {
             IoPayload::Data(d) => d,
+            // vdisk-lint: allow(hot-path-panic) reason="documented panicking accessor; callers match the payload kind to the op they submitted"
             other => panic!("expected data payload, got {other:?}"),
         }
     }
@@ -149,6 +150,7 @@ impl IoPayload {
                 let mut segments = Vec::with_capacity(lens.len());
                 let mut cursor = 0usize;
                 for len in lens {
+                    // vdisk-lint: allow(hot-path-index) reason="documented panicking packer: segment lengths exceeding the buffer are a caller bug"
                     segments.push(data[cursor..cursor + len as usize].to_vec());
                     cursor += len as usize;
                 }
@@ -166,6 +168,7 @@ impl IoPayload {
     pub fn segments(&self) -> &[Vec<u8>] {
         match self {
             IoPayload::Segments(s) => s,
+            // vdisk-lint: allow(hot-path-panic) reason="documented panicking accessor; callers match the payload kind to the op they submitted"
             other => panic!("expected segments payload, got {other:?}"),
         }
     }
@@ -318,8 +321,10 @@ impl<P> ReapQueue<P> {
     ) -> std::result::Result<Vec<IoResult>, E> {
         let mut i = 0;
         while i < self.pending.len() {
+            // vdisk-lint: allow(hot-path-index) reason="loop condition keeps i < pending.len(), and removals restart the check"
             match advance(&mut self.pending[i].1) {
                 Ok(true) => {
+                    // vdisk-lint: allow(hot-path-panic) reason="i < pending.len() per the loop condition, so remove returns Some"
                     let (id, state) = self.pending.remove(i).expect("index in range");
                     match finalize(Completion(id), state) {
                         Ok(result) => self.completed.push(result),
@@ -331,6 +336,7 @@ impl<P> ReapQueue<P> {
                 }
                 Ok(false) => i += 1,
                 Err(e) => {
+                    // vdisk-lint: allow(hot-path-panic) reason="i < pending.len() per the loop condition, so remove returns Some"
                     let (id, _) = self.pending.remove(i).expect("index in range");
                     self.failed.push(id);
                     return Err(e);
@@ -353,6 +359,7 @@ impl<P> ReapQueue<P> {
     ) -> std::result::Result<Vec<IoResult>, E> {
         if !self.pending.is_empty() {
             self.park_until_front_finishes(advance)?;
+            // vdisk-lint: allow(hot-path-panic) reason="guarded by the is_empty check above; parking removes nothing"
             let (id, state) = self.pending.pop_front().expect("checked non-empty");
             match finalize(Completion(id), state) {
                 Ok(result) => self.completed.push(result),
@@ -397,9 +404,11 @@ impl<P> ReapQueue<P> {
             self.scan_start = self.scan_start.wrapping_add(1);
             for step in 0..len {
                 let i = (start + step) % len;
+                // vdisk-lint: allow(hot-path-index) reason="i is reduced modulo pending.len(), and nothing is removed until the loop exits"
                 match advance(&mut self.pending[i].1) {
                     Ok(finished) => any_finished |= finished,
                     Err(e) => {
+                        // vdisk-lint: allow(hot-path-panic) reason="i is reduced modulo pending.len(), so remove returns Some"
                         let (id, _) = self.pending.remove(i).expect("index in range");
                         self.failed.push(id);
                         return Err(e);
@@ -428,6 +437,7 @@ impl<P> ReapQueue<P> {
     ) -> std::result::Result<Vec<IoResult>, E> {
         while !self.pending.is_empty() {
             self.park_until_front_finishes(advance)?;
+            // vdisk-lint: allow(hot-path-panic) reason="guarded by the loop's is_empty check; parking removes nothing"
             let (id, state) = self.pending.pop_front().expect("checked non-empty");
             match finalize(Completion(id), state) {
                 Ok(result) => self.completed.push(result),
@@ -448,6 +458,7 @@ impl<P> ReapQueue<P> {
     ) -> std::result::Result<(), E> {
         loop {
             let seen = self.bell.generation();
+            // vdisk-lint: allow(hot-path-index) reason="every caller checks pending is non-empty before parking on its front op"
             match advance(&mut self.pending[0].1) {
                 Ok(true) => return Ok(()),
                 Ok(false) => {
@@ -455,6 +466,7 @@ impl<P> ReapQueue<P> {
                     self.bell.wait_past(seen);
                 }
                 Err(e) => {
+                    // vdisk-lint: allow(hot-path-panic) reason="every caller checks pending is non-empty before parking on its front op"
                     let (id, _) = self.pending.pop_front().expect("checked non-empty");
                     self.failed.push(id);
                     return Err(e);
